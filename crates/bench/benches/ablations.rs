@@ -1,0 +1,107 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! replacement-path caps in the trimming rule, priority choice in the MIS
+//! election, forwarding-policy resolution, and spanner stretch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csn_core::graph::generators;
+use csn_core::temporal::TimeEvolvingGraph;
+use csn_core::trimming::forwarding::{solve_forwarding_policy, LinearUtility, Relay};
+use csn_core::trimming::static_rule::trim_arcs;
+use csn_core::trimming::TrimOptions;
+use rand::{Rng, SeedableRng};
+
+fn dense_eg(n: usize, seed: u64) -> TimeEvolvingGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut eg = TimeEvolvingGraph::new(n, 16);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < 0.5 {
+                eg.add_periodic(u, v, rng.gen_range(0..16), rng.gen_range(2..6));
+            }
+        }
+    }
+    eg
+}
+
+/// Unbounded replacement search vs the 1-intermediate cap (§III-A's
+/// hop-preserving refinement): the cap trades trimming power for speed.
+fn ablate_trim_cap(c: &mut Criterion) {
+    let eg = dense_eg(12, 9);
+    let priority: Vec<u64> = (0..12u64).collect();
+    let mut group = c.benchmark_group("ablate_trim_cap");
+    group.sample_size(10);
+    group.bench_function("unbounded", |b| {
+        b.iter(|| trim_arcs(&eg, &priority, TrimOptions { max_intermediates: None }))
+    });
+    group.bench_function("cap_1", |b| {
+        b.iter(|| trim_arcs(&eg, &priority, TrimOptions { max_intermediates: Some(1) }))
+    });
+    group.finish();
+}
+
+/// Random vs adversarial (sequential) priorities in the MIS election:
+/// the paper's log n claim needs the randomness.
+fn ablate_mis_priorities(c: &mut Criterion) {
+    use rand::seq::SliceRandom;
+    let g = generators::path(2000);
+    let mut random: Vec<u64> = (0..2000).collect();
+    random.shuffle(&mut rand::rngs::StdRng::seed_from_u64(3));
+    let sequential: Vec<u64> = (0..2000).collect();
+    let mut group = c.benchmark_group("ablate_mis_priorities");
+    group.sample_size(10);
+    group.bench_function("random", |b| {
+        b.iter(|| csn_core::labeling::mis::mis_distributed(&g, &random))
+    });
+    group.bench_function("adversarial_sequential", |b| {
+        b.iter(|| csn_core::labeling::mis::mis_distributed(&g, &sequential))
+    });
+    group.finish();
+}
+
+/// Forwarding-policy resolution: coarse vs fine time discretization.
+fn ablate_policy_resolution(c: &mut Criterion) {
+    let utility = LinearUtility { u0: 100.0, c: 1.0 };
+    let relays: Vec<Relay> = (0..8)
+        .map(|i| Relay { rate_from_source: 0.05, rate_to_dest: 0.02 * (i + 1) as f64 })
+        .collect();
+    let mut group = c.benchmark_group("ablate_policy_dt");
+    for &dt in &[1.0f64, 0.1, 0.01] {
+        group.bench_with_input(BenchmarkId::from_parameter(dt), &dt, |b, &dt| {
+            b.iter(|| solve_forwarding_policy(0.02, &relays, utility, 10.0, dt))
+        });
+    }
+    group.finish();
+}
+
+/// Spanner stretch: construction cost vs sparsity target.
+fn ablate_spanner_stretch(c: &mut Criterion) {
+    use csn_core::graph::spanner::greedy_spanner;
+    use csn_core::graph::WeightedGraph;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let n = 200;
+    let mut g = WeightedGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < 0.2 {
+                g.add_edge(u, v, 0.1 + rng.gen::<f64>());
+            }
+        }
+    }
+    let mut group = c.benchmark_group("ablate_spanner_t");
+    group.sample_size(10);
+    for &t in &[1.5f64, 3.0, 6.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| greedy_spanner(&g, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_trim_cap,
+    ablate_mis_priorities,
+    ablate_policy_resolution,
+    ablate_spanner_stretch
+);
+criterion_main!(benches);

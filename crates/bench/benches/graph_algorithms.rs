@@ -1,0 +1,72 @@
+//! Criterion benches for the static-graph substrate (E16 and scaling of
+//! the §III centrality inventory).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csn_core::graph::{centrality, cores, generators, powerlaw, shortest_path, traversal};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for &n in &[1000usize, 4000] {
+        group.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |b, &n| {
+            b.iter(|| generators::barabasi_albert(n, 3, 7).expect("params"))
+        });
+        group.bench_with_input(BenchmarkId::new("erdos_renyi", n), &n, |b, &n| {
+            b.iter(|| generators::erdos_renyi(n, 6.0 / n as f64, 7).expect("params"))
+        });
+    }
+    group.bench_function("kleinberg_grid_100", |b| {
+        b.iter(|| generators::kleinberg_grid(100, 1, 2.0, 3))
+    });
+    group.finish();
+}
+
+fn bench_traversal_and_paths(c: &mut Criterion) {
+    let g = generators::barabasi_albert(4000, 3, 5).unwrap();
+    let mut wg = csn_core::graph::WeightedGraph::new(4000);
+    for (u, v) in g.edges() {
+        wg.add_edge(u, v, 1.0 + ((u * 31 + v) % 10) as f64);
+    }
+    let mut group = c.benchmark_group("paths");
+    group.bench_function("bfs_4000", |b| b.iter(|| traversal::bfs_distances(&g, 0)));
+    group.bench_function("dijkstra_4000", |b| b.iter(|| shortest_path::dijkstra(&wg, 0)));
+    group.bench_function("scc_4000", |b| {
+        let d = g.to_digraph();
+        b.iter(|| traversal::strongly_connected_components(&d))
+    });
+    group.finish();
+}
+
+fn bench_centrality(c: &mut Criterion) {
+    let g = generators::barabasi_albert(600, 3, 5).unwrap();
+    let mut group = c.benchmark_group("centrality");
+    group.sample_size(10);
+    group.bench_function("betweenness_600", |b| {
+        b.iter(|| centrality::betweenness_centrality(&g))
+    });
+    group.bench_function("pagerank_600", |b| {
+        let d = g.to_digraph();
+        b.iter(|| centrality::pagerank(&d, 0.85, 100, 1e-10))
+    });
+    group.bench_function("closeness_600", |b| b.iter(|| centrality::closeness_centrality(&g)));
+    group.finish();
+}
+
+fn bench_structure_measures(c: &mut Criterion) {
+    let g = generators::barabasi_albert(4000, 3, 5).unwrap();
+    let degrees: Vec<usize> = g.degrees();
+    let mut group = c.benchmark_group("structure");
+    group.bench_function("core_numbers_4000", |b| b.iter(|| cores::core_numbers(&g)));
+    group.bench_function("powerlaw_fit_4000", |b| {
+        b.iter(|| powerlaw::fit_with_kmin(&degrees, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_traversal_and_paths,
+    bench_centrality,
+    bench_structure_measures
+);
+criterion_main!(benches);

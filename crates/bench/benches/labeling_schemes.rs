@@ -1,0 +1,84 @@
+//! Criterion benches for the labeling schemes (E12–E14, E18).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csn_core::graph::generators;
+use csn_core::labeling::bellman_ford;
+use csn_core::labeling::cds::{marking, prune};
+use csn_core::labeling::dynamic_mis::DynamicMis;
+use csn_core::labeling::mis::mis_distributed;
+use csn_core::labeling::safety::SafetyLevels;
+use rand::{Rng, SeedableRng};
+
+fn bench_cds_mis(c: &mut Criterion) {
+    let gg = generators::random_geometric(400, 0.12, 3);
+    let mask = csn_core::graph::traversal::largest_component_mask(&gg.graph);
+    let (g, _) = gg.graph.induced_subgraph(&mask);
+    let priority: Vec<u64> = (0..g.node_count() as u64).collect();
+    let black = marking(&g);
+    let mut group = c.benchmark_group("cds_mis");
+    group.bench_function("marking_udg400", |b| b.iter(|| marking(&g)));
+    group.bench_function("prune_udg400", |b| b.iter(|| prune(&g, &black, &priority)));
+    group.bench_function("mis_udg400", |b| b.iter(|| mis_distributed(&g, &priority)));
+    group.finish();
+}
+
+fn bench_dynamic_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_mis");
+    for &n in &[500usize, 2000] {
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, &n| {
+            let g = generators::erdos_renyi(n, 8.0 / n as f64, n as u64).unwrap();
+            let mut dm = DynamicMis::new(g, 77);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let sz = dm.graph().node_count();
+                let nbrs: Vec<usize> =
+                    (0..4).map(|_| rng.gen_range(0..sz)).collect::<std::collections::HashSet<_>>().into_iter().collect();
+                dm.insert_node(&nbrs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_safety_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("safety_levels");
+    for &dims in &[8u32, 10] {
+        let n = 1usize << dims;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut faulty = vec![false; n];
+        for _ in 0..n / 16 {
+            faulty[rng.gen_range(0..n)] = true;
+        }
+        group.bench_with_input(BenchmarkId::new("compute", dims), &faulty, |b, f| {
+            b.iter(|| SafetyLevels::compute(dims, f))
+        });
+        let sl = SafetyLevels::compute(dims, &faulty);
+        group.bench_with_input(BenchmarkId::new("route", dims), &sl, |b, sl| {
+            b.iter(|| sl.route(0, n - 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bellman_ford(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bellman_ford");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let g0 = generators::erdos_renyi(n, 5.0 / n as f64, n as u64).unwrap();
+        let mask = csn_core::graph::traversal::largest_component_mask(&g0);
+        let (g, _) = g0.induced_subgraph(&mask);
+        group.bench_with_input(BenchmarkId::new("converge", n), &g, |b, g| {
+            b.iter(|| bellman_ford::run(g, 0, 64, 10_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cds_mis,
+    bench_dynamic_mis,
+    bench_safety_levels,
+    bench_bellman_ford
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for layering: NSF, link reversal, max-flow (E6–E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csn_core::graph::{generators, WeightedDigraph};
+use csn_core::layering::link_reversal::{adversarial_chain, BinaryLabelReversal, LabelInit};
+use csn_core::layering::maxflow::{dinic, mpm, push_relabel};
+use csn_core::layering::nsf::{nsf_levels, nsf_report};
+use rand::{Rng, SeedableRng};
+
+fn bench_nsf(c: &mut Criterion) {
+    let g = generators::gnutella_like(4000, 3, 0.05, 17).unwrap();
+    let mut group = c.benchmark_group("nsf");
+    group.sample_size(10);
+    group.bench_function("levels_4000", |b| b.iter(|| nsf_levels(&g)));
+    group.bench_function("report_4000", |b| b.iter(|| nsf_report(&g, 300, 50)));
+    group.finish();
+}
+
+fn bench_link_reversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_reversal");
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("full_chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let (g, h, dest) = adversarial_chain(n);
+                let mut m = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Full);
+                m.run(10_000_000)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("partial_chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let (g, h, dest) = adversarial_chain(n);
+                let mut m = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Partial);
+                m.run(10_000_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_maxflow(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let n = 150;
+    let mut g = WeightedDigraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen::<f64>() < 0.08 {
+                g.add_arc(u, v, rng.gen_range(1..50) as f64);
+            }
+        }
+    }
+    let mut group = c.benchmark_group("maxflow_150");
+    group.sample_size(10);
+    group.bench_function("dinic", |b| b.iter(|| dinic(&g, 0, n - 1)));
+    group.bench_function("mpm", |b| b.iter(|| mpm(&g, 0, n - 1)));
+    group.bench_function("push_relabel", |b| b.iter(|| push_relabel(&g, 0, n - 1)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_nsf, bench_link_reversal, bench_maxflow);
+criterion_main!(benches);

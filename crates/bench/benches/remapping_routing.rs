@@ -1,0 +1,63 @@
+//! Criterion benches for remapped routing (E10, E11, E15).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csn_core::mobility::social::{Population, SocialContactModel};
+use csn_core::remapping::fspace::{evaluate_strategy, MSpaceStrategy};
+use csn_core::remapping::geo::{fig5_holes, greedy_route, perforated_disk};
+use csn_core::remapping::hyperbolic::TreeCoordinates;
+use csn_core::remapping::smallworld::mean_greedy_hops;
+
+fn bench_geo_routing(c: &mut Criterion) {
+    let pd = perforated_disk(700, 0.07, &fig5_holes(), 5);
+    let tc = TreeCoordinates::new(&pd.graph, 0);
+    let n = pd.graph.node_count();
+    let mut group = c.benchmark_group("geo_routing");
+    group.bench_function("euclidean_greedy", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 37) % n;
+            greedy_route(&pd.graph, &pd.positions, i, (i * 7 + 11) % n)
+        })
+    });
+    group.bench_function("tree_remapped_greedy", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 37) % n;
+            tc.greedy_route(&pd.graph, i, (i * 7 + 11) % n)
+        })
+    });
+    group.bench_function("build_tree_coordinates", |b| {
+        b.iter(|| TreeCoordinates::new(&pd.graph, 0))
+    });
+    group.finish();
+}
+
+fn bench_smallworld(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smallworld");
+    group.sample_size(10);
+    group.bench_function("greedy_sweep_side50", |b| {
+        b.iter(|| mean_greedy_hops(50, 1, 2.0, 100, 7))
+    });
+    group.finish();
+}
+
+fn bench_fspace(c: &mut Criterion) {
+    let pop = Population::random(40, &Population::fig6_radix(), 11);
+    let model = SocialContactModel { base_rate: 1.0 / 50.0, beta: 1.0, mean_duration: 10.0 };
+    let trace = model.simulate(&pop, 5_000.0, 3);
+    let mut group = c.benchmark_group("fspace");
+    group.sample_size(10);
+    for (name, s) in [
+        ("direct", MSpaceStrategy::DirectWait),
+        ("epidemic", MSpaceStrategy::Epidemic),
+        ("feature_greedy", MSpaceStrategy::FeatureGreedy),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| evaluate_strategy(&trace, &pop, s, 20, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_geo_routing, bench_smallworld, bench_fspace);
+criterion_main!(benches);

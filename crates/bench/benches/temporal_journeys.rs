@@ -1,0 +1,56 @@
+//! Criterion benches for time-evolving-graph algorithms (E2, E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csn_core::temporal::journey;
+use csn_core::temporal::markovian::EdgeMarkovian;
+use csn_core::temporal::TimeEvolvingGraph;
+use rand::{Rng, SeedableRng};
+
+fn random_eg(n: usize, horizon: u32, density: f64, seed: u64) -> TimeEvolvingGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut eg = TimeEvolvingGraph::new(n, horizon);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < density {
+                eg.add_periodic(u, v, rng.gen_range(0..horizon), rng.gen_range(2..8));
+            }
+        }
+    }
+    eg
+}
+
+fn bench_journeys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journeys");
+    for &n in &[100usize, 400] {
+        let eg = random_eg(n, 64, 8.0 / n as f64, 5);
+        group.bench_with_input(BenchmarkId::new("earliest_arrival", n), &eg, |b, eg| {
+            b.iter(|| journey::earliest_arrival(eg, 0, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("min_hop", n), &eg, |b, eg| {
+            b.iter(|| journey::min_hop_journey(eg, 0, n - 1, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("fastest", n), &eg, |b, eg| {
+            b.iter(|| journey::fastest_journey(eg, 0, n - 1, 0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_markovian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markovian");
+    group.sample_size(10);
+    for &n in &[128usize, 512] {
+        let m = EdgeMarkovian::new(n, 0.5, 1.5 / n as f64);
+        group.bench_with_input(BenchmarkId::new("generate_h200", n), &m, |b, m| {
+            b.iter(|| m.generate(200, 3))
+        });
+        let eg = m.generate(200, 3);
+        group.bench_with_input(BenchmarkId::new("flooding_time", n), &eg, |b, eg| {
+            b.iter(|| journey::flooding_time(eg, 0, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_journeys, bench_markovian);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for structural trimming and forwarding sets (E4, E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csn_core::graph::generators;
+use csn_core::trimming::forwarding::{solve_forwarding_policy, LinearUtility, Relay};
+use csn_core::trimming::static_rule::trim_arcs;
+use csn_core::trimming::topology::{gabriel_graph, lmst, relative_neighborhood_graph};
+use csn_core::trimming::TrimOptions;
+use csn_core::temporal::TimeEvolvingGraph;
+use rand::{Rng, SeedableRng};
+
+fn bench_trim_arcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trim_arcs");
+    group.sample_size(10);
+    for &n in &[10usize, 14] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut eg = TimeEvolvingGraph::new(n, 16);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < 0.5 {
+                    eg.add_periodic(u, v, rng.gen_range(0..16), rng.gen_range(2..6));
+                }
+            }
+        }
+        let priority: Vec<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::new("dense_eg", n), &eg, |b, eg| {
+            b.iter(|| trim_arcs(eg, &priority, TrimOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topology_control(c: &mut Criterion) {
+    let gg = generators::random_geometric(500, 0.1, 3);
+    let mut group = c.benchmark_group("topology_control");
+    group.sample_size(10);
+    group.bench_function("gabriel_500", |b| b.iter(|| gabriel_graph(&gg.graph, &gg.positions)));
+    group.bench_function("rng_500", |b| {
+        b.iter(|| relative_neighborhood_graph(&gg.graph, &gg.positions))
+    });
+    group.bench_function("lmst_500", |b| b.iter(|| lmst(&gg.graph, &gg.positions, true)));
+    group.finish();
+}
+
+fn bench_forwarding_policy(c: &mut Criterion) {
+    let utility = LinearUtility { u0: 100.0, c: 1.0 };
+    let relays: Vec<Relay> = (0..20)
+        .map(|i| Relay { rate_from_source: 0.05, rate_to_dest: 0.01 * (i + 1) as f64 })
+        .collect();
+    c.bench_function("forwarding_policy_20relays", |b| {
+        b.iter(|| solve_forwarding_policy(0.02, &relays, utility, 10.0, 0.1))
+    });
+}
+
+criterion_group!(benches, bench_trim_arcs, bench_topology_control, bench_forwarding_policy);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates every experiment in DESIGN.md §2 (the paper's figures and
+//! checkable claims).
+//!
+//! Usage:
+//!   cargo run -p csn-bench --release --bin experiments           # all
+//!   cargo run -p csn-bench --release --bin experiments -- --exp e8
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filter = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_default();
+    csn_bench::experiments::run(&filter);
+}

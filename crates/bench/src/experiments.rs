@@ -1,0 +1,923 @@
+//! The per-figure / per-claim experiments (DESIGN.md §2).
+//!
+//! Every function prints the series or table the paper's corresponding
+//! figure/claim describes; EXPERIMENTS.md records one captured run side by
+//! side with the paper's qualitative statement.
+
+use csn_core::graph::generators;
+use csn_core::prelude::*;
+
+/// Runs the experiments whose id contains `filter` (empty = all).
+pub fn run(filter: &str) {
+    let all: &[(&str, fn())] = &[
+        ("e1", e1_interval_graphs),
+        ("e2", e2_fig2_temporal_paths),
+        ("e3", e3_edge_markovian_diameter),
+        ("e4", e4_trimming_rule),
+        ("e5", e5_forwarding_sets),
+        ("e6", e6_nsf_gnutella),
+        ("e7", e7_level_labelings),
+        ("e8", e8_link_reversal),
+        ("e9", e9_maxflow),
+        ("e10", e10_greedy_remapping),
+        ("e11", e11_fspace_routing),
+        ("e12", e12_static_labels),
+        ("e13", e13_safety_levels),
+        ("e14", e14_dynamic_mis),
+        ("e15", e15_small_world),
+        ("e16", e16_centrality),
+        ("e17", e17_rwp_distributions),
+        ("e18", e18_bellman_ford),
+        ("e19", e19_safety_vectors),
+        ("e20", e20_view_inconsistency),
+        ("e21", e21_probabilistic_trimming),
+        ("e22", e22_spanners),
+        ("e23", e23_hybrid_control),
+        ("e24", e24_dtn_strategy_ladder),
+        ("e25", e25_temporal_smallworld),
+    ];
+    for (id, f) in all {
+        if filter.is_empty() || *id == filter {
+            println!("\n══════════════════ {} ══════════════════", id.to_uppercase());
+            let t0 = std::time::Instant::now();
+            f();
+            println!("  [{} took {:.1}s]", id, t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// E1 (Fig. 1): interval graphs and interval hypergraphs of online sessions.
+pub fn e1_interval_graphs() {
+    use csn_core::intersection::chordal::{is_chordal, is_interval_graph};
+    use csn_core::intersection::hypergraph::IntervalHypergraph;
+    use csn_core::intersection::interval::{fig1_example, interval_graph, max_overlap, Interval};
+    use rand::{Rng, SeedableRng};
+
+    println!("Fig. 1 online social network (4 users):");
+    let sessions = fig1_example();
+    let g = interval_graph(&sessions);
+    println!("  edges: {:?}", g.edges().collect::<Vec<_>>());
+    println!("  chordal: {}  interval: {}", is_chordal(&g), is_interval_graph(&g));
+    let hg = IntervalHypergraph::from_intervals(&sessions);
+    println!("  hyperedges (maximal co-online groups): {:?}", hg.hyperedges());
+
+    println!("hyperedge-cardinality distribution of random session logs:");
+    println!("  {:>6} {:>8} {:>28}", "users", "edges", "cardinality histogram 2..6+");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for &n in &[50usize, 200, 1000] {
+        let sessions: Vec<Interval> = (0..n)
+            .map(|_| {
+                let s = rng.gen::<f64>() * 100.0;
+                Interval::new(s, s + rng.gen::<f64>() * 8.0)
+            })
+            .collect();
+        let hg = IntervalHypergraph::from_intervals(&sessions);
+        let hist = hg.cardinality_distribution();
+        let mut row = [0usize; 5];
+        for (k, &c) in hist.iter().enumerate().skip(2) {
+            row[(k - 2).min(4)] += c;
+        }
+        println!(
+            "  {n:>6} {:>8} {:>28?}  (max overlap {})",
+            hg.hyperedges().len(),
+            row,
+            max_overlap(&sessions)
+        );
+    }
+}
+
+/// E2 (Fig. 2): the VANET time-evolving graph and temporal path problems.
+pub fn e2_fig2_temporal_paths() {
+    use csn_core::temporal::journey::*;
+    use csn_core::temporal::paper::*;
+
+    let eg = fig2_example();
+    println!("Fig. 2(c) label sets:");
+    for (x, y, name) in [(A, B, "A-B"), (B, C, "B-C"), (A, D, "A-D"), (B, D, "B-D"), (C, D, "C-D")] {
+        println!("  {name}: {:?}", eg.labels(x, y).unwrap());
+    }
+    println!("A connected to C at starting times: {:?}",
+        (0..eg.horizon()).filter(|&t| is_connected_at(&eg, A, C, t)).collect::<Vec<_>>());
+    println!("instantaneous A-C path at any time unit: {}",
+        (0..eg.horizon()).any(|t| {
+            csn_core::graph::traversal::bfs_distances(&eg.snapshot(t), A)[C] != usize::MAX
+        }));
+    println!("{:>8} {:>22} {:>12} {:>16}", "start", "earliest-completion", "min-hop", "fastest (span)");
+    for start in 0..6 {
+        let fm = foremost_journey(&eg, A, C, start).map(|j| j.last_label());
+        let mh = min_hop_journey(&eg, A, C, start).map(|j| j.hop_count());
+        let fs = fastest_journey(&eg, A, C, start).map(|j| j.span());
+        println!("  {start:>6} {fm:>22?} {mh:>12?} {fs:>16?}");
+    }
+}
+
+/// E3: edge-Markovian dynamic graphs — flooding time (dynamic diameter).
+pub fn e3_edge_markovian_diameter() {
+    use csn_core::temporal::markovian::{mean_flooding_time, EdgeMarkovian};
+
+    println!("flooding time vs n (p=0.5, q chosen for expected degree ~ 3):");
+    println!("  {:>6} {:>10} {:>14}", "n", "density", "flooding time");
+    for &n in &[64usize, 128, 256, 512] {
+        let q = 0.5 * 3.0 / (n as f64 - 3.0);
+        let m = EdgeMarkovian::new(n, 0.5, q);
+        let ft = mean_flooding_time(&m, 200, 5, 42).unwrap_or(f64::NAN);
+        println!("  {n:>6} {:>10.4} {ft:>14.1}", m.stationary_density());
+    }
+    println!("flooding time vs birth rate q (n=128, p=0.5):");
+    println!("  {:>8} {:>10} {:>14}", "q", "density", "flooding time");
+    for &q in &[0.002f64, 0.005, 0.02, 0.1] {
+        let m = EdgeMarkovian::new(128, 0.5, q);
+        let ft = mean_flooding_time(&m, 400, 5, 43).unwrap_or(f64::NAN);
+        println!("  {q:>8.3} {:>10.4} {ft:>14.1}", m.stationary_density());
+    }
+}
+
+/// E4 (Fig. 2c): the static trimming rule — trimmed fraction vs density.
+pub fn e4_trimming_rule() {
+    use csn_core::temporal::journey::earliest_arrival;
+    use csn_core::trimming::static_rule::{earliest_arrival_trimmed, trim_arcs};
+    use rand::{Rng, SeedableRng};
+
+    // The paper's worked example first.
+    let eg = csn_core::temporal::paper::fig2_example();
+    let report = trim_arcs(&eg, &[40, 30, 20, 10], csn_core::trimming::TrimOptions::default());
+    println!("Fig. 2(c): removed transit arcs {:?} (A ignores D, as the paper says)",
+        report.removed_arcs);
+
+    println!("random periodic EGs (n=12, horizon 16): trimmed arcs vs density");
+    println!("  {:>8} {:>8} {:>10} {:>14} {:>10}", "density", "arcs", "removed", "fraction", "ECT ok");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    for &density in &[0.2f64, 0.4, 0.6, 0.8] {
+        let n = 12;
+        let horizon = 16;
+        let mut eg = TimeEvolvingGraph::new(n, horizon);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < density {
+                    eg.add_periodic(u, v, rng.gen_range(0..horizon), rng.gen_range(2..6));
+                }
+            }
+        }
+        let priority: Vec<u64> = (0..n as u64).map(|i| (i * 31) % 101).collect();
+        let report = trim_arcs(&eg, &priority, csn_core::trimming::TrimOptions::default());
+        let removed: std::collections::HashSet<_> = report.removed_arcs.iter().copied().collect();
+        let arcs = eg.edge_count() * 2;
+        // Verify preservation.
+        let mut ok = true;
+        for s in 0..n {
+            for start in [0, 8] {
+                let plain = earliest_arrival(&eg, s, start);
+                for d in 0..n {
+                    if s != d && plain[d] != earliest_arrival_trimmed(&eg, &removed, s, d, start) {
+                        ok = false;
+                    }
+                }
+            }
+        }
+        println!(
+            "  {density:>8.1} {arcs:>8} {:>10} {:>14.2} {ok:>10}",
+            report.removed_arcs.len(),
+            report.removed_arcs.len() as f64 / arcs.max(1) as f64
+        );
+    }
+}
+
+/// E5: forwarding sets — optimal time-varying set shrinks; strategy utilities.
+pub fn e5_forwarding_sets() {
+    use csn_core::trimming::forwarding::*;
+
+    let utility = LinearUtility { u0: 100.0, c: 1.0 };
+    let relays = vec![
+        Relay { rate_from_source: 0.05, rate_to_dest: 0.5 },
+        Relay { rate_from_source: 0.05, rate_to_dest: 0.1 },
+        Relay { rate_from_source: 0.05, rate_to_dest: 0.03 },
+        Relay { rate_from_source: 0.05, rate_to_dest: 0.01 },
+    ];
+    let cost = 10.0;
+    let policy = solve_forwarding_policy(0.02, &relays, utility, cost, 0.1);
+    println!("optimal time-varying forwarding set (monotone: {}):",
+        policy.sets_shrink_monotonically());
+    for t in [0.0, 20.0, 40.0, 60.0, 80.0, 95.0] {
+        println!("  t={t:>5.0}: set {:?}  V_s={:.1}", policy.set_at(t),
+            policy.value[((t / policy.dt) as usize).min(policy.value.len() - 1)]);
+    }
+    println!("mean net utility by strategy (4000 trials):");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    for (name, s) in [
+        ("direct-only", Strategy::DirectOnly),
+        ("first-contact", Strategy::FirstContact),
+        ("optimal-set", Strategy::OptimalSet),
+    ] {
+        let u = mean(&simulate_strategy(s, 0.02, &relays, utility, cost, 4000, 7));
+        println!("  {name:>14}: {u:>7.2}");
+    }
+    println!("copy-varying spray sets: {:?}", copy_varying_sets(&relays, 4));
+}
+
+/// E6 (Fig. 3): NSF in a Gnutella-like overlay.
+pub fn e6_nsf_gnutella() {
+    use csn_core::layering::nsf::{nsf_report, top_fraction_mask};
+
+    let g = generators::gnutella_like(8000, 3, 0.05, 17).expect("params");
+    let report = nsf_report(&g, 400, 60);
+    println!("Gnutella-like overlay, n = {}:", g.node_count());
+    println!("  {:>6} {:>8} {:>8} {:>8}", "peel", "alpha", "tail", "KS");
+    for (i, f) in report.fits.iter().enumerate() {
+        println!("  {i:>6} {:>8.2} {:>8} {:>8.3}", f.alpha, f.tail_len, f.ks);
+    }
+    println!("  exponent std-dev {:.3} (NSF condition (2): o(1))", report.exponent_std_dev);
+    let mask = top_fraction_mask(&g, 0.5);
+    let (half, _) = g.induced_subgraph(&mask);
+    let rep_half = nsf_report(&half, 400, 60);
+    if let Some(f) = rep_half.fits.first() {
+        println!("  Fig. 3(b) top-50% subgraph: n = {}, alpha = {:.2}", half.node_count(), f.alpha);
+    }
+    // Control: Erdős–Rényi fails the SF fit.
+    let er = generators::erdos_renyi(8000, 3.0 / 4000.0, 13).expect("params");
+    let er_rep = nsf_report(&er, 400, 60);
+    let worst = er_rep.fits.first().map(|f| f.ks).unwrap_or(f64::NAN);
+    println!("  control (ER, same density): KS = {worst:.3} (vs SF {:.3})",
+        report.fits.first().map(|f| f.ks).unwrap_or(f64::NAN));
+}
+
+/// E7 (Fig. 7): degree vs nested-degree level labelings.
+pub fn e7_level_labelings() {
+    use csn_core::layering::nsf::{degree_levels, nsf_levels, top_level_count};
+
+    println!("{:>10} {:>16} {:>16} {:>14} {:>14}",
+        "graph", "plain top-count", "nested top-count", "plain levels", "nested levels");
+    for (name, g) in [
+        ("BA(2000,3)", generators::barabasi_albert(2000, 3, 5).unwrap()),
+        ("WS(2000)", generators::watts_strogatz(2000, 3, 0.1, 5).unwrap()),
+        ("grid 45x45", generators::grid(45, 45)),
+    ] {
+        let plain = degree_levels(&g);
+        let nested = nsf_levels(&g);
+        println!(
+            "{name:>10} {:>16} {:>16} {:>14} {:>14}",
+            top_level_count(&plain),
+            top_level_count(&nested),
+            plain.iter().max().unwrap(),
+            nested.iter().max().unwrap()
+        );
+    }
+}
+
+/// E8 (Fig. 4): link reversal — reversals vs n, full vs partial vs labels.
+pub fn e8_link_reversal() {
+    use csn_core::layering::link_reversal::*;
+
+    println!("adversarial chain: total link reversals (the O(n²) of §IV-B)");
+    println!("  {:>6} {:>12} {:>12} {:>10}", "n", "full", "partial", "full/n²");
+    for &n in &[8usize, 16, 32, 64, 128] {
+        let (g, h, dest) = adversarial_chain(n);
+        let mut full = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Full);
+        let mut part = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Partial);
+        let sf = full.run(10_000_000);
+        let sp = part.run(10_000_000);
+        println!(
+            "  {n:>6} {:>12} {:>12} {:>10.3}",
+            sf.link_reversals,
+            sp.link_reversals,
+            sf.link_reversals as f64 / (n * n) as f64
+        );
+    }
+    println!("random connected graphs, one failed link (20 trials, n=40):");
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut totals = (0usize, 0usize);
+    let mut trials = 0;
+    for t in 0..20 {
+        let g0 = generators::erdos_renyi(40, 0.12, 800 + t).unwrap();
+        let mask = csn_core::graph::traversal::largest_component_mask(&g0);
+        let (g, _) = g0.induced_subgraph(&mask);
+        if g.node_count() < 10 {
+            continue;
+        }
+        let heights: Vec<i64> = (0..g.node_count() as i64).collect();
+        // Fail a link incident to the destination: the disruptive case.
+        let edges: Vec<_> = g.edges().filter(|&(a, b)| a == 0 || b == 0).collect();
+        if edges.is_empty() {
+            continue;
+        }
+        let (u, v) = edges[rng.gen_range(0..edges.len())];
+        for (init, slot) in [(LabelInit::Full, 0), (LabelInit::Partial, 1)] {
+            let mut m = BinaryLabelReversal::from_heights(&g, &heights, 0, init);
+            m.run(10_000_000);
+            m.remove_link(u, v);
+            let stats = m.run(10_000_000);
+            if slot == 0 {
+                totals.0 += stats.link_reversals;
+            } else {
+                totals.1 += stats.link_reversals;
+            }
+        }
+        trials += 1;
+    }
+    println!("  mean reversals after failure: full {:.1}, partial {:.1}",
+        totals.0 as f64 / trials as f64, totals.1 as f64 / trials as f64);
+}
+
+/// E9: height-based max-flow — agreement and throughput of MPM / Dinic /
+/// push–relabel.
+pub fn e9_maxflow() {
+    use csn_core::layering::maxflow::{dinic, mpm, push_relabel};
+    use rand::{Rng, SeedableRng};
+    use std::time::Instant;
+
+    println!("{:>6} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "n", "arcs", "dinic (ms)", "mpm (ms)", "push-rel", "agree");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for &n in &[50usize, 100, 200] {
+        let mut g = WeightedDigraph::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.gen::<f64>() < 0.1 {
+                    g.add_arc(u, v, rng.gen_range(1..50) as f64);
+                }
+            }
+        }
+        let t0 = Instant::now();
+        let d = dinic(&g, 0, n - 1);
+        let td = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let m = mpm(&g, 0, n - 1);
+        let tm = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let p = push_relabel(&g, 0, n - 1);
+        let tp = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "  {n:>4} {:>10} {td:>12.2} {tm:>12.2} {tp:>12.2} {:>8}",
+            g.arc_count(),
+            (d - m).abs() < 1e-6 && (d - p).abs() < 1e-6
+        );
+    }
+}
+
+/// E10 (Fig. 5): greedy routing at holes — Euclidean vs remapped coordinates.
+pub fn e10_greedy_remapping() {
+    use csn_core::remapping::geo::*;
+    use csn_core::remapping::hyperbolic::{delivery_ratio, HyperbolicEmbedding, TreeCoordinates};
+
+    println!("{:>6} {:>12} {:>12} {:>14} {:>12}",
+        "seed", "nodes", "euclidean", "hyperbolic", "tree-remap");
+    for seed in [5u64, 6, 7] {
+        let pd = perforated_disk(700, 0.07, &fig5_holes(), seed);
+        let euclid = greedy_delivery_stats(&pd.graph, &pd.positions, 400, 9);
+        let emb = HyperbolicEmbedding::new(&pd.graph, 0, 1.0);
+        let hyper = delivery_ratio(
+            &pd.graph,
+            |s, t| emb.greedy_route(&pd.graph, s, t).is_some(),
+            400,
+            9,
+        );
+        let tc = TreeCoordinates::new(&pd.graph, 0);
+        let tree = delivery_ratio(
+            &pd.graph,
+            |s, t| *tc.greedy_route(&pd.graph, s, t).last().expect("nonempty") == t,
+            400,
+            9,
+        );
+        println!(
+            "  {seed:>4} {:>12} {:>12.3} {:>14.3} {:>12.3}",
+            pd.graph.node_count(),
+            euclid.delivery_ratio,
+            hyper,
+            tree
+        );
+    }
+}
+
+/// E11 (Fig. 6): F-space vs M-space routing on a social contact trace.
+pub fn e11_fspace_routing() {
+    use csn_core::mobility::social::{Population, SocialContactModel};
+    use csn_core::remapping::fspace::*;
+
+    println!("{:>8} {:>15} {:>10} {:>12} {:>8}", "beta", "strategy", "delivery", "latency", "copies");
+    for &beta in &[0.4f64, 1.0, 1.6] {
+        let pop = Population::random(40, &Population::fig6_radix(), 11);
+        let model = SocialContactModel { base_rate: 1.0 / 50.0, beta, mean_duration: 10.0 };
+        let trace = model.simulate(&pop, 10_000.0, 3);
+        for (name, s) in [
+            ("direct-wait", MSpaceStrategy::DirectWait),
+            ("epidemic", MSpaceStrategy::Epidemic),
+            ("feature-greedy", MSpaceStrategy::FeatureGreedy),
+        ] {
+            let st = evaluate_strategy(&trace, &pop, s, 60, 5);
+            println!(
+                "  {beta:>6.1} {name:>15} {:>9.1}% {:>12.0} {:>8.1}",
+                st.delivery_ratio * 100.0,
+                st.mean_latency,
+                st.mean_copies
+            );
+        }
+    }
+    let a = vec![0usize, 0, 0];
+    let b = vec![1usize, 1, 2];
+    println!("node-disjoint F-space paths {a:?} -> {b:?}: {} (= feature distance)",
+        node_disjoint_paths(&a, &b).len());
+}
+
+/// E12 (Fig. 8): static labels — DS / CDS / MIS.
+pub fn e12_static_labels() {
+    use csn_core::labeling::cds::*;
+    use csn_core::labeling::mis::*;
+    use csn_core::labeling::{paper_fig8, paper_fig8_priorities};
+
+    let g = paper_fig8();
+    let p = paper_fig8_priorities();
+    let names = ["A", "B", "C", "D", "E", "F"];
+    let show = |mask: &[bool]| {
+        mask.iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then(|| names[i]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    println!("Fig. 8 example:");
+    println!("  marking (black):        {}", show(&marking(&g)));
+    println!("  pruned CDS:             {}", show(&marked_and_pruned_cds(&g, &p)));
+    let mis = mis_distributed(&g, &p);
+    println!("  MIS ({} rounds):         {}", mis.rounds, show(&mis.mis));
+    println!("  neighbor-designated DS: {}", show(&neighbor_designated_ds(&g, &p)));
+
+    println!("random UDGs (largest component): sizes and MIS rounds");
+    println!("  {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}", "n", "marked", "pruned", "MIS", "rounds", "|MIS|<=5|CDS|");
+    for seed in 0..4 {
+        let gg = generators::random_geometric(250, 0.15, seed);
+        let mask = csn_core::graph::traversal::largest_component_mask(&gg.graph);
+        let (g, _) = gg.graph.induced_subgraph(&mask);
+        let priority: Vec<u64> = (0..g.node_count() as u64).collect();
+        let black = marking(&g);
+        let pruned = prune(&g, &black, &priority);
+        let mis = mis_distributed(&g, &priority);
+        let nb = black.iter().filter(|&&b| b).count();
+        let np = pruned.iter().filter(|&&b| b).count();
+        let nm = mis.mis.iter().filter(|&&b| b).count();
+        println!(
+            "  {:>6} {nb:>8} {np:>8} {nm:>8} {:>8} {:>8}",
+            g.node_count(),
+            mis.rounds,
+            nm <= 5 * np.max(1)
+        );
+    }
+}
+
+/// E13 (Fig. 9): hypercube safety levels.
+pub fn e13_safety_levels() {
+    use csn_core::labeling::safety::SafetyLevels;
+    use rand::{Rng, SeedableRng};
+
+    let mut faulty = vec![false; 16];
+    for f in [0b1000usize, 0b1011, 0b0011] {
+        faulty[f] = true;
+    }
+    let sl = SafetyLevels::compute(4, &faulty);
+    println!("Fig. 9 4-cube: levels (f = faulty):");
+    for u in 0..16usize {
+        let l = if sl.is_faulty(u) { String::from("f") } else { sl.level(u).to_string() };
+        print!("  {u:04b}:{l:<3}");
+        if u % 8 == 7 {
+            println!();
+        }
+    }
+    let path = sl.route(0b1101, 0b0001).expect("route");
+    println!("  1101 -> 0001 via {:04b} (levels: 0101 = {}, 1001 = {})",
+        path[1], sl.level(0b0101), sl.level(0b1001));
+
+    println!("promised-route optimality & convergence rounds (6-cube):");
+    println!("  {:>8} {:>10} {:>12} {:>12}", "faults", "safe nodes", "rounds", "optimal %");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let dims = 6u32;
+    let n = 1usize << dims;
+    for &faults in &[1usize, 4, 8, 16] {
+        let mut safe = 0usize;
+        let mut rounds = 0usize;
+        let mut optimal = 0usize;
+        let mut total = 0usize;
+        for _ in 0..10 {
+            let mut fm = vec![false; n];
+            let mut placed = 0;
+            while placed < faults {
+                let f = rng.gen_range(0..n);
+                if !fm[f] {
+                    fm[f] = true;
+                    placed += 1;
+                }
+            }
+            let sl = SafetyLevels::compute(dims, &fm);
+            safe += (0..n).filter(|&u| sl.is_safe(u)).count();
+            rounds = rounds.max(sl.rounds_used());
+            for _ in 0..200 {
+                let s = rng.gen_range(0..n);
+                let t = rng.gen_range(0..n);
+                if s == t || fm[s] || fm[t] {
+                    continue;
+                }
+                let h = (s ^ t).count_ones();
+                if h > sl.level(s) {
+                    continue;
+                }
+                total += 1;
+                if sl.route(s, t).map(|p| p.len() as u32 - 1) == Some(h) {
+                    optimal += 1;
+                }
+            }
+        }
+        println!(
+            "  {faults:>8} {:>10.1} {rounds:>12} {:>11.1}%",
+            safe as f64 / 10.0,
+            100.0 * optimal as f64 / total.max(1) as f64
+        );
+    }
+}
+
+/// E14: dynamic MIS — adjustments per update stay O(1).
+pub fn e14_dynamic_mis() {
+    use csn_core::labeling::dynamic_mis::DynamicMis;
+    use rand::{Rng, SeedableRng};
+
+    println!("{:>8} {:>16} {:>14}", "n", "adjust/update", "touched/update");
+    for &n in &[100usize, 400, 1600, 6400] {
+        let g = generators::erdos_renyi(n, 8.0 / n as f64, n as u64).unwrap();
+        let mut dm = DynamicMis::new(g, 77);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let updates = 300;
+        let mut adj = 0usize;
+        let mut touched = 0usize;
+        for i in 0..updates {
+            if i % 3 == 2 {
+                let u = rng.gen_range(0..dm.graph().node_count());
+                let s = dm.delete_node(u);
+                adj += s.adjustments;
+                touched += s.touched;
+            } else {
+                let sz = dm.graph().node_count();
+                let mut nbrs = Vec::new();
+                while nbrs.len() < 4.min(sz) {
+                    let v = rng.gen_range(0..sz);
+                    if !nbrs.contains(&v) {
+                        nbrs.push(v);
+                    }
+                }
+                let (_, s) = dm.insert_node(&nbrs);
+                adj += s.adjustments;
+                touched += s.touched;
+            }
+        }
+        println!(
+            "  {n:>8} {:>16.2} {:>14.2}",
+            adj as f64 / updates as f64,
+            touched as f64 / updates as f64
+        );
+    }
+}
+
+/// E15: Kleinberg small-world — greedy hops vs exponent and size.
+pub fn e15_small_world() {
+    use csn_core::remapping::smallworld::exponent_sweep;
+
+    let alphas = [0.0, 1.0, 2.0, 3.0];
+    println!("mean greedy hops (q=1 long-range contact per node):");
+    println!("  {:>8} {:>8} {:>8} {:>8} {:>8}", "side", "α=0", "α=1", "α=2", "α=3");
+    for &side in &[25usize, 50, 100] {
+        let hops = exponent_sweep(side, 1, &alphas, 300, 7);
+        println!(
+            "  {side:>8} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+            hops[0], hops[1], hops[2], hops[3]
+        );
+    }
+}
+
+/// E16: centrality measures on reference graphs.
+pub fn e16_centrality() {
+    use csn_core::graph::centrality::*;
+
+    let g = generators::barabasi_albert(1000, 3, 3).unwrap();
+    let deg = degree_centrality(&g);
+    let bc = betweenness_centrality(&g);
+    let ec = eigenvector_centrality(&g, 2000, 1e-10).expect("converges");
+    let (pr, iters) = pagerank(&g.to_digraph(), 0.85, 200, 1e-10);
+    // Rank correlation proxy: top-10 overlap between measures.
+    let top = |v: &[f64]| {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).expect("finite"));
+        idx.into_iter().take(10).collect::<std::collections::HashSet<_>>()
+    };
+    let td = top(&deg);
+    println!("BA(1000, 3): top-10 overlap with degree centrality:");
+    println!("  betweenness: {}/10", top(&bc).intersection(&td).count());
+    println!("  eigenvector: {}/10", top(&ec).intersection(&td).count());
+    println!("  pagerank:    {}/10 ({} iterations)", top(&pr).intersection(&td).count(), iters);
+}
+
+/// E17: RWP inter-contact distributions vs exponential.
+pub fn e17_rwp_distributions() {
+    use csn_core::mobility::rwp::RandomWaypoint;
+    use csn_core::mobility::stats::*;
+
+    let mut model = RandomWaypoint::default_config(40);
+    model.range = 0.12;
+    println!("{:>22} {:>8} {:>10} {:>8} {:>8}", "model", "gaps", "mean (s)", "KS", "CV");
+    let bounded = model.simulate(10_000.0, 11);
+    let g1 = bounded.inter_contact_times();
+    let f1 = fit_exponential(&g1).expect("positive");
+    println!(
+        "  {:>20} {:>8} {:>10.1} {:>8.3} {:>8.2}",
+        "bounded RWP", g1.len(), mean(&g1), f1.ks, coefficient_of_variation(&g1)
+    );
+    let unbounded = model.simulate_unbounded(10_000.0, 0.1, 0.5, 11);
+    let g2 = unbounded.inter_contact_times();
+    let f2 = fit_exponential(&g2).expect("positive");
+    println!(
+        "  {:>20} {:>8} {:>10.1} {:>8.3} {:>8.2}",
+        "boundaryless RWP", g2.len(), mean(&g2), f2.ks, coefficient_of_variation(&g2)
+    );
+    // Control: a homogeneous Poisson contact process IS exponential (a
+    // uniform-profile population, so every pair shares one contact rate —
+    // pooling heterogeneous rates would yield a non-exponential mixture).
+    use csn_core::mobility::social::{FeatureProfile, Population, SocialContactModel};
+    let same = FeatureProfile { values: vec![0, 0, 0] };
+    let pop = Population::from_profiles(&[2, 2, 3], vec![same; 40]);
+    let sm = SocialContactModel::default_config();
+    let trace = sm.simulate(&pop, 60_000.0, 5);
+    let g3 = trace.inter_contact_times();
+    let f3 = fit_exponential(&g3).expect("positive");
+    println!(
+        "  {:>20} {:>8} {:>10.1} {:>8.3} {:>8.2}",
+        "Poisson control", g3.len(), mean(&g3), f3.ks, coefficient_of_variation(&g3)
+    );
+}
+
+/// E18: distributed Bellman–Ford — convergence and count-to-infinity.
+pub fn e18_bellman_ford() {
+    use csn_core::labeling::bellman_ford::{run, run_with_failure};
+
+    println!("cold-start convergence (ER graphs, horizon 64):");
+    println!("  {:>6} {:>8} {:>10}", "n", "rounds", "messages");
+    for &n in &[50usize, 100, 200] {
+        let g0 = generators::erdos_renyi(n, 2.5 / n as f64 * 2.0, n as u64).unwrap();
+        let mask = csn_core::graph::traversal::largest_component_mask(&g0);
+        let (g, _) = g0.induced_subgraph(&mask);
+        let out = run(&g, 0, 64, 10_000);
+        println!("  {:>6} {:>8} {:>10}", g.node_count(), out.rounds, out.messages);
+    }
+    println!("link-failure re-convergence:");
+    let path = generators::path(3);
+    let (_, after) = run_with_failure(&path, 0, 32, (0, 1), 10_000);
+    println!("  stranded path (count-to-infinity, horizon 32): {} rounds, {} messages",
+        after.rounds, after.messages);
+    let cyc = generators::cycle(12);
+    let (_, after) = run_with_failure(&cyc, 0, 64, (0, 1), 10_000);
+    println!("  cycle with alternate route: {} rounds, {} messages", after.rounds, after.messages);
+}
+
+/// E19 (extension, §IV-C): binary safety vectors vs safety levels.
+pub fn e19_safety_vectors() {
+    use csn_core::labeling::safety::SafetyLevels;
+    use csn_core::labeling::safety_vector::SafetyVectors;
+    use rand::{Rng, SeedableRng};
+
+    println!("extra routes certified by vectors over levels (5-cube, 20 trials/row):");
+    println!("  {:>8} {:>16} {:>18} {:>12}", "faults", "level promises", "vector promises", "gain");
+    let dims = 5u32;
+    let n = 1usize << dims;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    for &faults in &[2usize, 4, 8] {
+        let mut lvl_promises = 0usize;
+        let mut vec_promises = 0usize;
+        for _ in 0..20 {
+            let mut fm = vec![false; n];
+            let mut placed = 0;
+            while placed < faults {
+                let f = rng.gen_range(0..n);
+                if !fm[f] {
+                    fm[f] = true;
+                    placed += 1;
+                }
+            }
+            let sl = SafetyLevels::compute(dims, &fm);
+            let sv = SafetyVectors::compute(dims, &fm);
+            for s in 0..n {
+                if fm[s] {
+                    continue;
+                }
+                for t in 0..n {
+                    if s == t || fm[t] {
+                        continue;
+                    }
+                    let h = (s ^ t).count_ones();
+                    if h <= sl.level(s) {
+                        lvl_promises += 1;
+                    }
+                    if sv.bit(s, h) {
+                        vec_promises += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "  {faults:>8} {lvl_promises:>16} {vec_promises:>18} {:>11.1}%",
+            100.0 * (vec_promises as f64 - lvl_promises as f64) / lvl_promises.max(1) as f64
+        );
+    }
+}
+
+/// E20 (§IV-C): view inconsistency — lossy MIS elections and repair.
+pub fn e20_view_inconsistency() {
+    use csn_core::labeling::inconsistency::inconsistency_sweep;
+
+    let g = generators::erdos_renyi(100, 0.1, 5).expect("params");
+    let priority: Vec<u64> = (0..100).map(|i| (i * 37) % 1009).collect();
+    let sweep = inconsistency_sweep(&g, &priority, &[0.0, 0.1, 0.3, 0.5, 0.7], 25, 7);
+    println!("lossy MIS elections (ER n=100, 25 trials per row):");
+    println!("  {:>10} {:>18} {:>22}", "drop prob", "conflicts/run", "uncovered after repair");
+    for (p, conflicts, uncovered) in sweep {
+        println!("  {p:>10.1} {conflicts:>18.2} {uncovered:>22.2}");
+    }
+}
+
+/// E21 (§III-A open question): probabilistic trimming.
+pub fn e21_probabilistic_trimming() {
+    use csn_core::trimming::probabilistic::{trim_arcs_probabilistic, ProbabilisticEg};
+
+    let eg = csn_core::temporal::paper::fig2_example();
+    println!("Fig. 2(c) under probabilistic contacts (epsilon = tolerated delivery loss):");
+    println!("  {:>8} {:>8} {:>10} {:>10} {:>16}", "p", "eps", "removed", "rejected", "worst drop");
+    for &(p, eps) in &[(1.0f64, 0.0f64), (0.8, 0.01), (0.8, 0.1), (0.5, 0.01), (0.5, 0.2)] {
+        let peg = ProbabilisticEg::new(eg.clone(), p);
+        let r = trim_arcs_probabilistic(&peg, &[40, 30, 20, 10], 0, eps, 150, 11);
+        println!(
+            "  {p:>8.1} {eps:>8.2} {:>10} {:>10} {:>16.3}",
+            r.removed_arcs.len(),
+            r.rejected_arcs.len(),
+            r.worst_accepted_drop
+        );
+    }
+}
+
+/// E22 (§III-A, [8]): greedy spanners — size vs stretch.
+pub fn e22_spanners() {
+    use csn_core::graph::spanner::{greedy_spanner, max_stretch};
+    use csn_core::graph::WeightedGraph;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let n = 150;
+    let mut g = WeightedGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < 0.25 {
+                g.add_edge(u, v, 0.1 + rng.gen::<f64>());
+            }
+        }
+    }
+    println!("greedy t-spanner of a weighted ER graph (n=150, m={}):", g.edge_count());
+    println!("  {:>6} {:>10} {:>14} {:>16}", "t", "edges", "kept %", "observed stretch");
+    for &t in &[1.0f64, 1.5, 2.0, 3.0, 5.0] {
+        let sp = greedy_spanner(&g, t);
+        println!(
+            "  {t:>6.1} {:>10} {:>13.1}% {:>16.3}",
+            sp.edge_count(),
+            100.0 * sp.edge_count() as f64 / g.edge_count() as f64,
+            max_stretch(&g, &sp)
+        );
+    }
+}
+
+/// E23 (§IV-C, [31]): central control over distributed routing.
+pub fn e23_hybrid_control() {
+    use csn_core::labeling::sdn::{distance_vector, steer, DesiredTree};
+    use csn_core::graph::WeightedGraph;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    println!("controller steers distributed distance-vector routing onto BFS trees:");
+    println!("  {:>6} {:>10} {:>14} {:>10}", "n", "managed", "obeyed", "rounds");
+    for &n in &[30usize, 100, 300] {
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < 6.0 / n as f64 {
+                    g.add_edge(u, v, 0.5 + rng.gen::<f64>() * 4.0);
+                }
+            }
+        }
+        let skeleton = g.to_unweighted();
+        let mask = csn_core::graph::traversal::largest_component_mask(&skeleton);
+        // Desired tree = BFS parents inside the biggest component.
+        let root = (0..n).find(|&u| mask[u]).unwrap_or(0);
+        let mut desired: DesiredTree = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[root] = true;
+        let mut q = std::collections::VecDeque::from([root]);
+        while let Some(u) = q.pop_front() {
+            for &v in skeleton.neighbors(u) {
+                if mask[v] && !seen[v] {
+                    seen[v] = true;
+                    desired[v] = Some(u);
+                    q.push_back(v);
+                }
+            }
+        }
+        let managed = desired.iter().filter(|d| d.is_some()).count();
+        let (out, obeyed) = steer(&g, root, &desired, 10_000);
+        let natural = distance_vector(&g, root, 10_000);
+        println!(
+            "  {n:>6} {managed:>10} {obeyed:>14} {:>10} (natural protocol: {} rounds)",
+            out.rounds, natural.rounds
+        );
+    }
+}
+
+/// E24 (§II-B): carry-store-forward strategy ladder on time-evolving graphs.
+pub fn e24_dtn_strategy_ladder() {
+    use csn_core::temporal::routing::{direct_delivery, epidemic, spray_and_wait};
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let n = 30;
+    let horizon = 60;
+    let mut eg = TimeEvolvingGraph::new(n, horizon);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < 0.15 {
+                eg.add_periodic(u, v, rng.gen_range(0..horizon), rng.gen_range(4..12));
+            }
+        }
+    }
+    println!("random periodic EG (n={n}, horizon {horizon}), 200 random pairs:");
+    println!("  {:>16} {:>10} {:>12} {:>10}", "strategy", "delivery", "mean delay", "copies");
+    let mut pairs = Vec::new();
+    for _ in 0..200 {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        if s != d {
+            pairs.push((s, d));
+        }
+    }
+    let report = |name: &str, outs: Vec<csn_core::temporal::routing::DtnOutcome>| {
+        let delivered: Vec<_> = outs.iter().filter_map(|o| o.delivered_at).collect();
+        let copies: f64 =
+            outs.iter().map(|o| o.copies as f64).sum::<f64>() / outs.len() as f64;
+        println!(
+            "  {:>16} {:>9.1}% {:>12.1} {:>10.1}",
+            name,
+            100.0 * delivered.len() as f64 / outs.len() as f64,
+            delivered.iter().map(|&t| f64::from(t)).sum::<f64>() / delivered.len().max(1) as f64,
+            copies
+        );
+    };
+    report("direct-wait", pairs.iter().map(|&(s, d)| direct_delivery(&eg, s, d, 0)).collect());
+    for &l in &[2usize, 4, 8] {
+        report(
+            &format!("spray({l})"),
+            pairs.iter().map(|&(s, d)| spray_and_wait(&eg, s, d, 0, l)).collect(),
+        );
+    }
+    report("epidemic", pairs.iter().map(|&(s, d)| epidemic(&eg, s, d, 0)).collect());
+}
+
+/// E25 (§III-B question, [15]): temporal small-world metrics — structure in
+/// time-and-space.
+pub fn e25_temporal_smallworld() {
+    use csn_core::mobility::social::{Population, SocialContactModel};
+    use csn_core::temporal::centrality::{temporal_efficiency, temporal_reachability};
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+    // A socially structured trace vs a time-shuffled null model: same
+    // contacts, randomized times. Temporal structure should change global
+    // efficiency, the [15]-style signal.
+    let pop = Population::random(30, &Population::fig6_radix(), 7);
+    let model = SocialContactModel { base_rate: 1.0 / 60.0, beta: 1.2, mean_duration: 8.0 };
+    let trace = model.simulate(&pop, 4_000.0, 3);
+    let eg = trace.to_time_evolving_graph(20.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    // Null model: redistribute each contact to a uniform random time unit.
+    let mut shuffled = TimeEvolvingGraph::new(eg.node_count(), eg.horizon());
+    let mut times: Vec<u32> = eg.contacts().iter().map(|c| c.t).collect();
+    times.shuffle(&mut rng);
+    for (c, &t) in eg.contacts().iter().zip(&times) {
+        let _ = rng.gen::<u8>();
+        shuffled.add_contact(c.u, c.v, t);
+    }
+    println!("social trace vs time-shuffled null (same contacts):");
+    println!("  {:>14} {:>14} {:>16}", "model", "efficiency", "reachability");
+    println!(
+        "  {:>14} {:>14.4} {:>16.3}",
+        "social",
+        temporal_efficiency(&eg, 0),
+        temporal_reachability(&eg, 0)
+    );
+    println!(
+        "  {:>14} {:>14.4} {:>16.3}",
+        "shuffled",
+        temporal_efficiency(&shuffled, 0),
+        temporal_reachability(&shuffled, 0)
+    );
+    println!("temporal closeness of the best/worst node (social trace):");
+    let c = csn_core::temporal::centrality::temporal_closeness_all(&eg, 0);
+    let best = c.iter().cloned().fold(0.0f64, f64::max);
+    let worst = c.iter().cloned().fold(1.0f64, f64::min);
+    println!("  best {best:.4}, worst {worst:.4}");
+}

@@ -1,0 +1,12 @@
+//! # csn-bench — experiment and benchmark harness
+//!
+//! The paper is a position paper: its "evaluation" is the set of worked
+//! figures and checkable claims. The [`experiments`] module regenerates
+//! each of them (experiment ids E1–E18, indexed in DESIGN.md) and prints
+//! the series the paper describes; the Criterion benches under `benches/`
+//! cover the performance-flavored questions (algorithm scaling).
+//!
+//! Run everything with `cargo run -p csn-bench --bin experiments --release`,
+//! or one experiment with `--exp e8`.
+
+pub mod experiments;

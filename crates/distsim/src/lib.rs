@@ -1,0 +1,430 @@
+//! # csn-distsim — synchronous distributed-computation simulator
+//!
+//! §IV of the paper frames every labeling scheme as a *distributed* or
+//! *localized* solution: "a distributed solution involves nodes that
+//! interact with others in a restricted vicinity… collectively, these nodes
+//! achieve a desired global objective. A localized solution is a distributed
+//! solution in which there is no sequential propagation of information."
+//!
+//! This crate is the execution substrate for those algorithms: a synchronous
+//! round-based message-passing simulator over a static graph (the classical
+//! LOCAL/CONGEST-style model), with
+//!
+//! * per-node protocol state and typed messages ([`Protocol`], [`Simulator`]),
+//! * round and message accounting (the costs §IV-C worries about),
+//! * *k-hop neighborhood views* ([`k_hop_view`]) — "it is assumed that each
+//!   node knows k-hop information for a small constant k",
+//! * fault injection ([`FaultPlan`]): message loss and delay, producing the
+//!   *view inconsistency* the paper names as mobility's serious problem.
+//!
+//! # Examples
+//!
+//! A one-round "neighbor-designated dominating set" (§IV-A): every node
+//! votes for its highest-priority closed neighbor; voted nodes join the DS.
+//!
+//! ```
+//! use csn_distsim::{Protocol, Simulator, Neighborhood, Envelope};
+//! use csn_graph::{Graph, NodeId};
+//!
+//! struct Vote;
+//! impl Protocol for Vote {
+//!     type State = (bool, bool); // (has voted, is selected)
+//!     type Msg = ();
+//!     fn init(&self, _u: NodeId, _ctx: &Neighborhood) -> Self::State { (false, false) }
+//!     fn round(
+//!         &self,
+//!         u: NodeId,
+//!         state: &mut Self::State,
+//!         ctx: &Neighborhood,
+//!         inbox: &[(NodeId, ())],
+//!     ) -> Vec<Envelope<()>> {
+//!         if !state.0 {
+//!             state.0 = true;
+//!             let winner = ctx.closed_neighbors().max().unwrap();
+//!             if winner == u { state.1 = true; return vec![]; }
+//!             return vec![Envelope::Unicast(winner, ())];
+//!         }
+//!         if !inbox.is_empty() { state.1 = true; }
+//!         vec![]
+//!     }
+//! }
+//!
+//! let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+//! let mut sim = Simulator::new(&g, &Vote);
+//! let stats = sim.run_until_quiet(10);
+//! assert!(stats.rounds <= 3);
+//! assert!(sim.state(2).1, "node 2 votes for itself");
+//! ```
+
+use csn_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a node sees locally: its id, its neighbors, and priorities.
+#[derive(Debug, Clone)]
+pub struct Neighborhood {
+    node: NodeId,
+    neighbors: Vec<NodeId>,
+}
+
+impl Neighborhood {
+    /// The node's own id (distinct ids double as priorities for symmetry
+    /// breaking, as the paper assumes).
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Open neighborhood (adjacent nodes).
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// Degree.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Closed neighborhood iterator (neighbors plus the node itself).
+    pub fn closed_neighbors(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors.iter().copied().chain(std::iter::once(self.node))
+    }
+}
+
+/// An outgoing message: to one neighbor or to all of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Envelope<M> {
+    /// Send to a specific neighbor.
+    Unicast(NodeId, M),
+    /// Send to every neighbor.
+    Broadcast(M),
+}
+
+/// A synchronous round-based protocol.
+///
+/// Each round, every node consumes its inbox (messages sent to it in the
+/// previous round), may update its state, and emits messages delivered next
+/// round.
+pub trait Protocol {
+    /// Per-node state.
+    type State;
+    /// Message type.
+    type Msg: Clone;
+
+    /// Initial state of node `u` (round 0 happens after init; nodes may
+    /// inspect their 1-hop neighborhood, which radio neighbors know from
+    /// hello exchanges).
+    fn init(&self, u: NodeId, ctx: &Neighborhood) -> Self::State;
+
+    /// One round at node `u`.
+    fn round(
+        &self,
+        u: NodeId,
+        state: &mut Self::State,
+        ctx: &Neighborhood,
+        inbox: &[(NodeId, Self::Msg)],
+    ) -> Vec<Envelope<Self::Msg>>;
+}
+
+/// Fault injection for message delivery — the source of the paper's *view
+/// inconsistency* (§IV-C): "asynchronous Hello message exchanges cause
+/// delays, which will generate inconsistent neighborhood information."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delayed by one extra round.
+    pub delay_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultPlan { drop_prob: 0.0, delay_prob: 0.0, seed: 0 }
+    }
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: usize,
+    /// Messages dropped by fault injection.
+    pub dropped: usize,
+    /// Whether the run ended because no messages were in flight (quiescence)
+    /// rather than by hitting the round limit.
+    pub quiescent: bool,
+}
+
+/// The synchronous simulator.
+pub struct Simulator<'g, P: Protocol> {
+    graph: &'g Graph,
+    protocol: &'g P,
+    contexts: Vec<Neighborhood>,
+    states: Vec<P::State>,
+    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    delayed: Vec<Vec<(NodeId, P::Msg)>>,
+    faults: FaultPlan,
+    rng: StdRng,
+    stats: RunStats,
+}
+
+impl<'g, P: Protocol> Simulator<'g, P> {
+    /// Creates a simulator with fault-free delivery.
+    pub fn new(graph: &'g Graph, protocol: &'g P) -> Self {
+        Self::with_faults(graph, protocol, FaultPlan::none())
+    }
+
+    /// Creates a simulator with the given fault plan.
+    pub fn with_faults(graph: &'g Graph, protocol: &'g P, faults: FaultPlan) -> Self {
+        let contexts: Vec<Neighborhood> = graph
+            .nodes()
+            .map(|u| Neighborhood { node: u, neighbors: graph.neighbors(u).to_vec() })
+            .collect();
+        let states = contexts.iter().map(|c| protocol.init(c.node, c)).collect();
+        let n = graph.node_count();
+        Simulator {
+            graph,
+            protocol,
+            contexts,
+            states,
+            inboxes: vec![Vec::new(); n],
+            delayed: vec![Vec::new(); n],
+            faults,
+            rng: StdRng::seed_from_u64(faults.seed),
+            stats: RunStats::default(),
+        }
+    }
+
+    /// State of node `u`.
+    pub fn state(&self, u: NodeId) -> &P::State {
+        &self.states[u]
+    }
+
+    /// All node states.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Replaces all node states (warm start), e.g. to continue a converged
+    /// protocol on a changed topology with its tables intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` does not have one entry per node.
+    pub fn transplant_states(&mut self, states: Vec<P::State>) {
+        assert_eq!(states.len(), self.graph.node_count(), "one state per node");
+        self.states = states;
+    }
+
+    /// Executes one synchronous round. Returns the number of messages sent
+    /// (before fault filtering).
+    pub fn step(&mut self) -> usize {
+        let n = self.graph.node_count();
+        let mut outgoing: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
+        let mut sent = 0;
+        for u in 0..n {
+            let envs = self.protocol.round(u, &mut self.states[u], &self.contexts[u], &inboxes[u]);
+            for env in envs {
+                match env {
+                    Envelope::Unicast(to, msg) => {
+                        debug_assert!(
+                            self.graph.has_edge(u, to),
+                            "node {u} sent to non-neighbor {to}"
+                        );
+                        outgoing[to].push((u, msg));
+                        sent += 1;
+                    }
+                    Envelope::Broadcast(msg) => {
+                        for &v in self.graph.neighbors(u) {
+                            outgoing[v].push((u, msg.clone()));
+                            sent += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Deliver: apply faults, merge in last round's delayed messages.
+        for v in 0..n {
+            let mut inbox = std::mem::take(&mut self.delayed[v]);
+            for (from, msg) in outgoing[v].drain(..) {
+                if self.faults.drop_prob > 0.0 && self.rng.gen::<f64>() < self.faults.drop_prob {
+                    self.stats.dropped += 1;
+                    continue;
+                }
+                if self.faults.delay_prob > 0.0 && self.rng.gen::<f64>() < self.faults.delay_prob {
+                    self.delayed[v].push((from, msg));
+                    continue;
+                }
+                inbox.push((from, msg));
+            }
+            self.stats.messages += inbox.len();
+            self.inboxes[v] = inbox;
+        }
+        self.stats.rounds += 1;
+        sent
+    }
+
+    /// Runs until a round sends no messages and none are pending, or until
+    /// `max_rounds`. Returns the final statistics.
+    pub fn run_until_quiet(&mut self, max_rounds: usize) -> RunStats {
+        for _ in 0..max_rounds {
+            let sent = self.step();
+            let pending: usize =
+                self.inboxes.iter().map(Vec::len).sum::<usize>() + self.delayed.iter().map(Vec::len).sum::<usize>();
+            if sent == 0 && pending == 0 {
+                self.stats.quiescent = true;
+                break;
+            }
+        }
+        self.stats
+    }
+}
+
+/// The nodes within `k` hops of `u` (excluding `u`), with their hop
+/// distances — the paper's "k-hop information" / local horizon.
+pub fn k_hop_view(g: &Graph, u: NodeId, k: usize) -> Vec<(NodeId, usize)> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    dist[u] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(u);
+    let mut out = Vec::new();
+    while let Some(x) = queue.pop_front() {
+        if dist[x] == k {
+            continue;
+        }
+        for &y in g.neighbors(x) {
+            if dist[y] == usize::MAX {
+                dist[y] = dist[x] + 1;
+                out.push((y, dist[y]));
+                queue.push_back(y);
+            }
+        }
+    }
+    out
+}
+
+/// The subgraph induced by `u`'s k-hop view (including `u`), re-indexed;
+/// returns the subgraph and the mapping from new ids to original ids.
+pub fn k_hop_subgraph(g: &Graph, u: NodeId, k: usize) -> (Graph, Vec<NodeId>) {
+    let mut keep = vec![false; g.node_count()];
+    keep[u] = true;
+    for (v, _) in k_hop_view(g, u, k) {
+        keep[v] = true;
+    }
+    let (sub, map) = g.induced_subgraph(&keep);
+    let mut back = vec![0; sub.node_count()];
+    for (old, new) in map.iter().enumerate() {
+        if let Some(nw) = new {
+            back[*nw] = old;
+        }
+    }
+    (sub, back)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csn_graph::generators;
+
+    /// Flooding protocol: node 0 starts with a token; on first receipt every
+    /// node forwards it once. State: `(has_token, has_sent)`.
+    struct Flood;
+    impl Protocol for Flood {
+        type State = (bool, bool);
+        type Msg = ();
+        fn init(&self, u: NodeId, _ctx: &Neighborhood) -> Self::State {
+            (u == 0, false)
+        }
+        fn round(
+            &self,
+            _u: NodeId,
+            state: &mut Self::State,
+            _ctx: &Neighborhood,
+            inbox: &[(NodeId, ())],
+        ) -> Vec<Envelope<()>> {
+            if !state.0 && !inbox.is_empty() {
+                state.0 = true;
+            }
+            if state.0 && !state.1 {
+                state.1 = true;
+                return vec![Envelope::Broadcast(())];
+            }
+            vec![]
+        }
+    }
+
+    #[test]
+    fn flooding_reaches_everyone_in_diameter_rounds() {
+        let g = generators::path(6);
+        let mut sim = Simulator::new(&g, &Flood);
+        let stats = sim.run_until_quiet(100);
+        assert!(stats.quiescent);
+        for u in g.nodes() {
+            assert!(sim.state(u).0, "node {u} missed the flood");
+        }
+        // Path of 6: token needs 5 forwarding rounds plus bookkeeping.
+        assert!(stats.rounds <= 12, "rounds {}", stats.rounds);
+        assert!(stats.messages > 0);
+    }
+
+    #[test]
+    fn dropped_messages_can_break_flooding() {
+        let g = generators::path(8);
+        let faults = FaultPlan { drop_prob: 1.0, delay_prob: 0.0, seed: 1 };
+        let mut sim = Simulator::with_faults(&g, &Flood, faults);
+        let stats = sim.run_until_quiet(50);
+        assert!(stats.dropped > 0);
+        assert!(!sim.state(7).0, "everything dropped, flood cannot spread");
+    }
+
+    #[test]
+    fn delayed_messages_still_arrive() {
+        let g = generators::path(5);
+        let faults = FaultPlan { drop_prob: 0.0, delay_prob: 0.5, seed: 2 };
+        let mut sim = Simulator::with_faults(&g, &Flood, faults);
+        let stats = sim.run_until_quiet(200);
+        assert!(stats.quiescent);
+        for u in g.nodes() {
+            assert!(sim.state(u).0, "delays must not lose messages");
+        }
+    }
+
+    #[test]
+    fn k_hop_view_distances() {
+        let g = generators::path(6);
+        let view = k_hop_view(&g, 2, 2);
+        let mut v: Vec<_> = view;
+        v.sort_unstable();
+        assert_eq!(v, vec![(0, 2), (1, 1), (3, 1), (4, 2)]);
+        assert!(k_hop_view(&g, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn k_hop_subgraph_is_induced() {
+        let g = generators::cycle(6);
+        let (sub, back) = k_hop_subgraph(&g, 0, 1);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2, "1-hop view of a cycle is a path");
+        assert!(back.contains(&0) && back.contains(&1) && back.contains(&5));
+    }
+
+    #[test]
+    fn stats_track_messages() {
+        let g = generators::star(4);
+        let mut sim = Simulator::new(&g, &Flood);
+        let stats = sim.run_until_quiet(10);
+        // Center broadcasts to 4 leaves: at least 4 deliveries.
+        assert!(stats.messages >= 4);
+        assert!(stats.quiescent);
+    }
+}

@@ -1,0 +1,386 @@
+//! Node centrality measures surveyed in §III of the paper: degree,
+//! closeness, betweenness (Brandes' algorithm), eigenvector centrality,
+//! PageRank, and HITS.
+//!
+//! The paper uses these as the canonical *node-local* importance measures,
+//! contrasting them with the *global* structures the rest of the workspace
+//! uncovers; PageRank and HITS also reappear in §IV-B as examples of
+//! "dynamic labeling" processes.
+
+use crate::graph::{Digraph, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Degree centrality: `degree(u) / (n - 1)`.
+pub fn degree_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    let denom = (n - 1) as f64;
+    g.nodes().map(|u| g.degree(u) as f64 / denom).collect()
+}
+
+/// Closeness centrality: `(reachable - 1) / sum_of_distances`, scaled by the
+/// reachable fraction (the Wasserman–Faust improvement, robust to
+/// disconnected graphs). Isolated nodes score 0.
+pub fn closeness_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0; n];
+    for u in g.nodes() {
+        let dist = crate::traversal::bfs_distances(g, u);
+        let mut sum = 0usize;
+        let mut reachable = 0usize;
+        for &d in &dist {
+            if d != usize::MAX && d > 0 {
+                sum += d;
+                reachable += 1;
+            }
+        }
+        if sum > 0 {
+            let r = reachable as f64;
+            out[u] = (r / (n - 1) as f64) * (r / sum as f64);
+        }
+    }
+    out
+}
+
+/// Betweenness centrality via Brandes' algorithm (unweighted).
+///
+/// Returns raw (unnormalized) scores; for undirected graphs each pair is
+/// counted once (scores are halved at the end).
+///
+/// # Examples
+///
+/// ```
+/// use csn_graph::{Graph, centrality::betweenness_centrality};
+///
+/// // Path 0-1-2: the middle node bridges the single pair (0, 2).
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// let b = betweenness_centrality(&g);
+/// assert_eq!(b, vec![0.0, 1.0, 0.0]);
+/// ```
+pub fn betweenness_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut bc = vec![0.0f64; n];
+    // Brandes: one BFS per source with dependency accumulation.
+    for s in g.nodes() {
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut pred: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0f64; n];
+        let mut dist = vec![usize::MAX; n];
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            stack.push(u);
+            for &v in g.neighbors(u) {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v] == dist[u] + 1 {
+                    sigma[v] += sigma[u];
+                    pred[v].push(u);
+                }
+            }
+        }
+        let mut delta = vec![0.0f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &pred[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                bc[w] += delta[w];
+            }
+        }
+    }
+    // Each undirected pair was counted from both endpoints.
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// Naive betweenness via all-pairs BFS path counting; `O(n² · m)`.
+/// Reference implementation used to validate [`betweenness_centrality`].
+pub fn betweenness_naive(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut bc = vec![0.0f64; n];
+    for s in 0..n {
+        let dist = crate::traversal::bfs_distances(g, s);
+        for t in (s + 1)..n {
+            if dist[t] == usize::MAX {
+                continue;
+            }
+            // Count shortest paths s->t and through each v by DP over BFS DAG.
+            let (total, through) = count_paths(g, s, t, &dist);
+            if total == 0.0 {
+                continue;
+            }
+            for v in 0..n {
+                if v != s && v != t {
+                    bc[v] += through[v] / total;
+                }
+            }
+        }
+    }
+    bc
+}
+
+fn count_paths(g: &Graph, s: NodeId, t: NodeId, dist_s: &[usize]) -> (f64, Vec<f64>) {
+    let n = g.node_count();
+    let dist_t = crate::traversal::bfs_distances(g, t);
+    let d = dist_s[t];
+    // sigma_from_s[v]: shortest paths s->v; sigma_to_t[v]: shortest paths v->t.
+    let mut order: Vec<NodeId> = (0..n).filter(|&v| dist_s[v] != usize::MAX).collect();
+    order.sort_by_key(|&v| dist_s[v]);
+    let mut from_s = vec![0.0f64; n];
+    from_s[s] = 1.0;
+    for &v in &order {
+        for &w in g.neighbors(v) {
+            if dist_s[w] == dist_s[v] + 1 {
+                from_s[w] += from_s[v];
+            }
+        }
+    }
+    let mut order_t: Vec<NodeId> = (0..n).filter(|&v| dist_t[v] != usize::MAX).collect();
+    order_t.sort_by_key(|&v| dist_t[v]);
+    let mut to_t = vec![0.0f64; n];
+    to_t[t] = 1.0;
+    for &v in &order_t {
+        for &w in g.neighbors(v) {
+            if dist_t[w] == dist_t[v] + 1 {
+                to_t[w] += to_t[v];
+            }
+        }
+    }
+    let total = from_s[t];
+    let mut through = vec![0.0f64; n];
+    for v in 0..n {
+        if dist_s[v] != usize::MAX && dist_t[v] != usize::MAX && dist_s[v] + dist_t[v] == d {
+            through[v] = from_s[v] * to_t[v];
+        }
+    }
+    (total, through)
+}
+
+/// Eigenvector centrality by power iteration on the adjacency matrix;
+/// L2-normalized. Returns `None` if the iteration fails to converge in
+/// `max_iter` steps (e.g. bipartite oscillation without damping).
+pub fn eigenvector_centrality(g: &Graph, max_iter: usize, tol: f64) -> Option<Vec<f64>> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    for _ in 0..max_iter {
+        let mut next = vec![0.0f64; n];
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                next[u] += x[v];
+            }
+            // Shifted iteration (A + I): same eigenvectors, breaks the
+            // bipartite ±λ oscillation and speeds convergence.
+            next[u] += x[u];
+        }
+        let norm = next.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return Some(vec![0.0; n]);
+        }
+        for v in &mut next {
+            *v /= norm;
+        }
+        let diff: f64 = next.iter().zip(&x).map(|(a, b)| (a - b).abs()).sum();
+        x = next;
+        if diff < tol {
+            return Some(x);
+        }
+    }
+    None
+}
+
+/// PageRank on a digraph with damping `d`; dangling mass is redistributed
+/// uniformly. Scores sum to 1.
+///
+/// The paper lists PageRank as an eigenvector-centrality variant (§III) and
+/// as a "dynamic labeling" process (§IV-B). Returns the score vector and the
+/// number of iterations performed.
+pub fn pagerank(g: &Digraph, d: f64, max_iter: usize, tol: f64) -> (Vec<f64>, usize) {
+    let n = g.node_count();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    for iter in 1..=max_iter {
+        let mut next = vec![(1.0 - d) * uniform; n];
+        let mut dangling = 0.0;
+        for u in g.nodes() {
+            let deg = g.out_degree(u);
+            if deg == 0 {
+                dangling += rank[u];
+            } else {
+                let share = d * rank[u] / deg as f64;
+                for &v in g.out_neighbors(u) {
+                    next[v] += share;
+                }
+            }
+        }
+        let dangling_share = d * dangling * uniform;
+        for v in &mut next {
+            *v += dangling_share;
+        }
+        let diff: f64 = next.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
+        rank = next;
+        if diff < tol {
+            return (rank, iter);
+        }
+    }
+    (rank, max_iter)
+}
+
+/// HITS hubs-and-authorities scores `(hubs, authorities)`, L2-normalized
+/// (Kleinberg; the paper's other §IV-B dynamic-labeling example).
+pub fn hits(g: &Digraph, max_iter: usize, tol: f64) -> (Vec<f64>, Vec<f64>) {
+    let n = g.node_count();
+    let mut hub = vec![1.0f64; n];
+    let mut auth = vec![1.0f64; n];
+    for _ in 0..max_iter {
+        let mut new_auth = vec![0.0f64; n];
+        for v in g.nodes() {
+            for &u in g.in_neighbors(v) {
+                new_auth[v] += hub[u];
+            }
+        }
+        normalize(&mut new_auth);
+        let mut new_hub = vec![0.0f64; n];
+        for u in g.nodes() {
+            for &v in g.out_neighbors(u) {
+                new_hub[u] += new_auth[v];
+            }
+        }
+        normalize(&mut new_hub);
+        let diff: f64 = new_hub.iter().zip(&hub).map(|(a, b)| (a - b).abs()).sum::<f64>()
+            + new_auth.iter().zip(&auth).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        hub = new_hub;
+        auth = new_auth;
+        if diff < tol {
+            break;
+        }
+    }
+    (hub, auth)
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degree_centrality_of_star_center_is_one() {
+        let g = generators::star(4);
+        let dc = degree_centrality(&g);
+        assert_eq!(dc[0], 1.0);
+        assert!((dc[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_highest_at_path_center() {
+        let g = generators::path(5);
+        let cc = closeness_centrality(&g);
+        assert!(cc[2] > cc[1] && cc[1] > cc[0]);
+        assert!((cc[2] - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_handles_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let cc = closeness_centrality(&g);
+        assert_eq!(cc[2], 0.0);
+        assert!(cc[0] > 0.0);
+    }
+
+    #[test]
+    fn betweenness_on_path_matches_closed_form() {
+        // On a path of n nodes, bc(i) = i * (n-1-i).
+        let g = generators::path(6);
+        let bc = betweenness_centrality(&g);
+        for (i, &b) in bc.iter().enumerate() {
+            assert!((b - (i * (5 - i)) as f64).abs() < 1e-9, "node {i}: {b}");
+        }
+    }
+
+    #[test]
+    fn betweenness_of_star_center() {
+        // Center bridges all C(k,2) leaf pairs.
+        let g = generators::star(5);
+        let bc = betweenness_centrality(&g);
+        assert!((bc[0] - 10.0).abs() < 1e-9);
+        assert_eq!(bc[1], 0.0);
+    }
+
+    #[test]
+    fn brandes_matches_naive_on_random_graph() {
+        let g = generators::erdos_renyi(40, 0.15, 99).unwrap();
+        let fast = betweenness_centrality(&g);
+        let slow = betweenness_naive(&g);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn eigenvector_centrality_ranks_hub_highest() {
+        let g = generators::star(5);
+        let ec = eigenvector_centrality(&g, 1000, 1e-10).expect("converges");
+        for leaf in 1..=5 {
+            assert!(ec[0] > ec[leaf]);
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_authority() {
+        let mut d = Digraph::new(4);
+        // All point to node 3.
+        d.add_arc(0, 3);
+        d.add_arc(1, 3);
+        d.add_arc(2, 3);
+        let (pr, iters) = pagerank(&d, 0.85, 200, 1e-12);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr[3] > pr[0]);
+        assert!(iters > 1);
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let mut d = Digraph::new(4);
+        for i in 0..4 {
+            d.add_arc(i, (i + 1) % 4);
+        }
+        let (pr, _) = pagerank(&d, 0.85, 500, 1e-12);
+        for &p in &pr {
+            assert!((p - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hits_identifies_hub_and_authority() {
+        // 0 and 1 are hubs pointing at authorities 2 and 3.
+        let d = Digraph::from_arcs(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]).unwrap();
+        let (hub, auth) = hits(&d, 100, 1e-10);
+        assert!(hub[0] > auth[0]);
+        assert!(auth[2] > hub[2]);
+        assert!((hub[0] - hub[1]).abs() < 1e-9);
+        assert!((auth[2] - auth[3]).abs() < 1e-9);
+    }
+}

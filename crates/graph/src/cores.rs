@@ -1,0 +1,137 @@
+//! k-core decomposition.
+//!
+//! The NSF layering in §III-B peels "local lowest-degree" nodes iteratively;
+//! the classical global analogue is the k-core (iteratively delete nodes of
+//! degree `< k`). We provide the standard `O(n + m)` bucket algorithm, used
+//! both as a baseline hierarchy in the layering experiments and as a utility
+//! for trimming.
+
+use crate::graph::{Graph, NodeId};
+
+/// Core number of each node: the largest `k` such that the node belongs to a
+/// subgraph with minimum degree `k` (Batagelj–Zaveršnik bucket algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use csn_graph::{generators, cores::core_numbers};
+///
+/// // In a complete graph K5, every node has core number 4.
+/// let g = generators::complete(5);
+/// assert_eq!(core_numbers(&g), vec![4; 5]);
+/// ```
+pub fn core_numbers(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree = g.degrees();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // bin[d] = starting index of degree-d nodes in `order`.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d + 1] += 1;
+    }
+    for d in 1..bin.len() {
+        bin[d] += bin[d - 1];
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0usize; n];
+    {
+        let mut next = bin.clone();
+        for u in 0..n {
+            pos[u] = next[degree[u]];
+            order[pos[u]] = u;
+            next[degree[u]] += 1;
+        }
+    }
+    let mut core = vec![0usize; n];
+    for i in 0..n {
+        let u = order[i];
+        core[u] = degree[u];
+        for vi in 0..g.degree(u) {
+            let v: NodeId = g.neighbors(u)[vi];
+            if degree[v] > degree[u] {
+                // Move v one bucket down: swap it to the front of its bucket.
+                let dv = degree[v];
+                let pv = pos[v];
+                let pw = bin[dv];
+                let w = order[pw];
+                if v != w {
+                    order[pv] = w;
+                    order[pw] = v;
+                    pos[v] = pw;
+                    pos[w] = pv;
+                }
+                bin[dv] += 1;
+                degree[v] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The `k`-core subgraph as a keep-mask over nodes.
+pub fn k_core_mask(g: &Graph, k: usize) -> Vec<bool> {
+    core_numbers(g).into_iter().map(|c| c >= k).collect()
+}
+
+/// Degeneracy of the graph: the maximum core number.
+pub fn degeneracy(g: &Graph) -> usize {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_is_1_core() {
+        let g = generators::path(6);
+        assert_eq!(core_numbers(&g), vec![1; 6]);
+        assert_eq!(degeneracy(&g), 1);
+    }
+
+    #[test]
+    fn clique_with_pendant() {
+        // K4 plus a pendant node attached to node 0.
+        let mut g = generators::complete(4);
+        let p = g.add_node();
+        g.add_edge(0, p);
+        let core = core_numbers(&g);
+        assert_eq!(core[p], 1);
+        for u in 0..4 {
+            assert_eq!(core[u], 3);
+        }
+        let mask = k_core_mask(&g, 2);
+        assert_eq!(mask, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn star_core_numbers_all_one() {
+        let g = generators::star(7);
+        assert_eq!(core_numbers(&g), vec![1; 8]);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        assert!(core_numbers(&Graph::new(0)).is_empty());
+        assert_eq!(core_numbers(&Graph::new(3)), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn core_is_subgraph_min_degree_invariant() {
+        // Property: within the k-core subgraph, every node has degree >= k.
+        let g = generators::erdos_renyi(200, 0.05, 5).unwrap();
+        let core = core_numbers(&g);
+        let k = degeneracy(&g);
+        for kk in 1..=k {
+            let keep: Vec<bool> = core.iter().map(|&c| c >= kk).collect();
+            let (sub, _) = g.induced_subgraph(&keep);
+            for u in sub.nodes() {
+                assert!(sub.degree(u) >= kk, "k={kk}: node degree {}", sub.degree(u));
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was out of range for the graph it was used with.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop was requested on a simple graph.
+    SelfLoop(usize),
+    /// A negative-weight cycle was detected (e.g. by Bellman–Ford).
+    NegativeCycle,
+    /// Parameters passed to a generator were inconsistent.
+    InvalidParameter(String),
+    /// An input file or string could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop(u) => write!(f, "self-loop on node {u} not allowed in a simple graph"),
+            GraphError::NegativeCycle => write!(f, "graph contains a negative-weight cycle"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, node_count: 3 };
+        assert_eq!(e.to_string(), "node 7 out of range for graph with 3 nodes");
+        assert!(GraphError::NegativeCycle.to_string().contains("negative-weight"));
+        assert!(GraphError::SelfLoop(2).to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

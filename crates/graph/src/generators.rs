@@ -1,0 +1,490 @@
+//! Graph generators: classical random models, geometric/unit-disk graphs,
+//! hypercubes, and the Gnutella-like peer-to-peer topology used by the NSF
+//! experiment (Fig. 3 of the paper).
+//!
+//! All random generators take an explicit seed so experiments are
+//! reproducible run-to-run.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// A cycle on `n >= 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// A star with one center (node 0) and `leaves` leaves.
+///
+/// The paper notes (§II-A) that a star with six or more leaves is **not** a
+/// unit disk graph — see `csn-intersection` for the check.
+pub fn star(leaves: usize) -> Graph {
+    let mut g = Graph::new(leaves + 1);
+    for i in 1..=leaves {
+        g.add_edge(0, i);
+    }
+    g
+}
+
+/// The complete graph on `n` nodes.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// An `rows × cols` 4-neighbor grid; node `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(u, u + 1);
+            }
+            if r + 1 < rows {
+                g.add_edge(u, u + cols);
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `0 <= p <= 1`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter(format!("p = {p} not in [0, 1]")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to `m`
+/// existing nodes with probability proportional to degree.
+///
+/// Produces the scale-free degree distribution the paper's layering section
+/// builds on (power-law exponent ≈ 3 for plain BA).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `1 <= m < n`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
+    if m == 0 || m >= n {
+        return Err(GraphError::InvalidParameter(format!("need 1 <= m < n, got m={m}, n={n}")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Seed clique of m+1 nodes so every new node can find m distinct targets.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            g.add_edge(u, v);
+        }
+    }
+    // Repeated-endpoints list: node id appears once per incident edge, which
+    // makes uniform sampling from it exactly degree-proportional.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    for (u, v) in g.edges() {
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    for u in (m + 1)..n {
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != u && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            g.add_edge(u, t);
+            endpoints.push(u);
+            endpoints.push(t);
+        }
+    }
+    Ok(g)
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side, each edge rewired with probability `beta`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for out-of-range `beta` or `k`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter(format!("beta = {beta} not in [0, 1]")));
+    }
+    if k == 0 || 2 * k >= n {
+        return Err(GraphError::InvalidParameter(format!("need 1 <= k < n/2, got k={k}, n={n}")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform random non-neighbor.
+                let mut tries = 0;
+                loop {
+                    let w = rng.gen_range(0..n);
+                    if w != u && !g.has_edge(u, w) {
+                        g.add_edge(u, w);
+                        break;
+                    }
+                    tries += 1;
+                    if tries > 10 * n {
+                        // Dense corner case: fall back to the lattice edge.
+                        if !g.has_edge(u, v) {
+                            g.add_edge(u, v);
+                        }
+                        break;
+                    }
+                }
+            } else if !g.has_edge(u, v) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Geometric positions on the unit square plus the induced unit-disk graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeometricGraph {
+    /// The unit-disk graph: nodes within `radius` are adjacent.
+    pub graph: Graph,
+    /// Node positions in `[0, 1]²`.
+    pub positions: Vec<(f64, f64)>,
+    /// Connection radius.
+    pub radius: f64,
+}
+
+/// Random geometric graph: `n` uniform points in the unit square, edges
+/// between pairs within `radius` (a random unit disk graph, §II-A).
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> GeometricGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    GeometricGraph { graph: unit_disk_from_points(&positions, radius), positions, radius }
+}
+
+/// Unit-disk graph over explicit points: edge iff Euclidean distance ≤ `radius`.
+pub fn unit_disk_from_points(points: &[(f64, f64)], radius: f64) -> Graph {
+    let n = points.len();
+    let r2 = radius * radius;
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = points[u].0 - points[v].0;
+            let dy = points[u].1 - points[v].1;
+            if dx * dx + dy * dy <= r2 {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Kleinberg's small-world grid (§I of the paper; Kleinberg STOC'00):
+/// an `side × side` grid plus, per node, `q` long-range contacts chosen with
+/// probability proportional to `manhattan_distance⁻ᵅ`.
+///
+/// With `alpha = 2` (the inverse-square distribution the paper highlights),
+/// greedy routing finds short paths with high probability.
+pub fn kleinberg_grid(side: usize, q: usize, alpha: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = side * side;
+    let mut g = grid(side, side);
+    // Ring sampling: on the (infinite) grid there are 4r cells at Manhattan
+    // distance r, so the ring distance distribution is ∝ 4r·r^{-alpha};
+    // sample a ring from its CDF, then a uniform cell on the ring, and
+    // reject cells outside the finite grid. O(1) expected per contact for
+    // interior nodes instead of O(n) per node.
+    let max_r = 2 * (side - 1);
+    let mut ring_cdf: Vec<f64> = Vec::with_capacity(max_r);
+    let mut acc = 0.0;
+    for r in 1..=max_r {
+        // weight = (#cells = 4r) · r^-alpha = 4 · r^{1-alpha}
+        acc += 4.0 * (r as f64).powf(1.0 - alpha);
+        ring_cdf.push(acc);
+    }
+    let total = acc;
+    for u in 0..n {
+        let (ur, uc) = (u / side, u % side);
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < q && attempts < 200 * q {
+            attempts += 1;
+            let x = rng.gen::<f64>() * total;
+            let r = 1 + ring_cdf.partition_point(|&c| c <= x).min(max_r - 1);
+            // Uniform cell on the Manhattan ring of radius r around (ur, uc):
+            // parametrize by a signed row offset dr in [-r, r] and the two
+            // column choices (except at the poles).
+            let dr = rng.gen_range(-(r as isize)..=(r as isize));
+            let rem = r as isize - dr.abs();
+            let dc = if rem == 0 {
+                0
+            } else if rng.gen::<bool>() {
+                rem
+            } else {
+                -rem
+            };
+            let (vr, vc) = (ur as isize + dr, uc as isize + dc);
+            if vr < 0 || vc < 0 || vr >= side as isize || vc >= side as isize {
+                continue;
+            }
+            let v = vr as usize * side + vc as usize;
+            if v != u && !g.has_edge(u, v) {
+                g.add_edge(u, v);
+                added += 1;
+            }
+        }
+    }
+    g
+}
+
+/// An `n`-dimensional binary hypercube: nodes are bit strings `0..2ⁿ`,
+/// adjacent iff they differ in exactly one bit (§IV-C, Fig. 9).
+pub fn hypercube(dims: u32) -> Graph {
+    let n = 1usize << dims;
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for b in 0..dims {
+            let v = u ^ (1usize << b);
+            if u < v {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A generalized hypercube with per-dimension radices `radix[i]` (Fig. 6):
+/// nodes are mixed-radix tuples, adjacent iff they differ in exactly one
+/// coordinate (in *any* value, not just ±1).
+///
+/// Node id of tuple `(x₀, …, x_{d-1})` is the mixed-radix number
+/// `x₀ + x₁·r₀ + x₂·r₀r₁ + …`.
+pub fn generalized_hypercube(radix: &[usize]) -> Graph {
+    let n: usize = radix.iter().product();
+    let mut g = Graph::new(n.max(1));
+    if radix.is_empty() {
+        return g;
+    }
+    for u in 0..n {
+        // Decode u, then for each dimension enumerate the other radix-1 values.
+        let mut stride = 1usize;
+        for &r in radix {
+            let digit = (u / stride) % r;
+            for other in 0..r {
+                if other != digit {
+                    let v = (u as isize + (other as isize - digit as isize) * stride as isize)
+                        as usize;
+                    if u < v {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            stride *= r;
+        }
+    }
+    g
+}
+
+/// A Gnutella-like peer-to-peer overlay: Barabási–Albert backbone with a
+/// degree cap (ultrapeer fan-out limits) and a fraction of random rewiring.
+///
+/// Substitute for the Gnutella-08 snapshot used in the paper's Fig. 3 (see
+/// DESIGN.md §3): what matters for the NSF experiment is a heavy-tailed,
+/// approximately power-law degree distribution, which this generator has by
+/// construction.
+///
+/// # Errors
+///
+/// Propagates parameter errors from [`barabasi_albert`].
+pub fn gnutella_like(n: usize, m: usize, rewire: f64, seed: u64) -> Result<Graph, GraphError> {
+    let base = barabasi_albert(n, m, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut edges: Vec<(NodeId, NodeId)> = base.edges().collect();
+    edges.shuffle(&mut rng);
+    let k = ((edges.len() as f64) * rewire) as usize;
+    let mut g = base;
+    for &(u, v) in edges.iter().take(k) {
+        // Rewire one endpoint to a random node, keeping the graph simple.
+        let w = rng.gen_range(0..n);
+        if w != u && w != v && !g.has_edge(u, w) {
+            g.remove_edge(u, v);
+            g.add_edge(u, w);
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{connected_components, is_connected};
+
+    #[test]
+    fn deterministic_generators_have_expected_shape() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(star(6).edge_count(), 6);
+        assert_eq!(star(6).degree(0), 6);
+        assert_eq!(complete(5).edge_count(), 10);
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn erdos_renyi_edge_density_close_to_p() {
+        let g = erdos_renyi(400, 0.05, 42).unwrap();
+        let expected = 0.05 * (400.0 * 399.0 / 2.0);
+        let actual = g.edge_count() as f64;
+        assert!((actual - expected).abs() < 0.15 * expected, "{actual} vs {expected}");
+    }
+
+    #[test]
+    fn erdos_renyi_is_seeded() {
+        assert_eq!(erdos_renyi(50, 0.2, 7).unwrap(), erdos_renyi(50, 0.2, 7).unwrap());
+        assert_ne!(erdos_renyi(50, 0.2, 7).unwrap(), erdos_renyi(50, 0.2, 8).unwrap());
+    }
+
+    #[test]
+    fn erdos_renyi_rejects_bad_p() {
+        assert!(erdos_renyi(10, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn barabasi_albert_min_degree_and_connectivity() {
+        let g = barabasi_albert(500, 3, 1).unwrap();
+        assert!(is_connected(&g));
+        for u in g.nodes() {
+            assert!(g.degree(u) >= 3, "node {u} has degree {}", g.degree(u));
+        }
+        // Preferential attachment should create at least one hub.
+        let max_deg = g.degrees().into_iter().max().unwrap();
+        assert!(max_deg > 20, "expected a hub, max degree {max_deg}");
+    }
+
+    #[test]
+    fn barabasi_albert_rejects_bad_m() {
+        assert!(barabasi_albert(5, 0, 0).is_err());
+        assert!(barabasi_albert(5, 5, 0).is_err());
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 3).unwrap();
+        assert_eq!(g.edge_count(), 40);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_keeps_edge_count() {
+        let g = watts_strogatz(100, 3, 0.3, 5).unwrap();
+        assert_eq!(g.edge_count(), 300);
+    }
+
+    #[test]
+    fn unit_disk_radius_controls_edges() {
+        let pts = vec![(0.0, 0.0), (0.05, 0.0), (0.5, 0.5)];
+        let g = unit_disk_from_points(&pts, 0.1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        let g2 = unit_disk_from_points(&pts, 1.0);
+        assert_eq!(g2.edge_count(), 3);
+    }
+
+    #[test]
+    fn random_geometric_positions_in_unit_square() {
+        let gg = random_geometric(100, 0.2, 9);
+        assert_eq!(gg.positions.len(), 100);
+        for &(x, y) in &gg.positions {
+            assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn kleinberg_grid_adds_long_range_contacts() {
+        let side = 10;
+        let base_edges = grid(side, side).edge_count();
+        let g = kleinberg_grid(side, 1, 2.0, 11);
+        assert!(g.edge_count() > base_edges, "long-range contacts added");
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 4 * 16 / 2);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+            for &v in g.neighbors(u) {
+                assert_eq!((u ^ v).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn generalized_hypercube_matches_fig6() {
+        // Fig. 6: gender (2) × occupation (2) × nationality (3) = 12 nodes.
+        let g = generalized_hypercube(&[2, 2, 3]);
+        assert_eq!(g.node_count(), 12);
+        // Degree = (2-1) + (2-1) + (3-1) = 4 for every node.
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        // Binary case degenerates to the binary hypercube.
+        let b = generalized_hypercube(&[2, 2, 2]);
+        assert_eq!(b, hypercube(3));
+    }
+
+    #[test]
+    fn gnutella_like_is_heavy_tailed() {
+        let g = gnutella_like(2000, 3, 0.1, 13).unwrap();
+        assert_eq!(g.node_count(), 2000);
+        let (_, k) = connected_components(&g);
+        assert!(k <= 20, "rewiring must not shatter the graph, got {k} components");
+        let max_deg = g.degrees().into_iter().max().unwrap();
+        assert!(max_deg > 30, "expected hubs, max degree {max_deg}");
+    }
+}

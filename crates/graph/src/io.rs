@@ -1,0 +1,140 @@
+//! Plain-text edge-list (de)serialization.
+//!
+//! Format: one `u v` pair per line for [`Graph`]/[`Digraph`]; lines starting
+//! with `#` are comments (the SNAP dataset convention, matching the Gnutella
+//! snapshots the paper's Fig. 3 uses).
+
+use crate::error::GraphError;
+use crate::graph::{Digraph, Graph};
+use std::io::{BufRead, Write};
+
+/// Writes `g` as an undirected edge list.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# structura undirected edge list: {} nodes", g.node_count())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Writes `d` as a directed arc list.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_arc_list<W: Write>(d: &Digraph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# structura directed arc list: {} nodes", d.node_count())?;
+    for (u, v) in d.arcs() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Reads an undirected edge list. Node count is `1 + max index` unless a
+/// larger `min_nodes` is given.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines.
+pub fn read_edge_list<R: BufRead>(r: R, min_nodes: usize) -> Result<Graph, GraphError> {
+    let edges = parse_pairs(r)?;
+    let n = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) + 1)
+        .max()
+        .unwrap_or(0)
+        .max(min_nodes);
+    Graph::from_edges(n, &edges)
+}
+
+/// Reads a directed arc list, analogous to [`read_edge_list`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines.
+pub fn read_arc_list<R: BufRead>(r: R, min_nodes: usize) -> Result<Digraph, GraphError> {
+    let arcs = parse_pairs(r)?;
+    let n = arcs
+        .iter()
+        .map(|&(u, v)| u.max(v) + 1)
+        .max()
+        .unwrap_or(0)
+        .max(min_nodes);
+    Digraph::from_arcs(n, &arcs)
+}
+
+fn parse_pairs<R: BufRead>(r: R) -> Result<Vec<(usize, usize)>, GraphError> {
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| GraphError::Parse(format!("i/o error: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>| -> Result<usize, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse(format!("line {}: missing field", lineno + 1)))?
+                .parse::<usize>()
+                .map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        out.push((u, v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_undirected() {
+        let g = generators::erdos_renyi(30, 0.2, 1).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), 30).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn round_trip_directed() {
+        let d = Digraph::from_arcs(4, &[(0, 1), (1, 2), (3, 0)]).unwrap();
+        let mut buf = Vec::new();
+        write_arc_list(&d, &mut buf).unwrap();
+        let d2 = read_arc_list(buf.as_slice(), 0).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# comment\n\n0 1\n  # indented comment\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let text = "0 1\nbogus\n";
+        let err = read_edge_list(text.as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, GraphError::Parse(_)));
+        let text2 = "0\n";
+        assert!(read_edge_list(text2.as_bytes(), 0).is_err());
+    }
+
+    #[test]
+    fn min_nodes_pads_isolated_vertices() {
+        let g = read_edge_list("0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.node_count(), 10);
+    }
+}

@@ -1,0 +1,50 @@
+//! # csn-graph — static-graph substrate
+//!
+//! Core graph types, generators, and classical algorithms used throughout the
+//! `structura` workspace, a reproduction of *"Uncovering the Useful Structures
+//! of Complex Networks in Socially-Rich and Dynamic Environments"* (Jie Wu,
+//! ICDCS 2017).
+//!
+//! The paper treats the traditional graph `G = (V, E)` as the baseline model
+//! for complex networks (§II). This crate provides that substrate from
+//! scratch:
+//!
+//! * [`Graph`] — simple undirected graphs; [`Digraph`] — directed graphs.
+//! * [`generators`] — Erdős–Rényi, Barabási–Albert, Watts–Strogatz,
+//!   Kleinberg grids, random geometric (unit-disk), hypercubes, generalized
+//!   hypercubes, and a Gnutella-like peer-to-peer topology.
+//! * [`traversal`] — BFS/DFS, connected components, Tarjan SCC.
+//! * [`shortest_path`] — Dijkstra, Bellman–Ford, BFS distances.
+//! * [`centrality`] — degree, closeness, betweenness (Brandes),
+//!   eigenvector/PageRank, HITS (§III of the paper surveys these).
+//! * [`powerlaw`] — discrete power-law MLE fitting used by the nested
+//!   scale-free analysis (Fig. 3 / §III-B).
+//! * [`cores`] — k-core decomposition.
+//!
+//! # Examples
+//!
+//! ```
+//! use csn_graph::Graph;
+//!
+//! let mut g = Graph::new(4);
+//! g.add_edge(0, 1);
+//! g.add_edge(1, 2);
+//! g.add_edge(2, 3);
+//! assert_eq!(g.edge_count(), 3);
+//! assert!(csn_graph::traversal::is_connected(&g));
+//! ```
+
+pub mod centrality;
+pub mod cores;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod mst;
+pub mod powerlaw;
+pub mod shortest_path;
+pub mod spanner;
+pub mod traversal;
+
+pub use error::GraphError;
+pub use graph::{Digraph, Graph, NodeId, WeightedDigraph, WeightedGraph};

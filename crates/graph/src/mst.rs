@@ -1,0 +1,212 @@
+//! Minimum spanning trees (Kruskal with union-find, Prim).
+//!
+//! §III-A of the paper cites "inclusion of a minimum spanning tree" as a
+//! basic property trimmed subgraphs may be asked to maintain; the localized
+//! topology-control algorithms in `csn-trimming` (LMST) build per-node local
+//! MSTs with this module.
+
+use crate::graph::{NodeId, WeightedGraph};
+
+/// Disjoint-set union with path compression and union by rank.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n], sets: n }
+    }
+
+    /// Representative of the set containing `x`.
+    pub fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    /// Merges the sets of `a` and `b`; returns `false` if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+}
+
+/// Minimum spanning forest via Kruskal. Returns the chosen edges
+/// `(u, v, w)`; ties are broken deterministically by `(w, u, v)`.
+///
+/// # Examples
+///
+/// ```
+/// use csn_graph::{WeightedGraph, mst::kruskal};
+///
+/// let mut g = WeightedGraph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 2.0);
+/// g.add_edge(0, 2, 3.0);
+/// let tree = kruskal(&g);
+/// assert_eq!(tree.len(), 2);
+/// assert_eq!(tree.iter().map(|e| e.2).sum::<f64>(), 3.0);
+/// ```
+pub fn kruskal(g: &WeightedGraph) -> Vec<(NodeId, NodeId, f64)> {
+    let mut edges: Vec<(NodeId, NodeId, f64)> = g.edges().collect();
+    edges.sort_by(|a, b| {
+        a.2.partial_cmp(&b.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+    });
+    let mut uf = UnionFind::new(g.node_count());
+    let mut tree = Vec::new();
+    for (u, v, w) in edges {
+        if uf.union(u, v) {
+            tree.push((u, v, w));
+        }
+    }
+    tree
+}
+
+/// Minimum spanning tree via Prim from `root`, restricted to `root`'s
+/// connected component. Returns tree edges.
+pub fn prim(g: &WeightedGraph, root: NodeId) -> Vec<(NodeId, NodeId, f64)> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct E(f64, NodeId, NodeId); // weight, from, to
+    impl Eq for E {}
+    impl Ord for E {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| (other.1, other.2).cmp(&(self.1, self.2)))
+        }
+    }
+    impl PartialOrd for E {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let n = g.node_count();
+    let mut in_tree = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    let mut tree = Vec::new();
+    in_tree[root] = true;
+    for &(v, w) in g.neighbors(root) {
+        heap.push(E(w, root, v));
+    }
+    while let Some(E(w, u, v)) = heap.pop() {
+        if in_tree[v] {
+            continue;
+        }
+        in_tree[v] = true;
+        tree.push((u, v, w));
+        for &(x, wx) in g.neighbors(v) {
+            if !in_tree[x] {
+                heap.push(E(wx, v, x));
+            }
+        }
+    }
+    tree
+}
+
+/// Total weight of an edge set.
+pub fn total_weight(edges: &[(NodeId, NodeId, f64)]) -> f64 {
+    edges.iter().map(|e| e.2).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedGraph {
+        let mut g = WeightedGraph::new(5);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(0, 3, 6.0);
+        g.add_edge(1, 2, 3.0);
+        g.add_edge(1, 3, 8.0);
+        g.add_edge(1, 4, 5.0);
+        g.add_edge(2, 4, 7.0);
+        g.add_edge(3, 4, 9.0);
+        g
+    }
+
+    #[test]
+    fn kruskal_weight_on_known_graph() {
+        let tree = kruskal(&sample());
+        assert_eq!(tree.len(), 4);
+        assert_eq!(total_weight(&tree), 2.0 + 3.0 + 5.0 + 6.0);
+    }
+
+    #[test]
+    fn prim_matches_kruskal_weight() {
+        let g = sample();
+        for root in g.nodes() {
+            let t = prim(&g, root);
+            assert_eq!(t.len(), 4);
+            assert_eq!(total_weight(&t), 16.0, "root {root}");
+        }
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 3, 1.0);
+        assert_eq!(kruskal(&g).len(), 2);
+        assert_eq!(prim(&g, 0).len(), 1, "prim stays in its component");
+    }
+
+    #[test]
+    fn union_find_counts_sets() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.set_count(), 4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(2));
+    }
+
+    #[test]
+    fn random_graph_prim_equals_kruskal() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut g = WeightedGraph::new(40);
+        for u in 0..40 {
+            for v in (u + 1)..40 {
+                if rng.gen::<f64>() < 0.2 {
+                    g.add_edge(u, v, rng.gen::<f64>());
+                }
+            }
+        }
+        let k = total_weight(&kruskal(&g));
+        let p = total_weight(&prim(&g, 0));
+        // Same component assumed (dense ER at p=0.2, n=40 is connected whp).
+        assert!((k - p).abs() < 1e-9, "{k} vs {p}");
+    }
+}

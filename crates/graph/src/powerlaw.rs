@@ -1,0 +1,290 @@
+//! Discrete power-law fitting for degree distributions.
+//!
+//! The paper's layering section (§III-B, Fig. 3) defines *scale-free* (SF) as
+//! "node degree distribution follows the power-law distribution" and *nested
+//! scale-free* (NSF) in terms of the standard deviation of power-law
+//! exponents across peeled subgraphs. This module provides the exponent
+//! estimator those definitions need: the exact discrete maximum-likelihood
+//! estimator of Clauset–Shalizi–Newman (Hurwitz-zeta likelihood, optimized by
+//! golden-section search), a Kolmogorov–Smirnov goodness-of-fit distance, and
+//! an exact discrete power-law sampler for synthetic workloads.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of fitting `P(k) ∝ k^(-alpha)` for `k >= k_min` to a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// Estimated exponent `alpha`.
+    pub alpha: f64,
+    /// Lower cutoff used for the fit.
+    pub k_min: usize,
+    /// Number of samples at or above `k_min`.
+    pub tail_len: usize,
+    /// Kolmogorov–Smirnov distance between the empirical tail CCDF and the fit.
+    pub ks: f64,
+}
+
+/// Hurwitz zeta `ζ(alpha, q) = Σ_{k>=q} k^(-alpha)` by direct summation of
+/// the head plus an Euler–Maclaurin tail correction.
+///
+/// Accurate to ~1e-10 for `alpha > 1.05`.
+pub fn hurwitz_zeta(alpha: f64, q: usize) -> f64 {
+    assert!(alpha > 1.0, "zeta diverges for alpha <= 1");
+    assert!(q >= 1, "q must be positive");
+    const HEAD: usize = 2000;
+    let n = q + HEAD;
+    let mut sum = 0.0;
+    for k in q..n {
+        sum += (k as f64).powf(-alpha);
+    }
+    // Euler–Maclaurin: ∫_N^∞ x^-a dx + f(N)/2 - a·N^(-a-1)/12
+    let nf = n as f64;
+    sum += nf.powf(1.0 - alpha) / (alpha - 1.0) + 0.5 * nf.powf(-alpha)
+        - alpha * nf.powf(-alpha - 1.0) / 12.0;
+    sum
+}
+
+/// Fits a discrete power law to `values` with a fixed `k_min` using the exact
+/// discrete MLE: maximize `-n·ln ζ(α, k_min) - α·Σ ln x_i` over `α`.
+///
+/// Returns `None` if fewer than 2 samples reach `k_min`, `k_min < 1`, or all
+/// tail samples equal `k_min` (the likelihood then has no interior maximum).
+///
+/// # Examples
+///
+/// ```
+/// use csn_graph::powerlaw::{fit_with_kmin, sample_power_law};
+///
+/// let sample = sample_power_law(5000, 2.5, 1, 42);
+/// let fit = fit_with_kmin(&sample, 1).unwrap();
+/// assert!((fit.alpha - 2.5).abs() < 0.15);
+/// ```
+pub fn fit_with_kmin(values: &[usize], k_min: usize) -> Option<PowerLawFit> {
+    if k_min == 0 {
+        return None;
+    }
+    let tail: Vec<usize> = values.iter().copied().filter(|&v| v >= k_min).collect();
+    if tail.len() < 2 || tail.iter().all(|&v| v == k_min) {
+        return None;
+    }
+    let mean_log: f64 =
+        tail.iter().map(|&v| (v as f64).ln()).sum::<f64>() / tail.len() as f64;
+    // Negative mean log-likelihood per sample; unimodal in alpha.
+    let nll = |alpha: f64| hurwitz_zeta(alpha, k_min).ln() + alpha * mean_log;
+    let alpha = golden_section_min(nll, 1.05, 12.0, 1e-7);
+    let ks = ks_distance(&tail, alpha, k_min);
+    Some(PowerLawFit { alpha, k_min, tail_len: tail.len(), ks })
+}
+
+/// Golden-section search for the minimum of a unimodal function on `[a, b]`.
+fn golden_section_min<F: Fn(f64) -> f64>(f: F, mut a: f64, mut b: f64, tol: f64) -> f64 {
+    let inv_phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    (a + b) / 2.0
+}
+
+/// Fits a power law scanning `k_min` over the distinct sample values and
+/// picking the cutoff minimizing the KS distance (Clauset et al. procedure).
+///
+/// `min_tail` guards against degenerate tiny tails (values of ~50 are
+/// typical). Returns `None` if no cutoff yields an admissible fit.
+pub fn fit(values: &[usize], min_tail: usize) -> Option<PowerLawFit> {
+    let mut candidates: Vec<usize> = values.iter().copied().filter(|&v| v >= 1).collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut best: Option<PowerLawFit> = None;
+    for &k_min in &candidates {
+        let Some(f) = fit_with_kmin(values, k_min) else { continue };
+        if f.tail_len < min_tail {
+            break; // tails only shrink as k_min grows
+        }
+        if best.map_or(true, |b| f.ks < b.ks) {
+            best = Some(f);
+        }
+    }
+    best
+}
+
+/// KS distance between the empirical CCDF of `tail` (all ≥ `k_min`) and the
+/// exact discrete power-law CCDF `P(X >= k) = ζ(α, k)/ζ(α, k_min)`.
+fn ks_distance(tail: &[usize], alpha: f64, k_min: usize) -> f64 {
+    let mut sorted = tail.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let z0 = hurwitz_zeta(alpha, k_min);
+    let mut max_d: f64 = 0.0;
+    let mut i = 0usize;
+    // Cache ζ(α, k) incrementally: ζ(α,k+1) = ζ(α,k) - k^-α.
+    let mut zeta_k = z0;
+    let mut cur_k = k_min;
+    while i < sorted.len() {
+        let k = sorted[i];
+        while cur_k < k {
+            zeta_k -= (cur_k as f64).powf(-alpha);
+            cur_k += 1;
+        }
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == k {
+            j += 1;
+        }
+        let emp_ccdf_at_k = (sorted.len() - i) as f64 / n; // P_emp(X >= k)
+        let model = (zeta_k / z0).max(0.0);
+        max_d = max_d.max((emp_ccdf_at_k - model).abs());
+        i = j;
+    }
+    max_d
+}
+
+/// Draws `n` samples from the exact discrete power law
+/// `P(k) = k^(-alpha) / ζ(alpha, k_min)` by inverse-CDF walking.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 1` or `k_min == 0`.
+pub fn sample_power_law(n: usize, alpha: f64, k_min: usize, seed: u64) -> Vec<usize> {
+    use rand::{Rng, SeedableRng};
+    assert!(alpha > 1.0 && k_min >= 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let z0 = hurwitz_zeta(alpha, k_min);
+    // Precompute the CDF table for the overwhelming bulk of the mass; walk
+    // the tail analytically for the rare huge draws.
+    const TABLE: usize = 100_000;
+    let mut cdf = Vec::with_capacity(TABLE);
+    let mut acc = 0.0;
+    for k in k_min..(k_min + TABLE) {
+        acc += (k as f64).powf(-alpha) / z0;
+        cdf.push(acc);
+    }
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>();
+            if u < *cdf.last().expect("nonempty table") {
+                k_min + cdf.partition_point(|&c| c < u)
+            } else {
+                // Tail: continuous inversion of the remaining mass.
+                let k_t = (k_min + TABLE) as f64;
+                let rem = 1.0 - cdf.last().unwrap();
+                let frac = (u - cdf.last().unwrap()) / rem;
+                (k_t * (1.0 - frac).powf(-1.0 / (alpha - 1.0))) as usize
+            }
+        })
+        .collect()
+}
+
+/// Sample mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hurwitz_zeta_matches_riemann() {
+        // ζ(2) = π²/6.
+        let z2 = hurwitz_zeta(2.0, 1);
+        assert!((z2 - std::f64::consts::PI.powi(2) / 6.0).abs() < 1e-8, "{z2}");
+        // ζ(α, q) = ζ(α, 1) - Σ_{k<q} k^-α.
+        let lhs = hurwitz_zeta(2.5, 3);
+        let rhs = hurwitz_zeta(2.5, 1) - 1.0 - 2.0f64.powf(-2.5);
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_exponent_of_synthetic_sample() {
+        for &alpha in &[2.0f64, 2.5, 3.0] {
+            let sample = sample_power_law(50_000, alpha, 1, 42);
+            let fit = fit_with_kmin(&sample, 1).expect("fit");
+            assert!(
+                (fit.alpha - alpha).abs() < 0.05,
+                "alpha {alpha}: estimated {}",
+                fit.alpha
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_exponent_with_larger_kmin() {
+        let sample = sample_power_law(30_000, 2.2, 4, 11);
+        let fit = fit_with_kmin(&sample, 4).expect("fit");
+        assert!((fit.alpha - 2.2).abs() < 0.06, "estimated {}", fit.alpha);
+    }
+
+    #[test]
+    fn ks_small_for_true_power_law_large_for_uniform() {
+        let pl = sample_power_law(20_000, 2.5, 1, 7);
+        let fit_pl = fit_with_kmin(&pl, 1).unwrap();
+        assert!(fit_pl.ks < 0.02, "power-law KS = {}", fit_pl.ks);
+
+        let uniform: Vec<usize> = (0..20_000).map(|i| 1 + (i % 100)).collect();
+        let fit_u = fit_with_kmin(&uniform, 1).unwrap();
+        assert!(fit_u.ks > 0.1, "uniform KS = {}", fit_u.ks);
+    }
+
+    #[test]
+    fn scanning_kmin_improves_ks_on_shifted_data() {
+        // Power law only above k = 5; below that, uniform noise.
+        let mut sample = sample_power_law(10_000, 2.5, 5, 3);
+        sample.extend((0..5_000).map(|i| 1 + (i % 4)));
+        let scanned = fit(&sample, 50).expect("fit");
+        let fixed = fit_with_kmin(&sample, 1).expect("fit");
+        assert!(scanned.ks <= fixed.ks);
+        assert!(scanned.k_min >= 2, "cutoff should move up, got {}", scanned.k_min);
+        assert!((scanned.alpha - 2.5).abs() < 0.25, "estimated {}", scanned.alpha);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(fit_with_kmin(&[], 1).is_none());
+        assert!(fit_with_kmin(&[5], 1).is_none());
+        assert!(fit_with_kmin(&[3, 4], 0).is_none());
+        assert!(fit_with_kmin(&[2, 2, 2], 2).is_none(), "constant tail has no MLE");
+    }
+
+    #[test]
+    fn sampler_respects_kmin_and_is_seeded() {
+        let s = sample_power_law(1000, 2.5, 3, 5);
+        assert!(s.iter().all(|&v| v >= 3));
+        assert_eq!(s, sample_power_law(1000, 2.5, 3, 5));
+        assert_ne!(s, sample_power_law(1000, 2.5, 3, 6));
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+}

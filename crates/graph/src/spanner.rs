@@ -1,0 +1,155 @@
+//! Greedy graph spanners.
+//!
+//! §III-A: "a property is an approximate for a global measure. For example,
+//! subgraph distances closely resemble the distances in the original graph
+//! for designing approximation algorithms" (the paper's [8]). The greedy
+//! `t`-spanner is the classical structural-trimming realization of that
+//! idea: keep an edge only if the subgraph built so far cannot already
+//! connect its endpoints within `t` times the edge weight.
+
+use crate::graph::{NodeId, WeightedGraph};
+
+/// Builds the greedy `t`-spanner of `g` (`t >= 1`): edges are scanned in
+/// non-decreasing weight order and kept iff the spanner-so-far distance
+/// between the endpoints exceeds `t · w`.
+///
+/// The result has stretch at most `t`: for every edge `(u, v, w)` of `g`,
+/// `dist_spanner(u, v) <= t · w`, hence for every pair
+/// `dist_spanner <= t · dist_g`.
+///
+/// # Panics
+///
+/// Panics if `t < 1`.
+pub fn greedy_spanner(g: &WeightedGraph, t: f64) -> WeightedGraph {
+    assert!(t >= 1.0, "stretch must be at least 1");
+    let mut edges: Vec<(NodeId, NodeId, f64)> = g.edges().collect();
+    edges.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite weights"));
+    let mut spanner = WeightedGraph::new(g.node_count());
+    for (u, v, w) in edges {
+        if bounded_distance(&spanner, u, v, t * w) > t * w {
+            spanner.add_edge(u, v, w);
+        }
+    }
+    spanner
+}
+
+/// Dijkstra from `u` with early exit once `v` is settled or all distances
+/// exceed `bound`; returns `dist(u, v)` (possibly `inf`).
+fn bounded_distance(g: &WeightedGraph, u: NodeId, v: NodeId, bound: f64) -> f64 {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[u] = 0.0;
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    let key = |d: f64| d.to_bits(); // non-negative floats order by bits
+    heap.push(Reverse((key(0.0), u)));
+    while let Some(Reverse((db, x))) = heap.pop() {
+        let d = f64::from_bits(db);
+        if d > dist[x] {
+            continue;
+        }
+        if x == v {
+            return d;
+        }
+        if d > bound {
+            return f64::INFINITY; // beyond the useful horizon
+        }
+        for &(y, w) in g.neighbors(x) {
+            let nd = d + w;
+            if nd < dist[y] {
+                dist[y] = nd;
+                heap.push(Reverse((key(nd), y)));
+            }
+        }
+    }
+    dist[v]
+}
+
+/// Measures the worst observed pairwise stretch of `spanner` w.r.t. `g`
+/// (exact all-pairs; intended for validation on moderate graphs).
+pub fn max_stretch(g: &WeightedGraph, spanner: &WeightedGraph) -> f64 {
+    let mut worst: f64 = 1.0;
+    for s in g.nodes() {
+        let dg = crate::shortest_path::dijkstra(g, s).dist;
+        let dsp = crate::shortest_path::dijkstra(spanner, s).dist;
+        for v in g.nodes() {
+            if v != s && dg[v].is_finite() && dg[v] > 0.0 {
+                worst = worst.max(dsp[v] / dg[v]);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_weighted(n: usize, p: f64, seed: u64) -> WeightedGraph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < p {
+                    g.add_edge(u, v, 0.1 + rng.gen::<f64>());
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn stretch_bound_holds() {
+        for &t in &[1.5f64, 2.0, 4.0] {
+            let g = random_weighted(60, 0.3, 7);
+            let sp = greedy_spanner(&g, t);
+            let stretch = max_stretch(&g, &sp);
+            assert!(stretch <= t + 1e-9, "t={t}: observed stretch {stretch}");
+        }
+    }
+
+    #[test]
+    fn larger_t_trims_more() {
+        let g = random_weighted(80, 0.4, 3);
+        let s15 = greedy_spanner(&g, 1.5);
+        let s3 = greedy_spanner(&g, 3.0);
+        let s6 = greedy_spanner(&g, 6.0);
+        assert!(s3.edge_count() <= s15.edge_count());
+        assert!(s6.edge_count() <= s3.edge_count());
+        assert!(s6.edge_count() < g.edge_count(), "dense graph must be trimmed");
+    }
+
+    #[test]
+    fn spanner_preserves_connectivity() {
+        let g = random_weighted(50, 0.2, 9);
+        let sp = greedy_spanner(&g, 3.0);
+        use crate::traversal::connected_components;
+        let (c1, k1) = connected_components(&g.to_unweighted());
+        let (c2, k2) = connected_components(&sp.to_unweighted());
+        assert_eq!(k1, k2);
+        let _ = (c1, c2);
+    }
+
+    #[test]
+    fn t_one_keeps_shortest_path_edges() {
+        // With t = 1 every edge that is the unique shortest route between
+        // its endpoints must survive.
+        let mut g = WeightedGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 5.0);
+        let sp = greedy_spanner(&g, 1.0);
+        assert!(sp.weight(0, 1).is_some());
+        assert!(sp.weight(1, 2).is_some());
+        // 0-2 via 1 costs 2.0 <= 1 * 5.0: trimmed.
+        assert!(sp.weight(0, 2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "stretch")]
+    fn rejects_sub_unit_stretch() {
+        greedy_spanner(&WeightedGraph::new(2), 0.5);
+    }
+}

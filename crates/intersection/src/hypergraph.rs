@@ -1,0 +1,176 @@
+//! Interval hypergraphs (§II-A).
+//!
+//! "A *hyperedge*, a generalized edge connecting more than two vertices,
+//! seems to be more appropriate… An *interval hypergraph* can be defined
+//! where an additional hyperedge among A, C, and D should be added." The
+//! paper then asks: *what type of distribution of hyperedge cardinality will
+//! follow?* — this module computes exactly that distribution, taking the
+//! maximal sets of simultaneously-online users as the hyperedges.
+
+use crate::interval::Interval;
+use csn_graph::NodeId;
+
+/// An interval hypergraph: vertices are interval owners; hyperedges are the
+/// *maximal* sets of intervals sharing a common point (the users online at
+/// the same moment, Fig. 1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntervalHypergraph {
+    n: usize,
+    hyperedges: Vec<Vec<NodeId>>,
+}
+
+impl IntervalHypergraph {
+    /// Builds the hypergraph from an interval family by sweeping the event
+    /// points: between consecutive events the active set is constant; each
+    /// locally-maximal active set becomes a hyperedge.
+    pub fn from_intervals(intervals: &[Interval]) -> Self {
+        let n = intervals.len();
+        // Event coordinates; evaluate active sets at every event point
+        // (closed intervals: touching counts).
+        let mut points: Vec<f64> = intervals
+            .iter()
+            .flat_map(|iv| [iv.start, iv.end])
+            .collect();
+        points.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        points.dedup();
+        let mut sets: Vec<Vec<NodeId>> = Vec::new();
+        for &p in &points {
+            let active: Vec<NodeId> =
+                (0..n).filter(|&i| intervals[i].contains(p)).collect();
+            if active.len() >= 2 {
+                sets.push(active);
+            }
+        }
+        // Keep only maximal sets (dedup included ones).
+        sets.sort();
+        sets.dedup();
+        let mut keep = vec![true; sets.len()];
+        for i in 0..sets.len() {
+            for j in 0..sets.len() {
+                if i != j && keep[i] && is_subset(&sets[i], &sets[j]) && (sets[i].len() < sets[j].len()) {
+                    keep[i] = false;
+                }
+            }
+        }
+        let hyperedges = sets
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(s, k)| k.then_some(s))
+            .collect();
+        IntervalHypergraph { n, hyperedges }
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The maximal hyperedges.
+    pub fn hyperedges(&self) -> &[Vec<NodeId>] {
+        &self.hyperedges
+    }
+
+    /// Hyperedge-cardinality histogram: `hist[k]` counts hyperedges of
+    /// cardinality `k` (index 0 and 1 unused). This is the "edge density
+    /// distribution" the paper proposes to study for online social networks.
+    pub fn cardinality_distribution(&self) -> Vec<usize> {
+        if self.hyperedges.is_empty() {
+            return Vec::new();
+        }
+        let max = self.hyperedges.iter().map(Vec::len).max().unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for h in &self.hyperedges {
+            hist[h.len()] += 1;
+        }
+        hist
+    }
+
+    /// The 2-section (clique expansion): the plain interval graph edges
+    /// implied by the hyperedges.
+    pub fn two_section(&self) -> csn_graph::Graph {
+        let mut g = csn_graph::Graph::new(self.n);
+        for h in &self.hyperedges {
+            for i in 0..h.len() {
+                for j in (i + 1)..h.len() {
+                    if !g.has_edge(h[i], h[j]) {
+                        g.add_edge(h[i], h[j]);
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+fn is_subset(a: &[NodeId], b: &[NodeId]) -> bool {
+    a.iter().all(|x| b.binary_search(x).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{fig1_example, interval_graph};
+
+    #[test]
+    fn fig1_hyperedges_include_acd() {
+        // The paper: "an additional hyperedge among A, C, and D should be
+        // added to Fig 1(b)".
+        let hg = IntervalHypergraph::from_intervals(&fig1_example());
+        assert!(
+            hg.hyperedges().contains(&vec![0, 2, 3]),
+            "hyperedge {{A, C, D}} expected, got {:?}",
+            hg.hyperedges()
+        );
+        // A, B, C also share a moment (t in [4, 5]).
+        assert!(hg.hyperedges().contains(&vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn two_section_equals_interval_graph() {
+        let ivs = fig1_example();
+        let hg = IntervalHypergraph::from_intervals(&ivs);
+        assert_eq!(hg.two_section(), interval_graph(&ivs));
+    }
+
+    #[test]
+    fn cardinality_distribution_counts() {
+        let hg = IntervalHypergraph::from_intervals(&fig1_example());
+        let hist = hg.cardinality_distribution();
+        assert_eq!(hist.get(3).copied().unwrap_or(0), 2, "{hist:?}");
+    }
+
+    #[test]
+    fn disjoint_intervals_have_no_hyperedges() {
+        let ivs = vec![Interval::new(0.0, 1.0), Interval::new(2.0, 3.0)];
+        let hg = IntervalHypergraph::from_intervals(&ivs);
+        assert!(hg.hyperedges().is_empty());
+        assert_eq!(hg.cardinality_distribution(), vec![]);
+    }
+
+    #[test]
+    fn nested_intervals_yield_single_maximal_edge() {
+        let ivs = vec![
+            Interval::new(0.0, 10.0),
+            Interval::new(1.0, 9.0),
+            Interval::new(2.0, 8.0),
+        ];
+        let hg = IntervalHypergraph::from_intervals(&ivs);
+        assert_eq!(hg.hyperedges(), &[vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn two_section_matches_on_random_families() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let ivs: Vec<Interval> = (0..25)
+                .map(|_| {
+                    let s = rng.gen::<f64>() * 10.0;
+                    Interval::new(s, s + rng.gen::<f64>() * 3.0)
+                })
+                .collect();
+            let hg = IntervalHypergraph::from_intervals(&ivs);
+            assert_eq!(hg.two_section(), interval_graph(&ivs));
+        }
+    }
+}

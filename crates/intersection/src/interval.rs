@@ -1,0 +1,287 @@
+//! Interval graphs and multiple-interval graphs (Fig. 1 of the paper).
+//!
+//! An interval models one online session of a user; two users are linked in
+//! the interval graph when their sessions overlap. A user who is online
+//! several times has a [`MultiInterval`] profile, giving the
+//! *multiple-interval graph* the paper asks about.
+
+use csn_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A closed interval `[start, end]` on the real line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Left endpoint.
+    pub start: f64,
+    /// Right endpoint.
+    pub end: f64,
+}
+
+impl Interval {
+    /// Creates `[start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or either endpoint is NaN.
+    pub fn new(start: f64, end: f64) -> Self {
+        assert!(!start.is_nan() && !end.is_nan(), "NaN interval endpoint");
+        assert!(start <= end, "interval start {start} after end {end}");
+        Interval { start, end }
+    }
+
+    /// Whether the closed intervals intersect.
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Whether `t` lies inside the closed interval.
+    pub fn contains(&self, t: f64) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Interval length.
+    pub fn len(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Whether the interval is a single point.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0.0
+    }
+}
+
+/// A user's online profile: one or more sessions (§II-A: "each user can be
+/// online multiple times, and multiple-interval graphs can be used").
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MultiInterval {
+    /// The user's sessions; order is irrelevant.
+    pub sessions: Vec<Interval>,
+}
+
+impl MultiInterval {
+    /// A profile with a single session.
+    pub fn single(start: f64, end: f64) -> Self {
+        MultiInterval { sessions: vec![Interval::new(start, end)] }
+    }
+
+    /// Builds a profile from `(start, end)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair is inverted (see [`Interval::new`]).
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        MultiInterval { sessions: pairs.iter().map(|&(s, e)| Interval::new(s, e)).collect() }
+    }
+
+    /// Whether any pair of sessions from the two profiles overlaps.
+    pub fn intersects(&self, other: &MultiInterval) -> bool {
+        self.sessions.iter().any(|a| other.sessions.iter().any(|b| a.intersects(b)))
+    }
+}
+
+/// The interval graph of a family of intervals: vertex `i` per interval,
+/// edge iff intervals intersect.
+pub fn interval_graph(intervals: &[Interval]) -> Graph {
+    let n = intervals.len();
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if intervals[u].intersects(&intervals[v]) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// The multiple-interval graph of user profiles: edge iff any sessions
+/// overlap.
+pub fn multi_interval_graph(profiles: &[MultiInterval]) -> Graph {
+    let n = profiles.len();
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if profiles[u].intersects(&profiles[v]) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Maximum clique size of an *interval representation* by sweeping events:
+/// the deepest point of interval overlap. (Equals the chromatic number of
+/// the interval graph; interval graphs are perfect.)
+pub fn max_overlap(intervals: &[Interval]) -> usize {
+    let mut events: Vec<(f64, i32)> = Vec::with_capacity(2 * intervals.len());
+    for iv in intervals {
+        events.push((iv.start, 1));
+        events.push((iv.end, -1));
+    }
+    // Starts before ends at the same coordinate: closed intervals touch.
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)));
+    let mut depth = 0i32;
+    let mut best = 0i32;
+    for (_, delta) in events {
+        depth += delta;
+        best = best.max(depth);
+    }
+    best.max(0) as usize
+}
+
+/// Greedy coloring of an interval representation by the classic sweep:
+/// process intervals by start point, reuse the smallest free color. Uses
+/// exactly `max_overlap` colors (optimal).
+pub fn interval_coloring(intervals: &[Interval]) -> Vec<usize> {
+    let n = intervals.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| intervals[a].start.partial_cmp(&intervals[b].start).unwrap());
+    let mut colors = vec![usize::MAX; n];
+    // active: (end, color) of currently open intervals.
+    let mut active: Vec<(f64, usize)> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut next_color = 0;
+    for &i in &order {
+        let s = intervals[i].start;
+        // Closed intervals: an interval ending exactly at s still conflicts.
+        active.retain(|&(end, c)| {
+            if end < s {
+                free.push(c);
+                false
+            } else {
+                true
+            }
+        });
+        let c = free.pop().unwrap_or_else(|| {
+            let c = next_color;
+            next_color += 1;
+            c
+        });
+        colors[i] = c;
+        active.push((intervals[i].end, c));
+    }
+    colors
+}
+
+/// The paper's Fig. 1 online social network: four users whose sessions
+/// produce the interval graph of Fig. 1(b), with users `A`, `C`, `D` all
+/// online at one common moment (the basis for the interval-hypergraph
+/// discussion). Users are indexed `A=0, B=1, C=2, D=3`.
+pub fn fig1_example() -> Vec<Interval> {
+    vec![
+        Interval::new(0.0, 5.0), // A
+        Interval::new(4.0, 8.0), // B
+        Interval::new(2.0, 6.0), // C
+        Interval::new(1.0, 3.0), // D
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_basics() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(2.0, 4.0);
+        let c = Interval::new(2.5, 3.0);
+        assert!(a.intersects(&b), "closed intervals touching at a point intersect");
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+        assert!(a.contains(1.0));
+        assert!(!a.contains(2.1));
+        assert_eq!(a.len(), 2.0);
+        assert!(Interval::new(1.0, 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "after end")]
+    fn inverted_interval_panics() {
+        Interval::new(3.0, 1.0);
+    }
+
+    #[test]
+    fn fig1_interval_graph_shape() {
+        let ivs = fig1_example();
+        let g = interval_graph(&ivs);
+        // A-B, A-C, A-D, B-C, C-D; not B-D.
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(1, 3));
+        assert_eq!(g.edge_count(), 5);
+        // A, C, D intersect at a common moment (t in [2, 3]).
+        assert!(ivs[0].contains(2.5) && ivs[2].contains(2.5) && ivs[3].contains(2.5));
+    }
+
+    #[test]
+    fn multi_interval_user_online_twice() {
+        // User 0 online [0,1] and [5,6]; user 1 online [2,3]; user 2 [5.5, 7].
+        let profiles = vec![
+            MultiInterval::from_pairs(&[(0.0, 1.0), (5.0, 6.0)]),
+            MultiInterval::single(2.0, 3.0),
+            MultiInterval::single(5.5, 7.0),
+        ];
+        let g = multi_interval_graph(&profiles);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2), "second session overlaps");
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn multi_interval_graphs_exceed_interval_graphs() {
+        // C4 is not an interval graph, but it IS a 2-interval graph.
+        let profiles = vec![
+            MultiInterval::from_pairs(&[(0.0, 1.0), (6.0, 7.0)]),
+            MultiInterval::single(1.0, 3.0),
+            MultiInterval::from_pairs(&[(3.0, 4.0), (9.0, 10.0)]),
+            MultiInterval::from_pairs(&[(7.0, 9.0)]),
+        ];
+        let g = multi_interval_graph(&profiles);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(2, 3) && g.has_edge(3, 0));
+        assert!(!crate::chordal::is_chordal(&g), "C4 is chordless");
+    }
+
+    #[test]
+    fn max_overlap_and_coloring_agree() {
+        let ivs = fig1_example();
+        let k = max_overlap(&ivs);
+        assert_eq!(k, 3, "A, C, D overlap at one moment");
+        let colors = interval_coloring(&ivs);
+        let used = colors.iter().collect::<std::collections::HashSet<_>>().len();
+        assert_eq!(used, k, "interval coloring is optimal");
+        // Proper coloring check.
+        let g = interval_graph(&ivs);
+        for (u, v) in g.edges() {
+            assert_ne!(colors[u], colors[v]);
+        }
+    }
+
+    #[test]
+    fn coloring_random_intervals_is_proper_and_optimal() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let ivs: Vec<Interval> = (0..200)
+            .map(|_| {
+                let s = rng.gen::<f64>() * 100.0;
+                Interval::new(s, s + rng.gen::<f64>() * 10.0)
+            })
+            .collect();
+        let colors = interval_coloring(&ivs);
+        let g = interval_graph(&ivs);
+        for (u, v) in g.edges() {
+            assert_ne!(colors[u], colors[v], "improper coloring at ({u}, {v})");
+        }
+        let used = colors.iter().collect::<std::collections::HashSet<_>>().len();
+        assert_eq!(used, max_overlap(&ivs));
+    }
+
+    #[test]
+    fn point_overlap_counts() {
+        let ivs = vec![Interval::new(0.0, 1.0), Interval::new(1.0, 2.0)];
+        assert_eq!(max_overlap(&ivs), 2, "closed intervals touch at 1.0");
+    }
+}

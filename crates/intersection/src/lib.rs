@@ -1,0 +1,43 @@
+//! # csn-intersection — intersection graphs
+//!
+//! §II-A of the paper: "*Intersection graphs* are formed from a family of
+//! sets `S_i` by creating one vertex per set and connecting two vertices
+//! whenever the corresponding sets intersect." Two special cases structure
+//! the discussion:
+//!
+//! * **Unit disk graphs** ([`unit_disk`]) — sets are unit disks in the
+//!   plane; the workhorse model for sensor networks, MANETs, and VANETs.
+//!   Includes the paper's observation that a star with six or more leaves is
+//!   not a unit disk graph.
+//! * **Interval graphs** ([`interval`]) — sets are intervals on the real
+//!   line; with intervals as online time periods they model *online social
+//!   networks* (Fig. 1). Includes multiple-interval graphs (users online
+//!   several times) and the Lekkerkerker–Boland recognition
+//!   (chordal + asteroidal-triple-free, [`chordal`]).
+//! * **Interval hypergraphs** ([`hypergraph`]) — the paper's proposed
+//!   hyperedge view of moments when more than two users are online
+//!   simultaneously, with the hyperedge-cardinality distribution it asks
+//!   about.
+//!
+//! # Examples
+//!
+//! ```
+//! use csn_intersection::interval::{Interval, interval_graph};
+//! use csn_intersection::chordal::is_chordal;
+//!
+//! let sessions = vec![
+//!     Interval::new(0.0, 5.0),
+//!     Interval::new(4.0, 8.0),
+//!     Interval::new(2.0, 6.0),
+//! ];
+//! let g = interval_graph(&sessions);
+//! assert_eq!(g.edge_count(), 3);
+//! assert!(is_chordal(&g)); // every interval graph is chordal
+//! ```
+
+pub mod chordal;
+pub mod hypergraph;
+pub mod interval;
+pub mod unit_disk;
+
+pub use interval::{Interval, MultiInterval};

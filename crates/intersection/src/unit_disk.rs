@@ -1,0 +1,241 @@
+//! Unit disk graphs (§II-A).
+//!
+//! "Unit disk graphs have been extensively studied for sensor network,
+//! MANET, and VANET applications. Note that not all graphs are unit disk
+//! graphs. A star graph with one center node and six or more leaves is such
+//! an example."
+//!
+//! This module verifies realizations, checks the structural property behind
+//! the star counterexample (at most five pairwise-independent neighbors per
+//! node — the same packing bound that gives `|MIS| <= 5·|opt CDS|` in
+//! §IV-A), and provides a constant-factor TSP approximation whose analysis
+//! relies on unit-disk structure (the paper's example of a problem tractable
+//! on UDGs but not general graphs).
+
+use csn_graph::{Graph, NodeId};
+
+/// A point in the plane.
+pub type Point = (f64, f64);
+
+/// Euclidean distance.
+pub fn dist(a: Point, b: Point) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Whether `(points, radius)` realizes `g` as a unit disk graph: edge iff
+/// distance `<= radius`.
+pub fn is_udg_realization(g: &Graph, points: &[Point], radius: f64) -> bool {
+    if points.len() != g.node_count() {
+        return false;
+    }
+    for u in 0..points.len() {
+        for v in (u + 1)..points.len() {
+            let within = dist(points[u], points[v]) <= radius;
+            if within != g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Maximum number of pairwise non-adjacent neighbors over all nodes.
+///
+/// In any unit disk graph this is at most 5 (six unit-distance neighbors of
+/// a disk always contain two within 60°, hence within unit distance of each
+/// other) — which is why the star `K_{1,6}` is not a UDG. Exponential in
+/// the neighborhood size; fine for bounded-degree geometric graphs.
+pub fn max_independent_neighbors(g: &Graph) -> usize {
+    let mut best = 0;
+    for u in g.nodes() {
+        let nbrs = g.neighbors(u);
+        best = best.max(largest_independent_subset(g, nbrs));
+    }
+    best
+}
+
+fn largest_independent_subset(g: &Graph, nodes: &[NodeId]) -> usize {
+    // Branch and bound on the (small) neighbor set.
+    fn rec(g: &Graph, nodes: &[NodeId], chosen: &mut Vec<NodeId>, best: &mut usize) {
+        if nodes.is_empty() {
+            *best = (*best).max(chosen.len());
+            return;
+        }
+        if chosen.len() + nodes.len() <= *best {
+            return; // cannot beat the incumbent
+        }
+        let (v, rest) = nodes.split_first().expect("nonempty");
+        // Branch 1: include v if independent from chosen.
+        if chosen.iter().all(|&c| !g.has_edge(c, *v)) {
+            chosen.push(*v);
+            rec(g, rest, chosen, best);
+            chosen.pop();
+        }
+        // Branch 2: exclude v.
+        rec(g, rest, chosen, best);
+    }
+    let mut best = 0;
+    rec(g, nodes, &mut Vec::new(), &mut best);
+    best
+}
+
+/// Whether `g` passes the necessary local UDG condition: no node has six or
+/// more pairwise-independent neighbors. (Necessary, not sufficient — UDG
+/// recognition is NP-hard in general.)
+pub fn satisfies_udg_neighbor_bound(g: &Graph) -> bool {
+    max_independent_neighbors(g) <= 5
+}
+
+/// Nearest-neighbor + 2-opt TSP tour over points (cycle visiting all
+/// points), returning the visiting order. On unit-disk instances this is
+/// the classic constant-approximation the paper alludes to; we expose it for
+/// the structural-trimming experiments.
+pub fn tsp_tour(points: &[Point]) -> Vec<usize> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Nearest neighbor construction.
+    let mut tour = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut cur = 0usize;
+    used[0] = true;
+    tour.push(0);
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&v| !used[v])
+            .min_by(|&a, &b| {
+                dist(points[cur], points[a])
+                    .partial_cmp(&dist(points[cur], points[b]))
+                    .expect("finite distances")
+            })
+            .expect("unvisited node exists");
+        used[next] = true;
+        tour.push(next);
+        cur = next;
+    }
+    // 2-opt improvement.
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n.saturating_sub(1) {
+            for j in (i + 2)..n {
+                let a = tour[i];
+                let b = tour[i + 1];
+                let c = tour[j];
+                let d = tour[(j + 1) % n];
+                if a == d {
+                    continue;
+                }
+                let before = dist(points[a], points[b]) + dist(points[c], points[d]);
+                let after = dist(points[a], points[c]) + dist(points[b], points[d]);
+                if after + 1e-12 < before {
+                    tour[i + 1..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+    }
+    tour
+}
+
+/// Total length of a closed tour.
+pub fn tour_length(points: &[Point], tour: &[usize]) -> f64 {
+    if tour.len() < 2 {
+        return 0.0;
+    }
+    let mut len = 0.0;
+    for i in 0..tour.len() {
+        let a = points[tour[i]];
+        let b = points[tour[(i + 1) % tour.len()]];
+        len += dist(a, b);
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csn_graph::generators;
+
+    #[test]
+    fn realization_check() {
+        let points = vec![(0.0, 0.0), (0.5, 0.0), (2.0, 0.0)];
+        let g = generators::unit_disk_from_points(&points, 1.0);
+        assert!(is_udg_realization(&g, &points, 1.0));
+        // Wrong radius breaks it.
+        assert!(!is_udg_realization(&g, &points, 3.0));
+        // Wrong point count breaks it.
+        assert!(!is_udg_realization(&g, &points[..2], 1.0));
+    }
+
+    #[test]
+    fn star_k16_violates_udg_bound() {
+        // The paper's counterexample: K_{1,6} cannot be a unit disk graph.
+        let g = generators::star(6);
+        assert_eq!(max_independent_neighbors(&g), 6);
+        assert!(!satisfies_udg_neighbor_bound(&g));
+        // K_{1,5} passes the necessary condition (and is realizable).
+        let g5 = generators::star(5);
+        assert!(satisfies_udg_neighbor_bound(&g5));
+    }
+
+    #[test]
+    fn k15_is_realizable() {
+        // Pentagon of leaves around a center, leaves > 1 apart.
+        let mut points: Vec<Point> = vec![(0.0, 0.0)];
+        for k in 0..5 {
+            let theta = 2.0 * std::f64::consts::PI * k as f64 / 5.0;
+            points.push((0.99 * theta.cos(), 0.99 * theta.sin()));
+        }
+        let g = generators::unit_disk_from_points(&points, 1.0);
+        assert_eq!(g.degree(0), 5);
+        assert!(is_udg_realization(&generators::star(5), &points, 1.0));
+    }
+
+    #[test]
+    fn random_udgs_satisfy_neighbor_bound() {
+        // Every actual UDG satisfies the <= 5 independent-neighbor bound.
+        for seed in 0..5 {
+            let gg = generators::random_geometric(120, 0.18, seed);
+            assert!(
+                satisfies_udg_neighbor_bound(&gg.graph),
+                "seed {seed}: UDG violated the packing bound"
+            );
+        }
+    }
+
+    #[test]
+    fn tsp_tour_visits_all_once() {
+        let gg = generators::random_geometric(40, 0.3, 3);
+        let tour = tsp_tour(&gg.positions);
+        assert_eq!(tour.len(), 40);
+        let set: std::collections::HashSet<_> = tour.iter().collect();
+        assert_eq!(set.len(), 40);
+        assert!(tour_length(&gg.positions, &tour) > 0.0);
+    }
+
+    #[test]
+    fn tsp_on_square_is_optimal() {
+        let pts = vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
+        let tour = tsp_tour(&pts);
+        assert!((tour_length(&pts, &tour) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_opt_beats_crossing_tour() {
+        // Points where nearest-neighbor from 0 creates a crossing; 2-opt
+        // must bring the tour to the convex-hull optimum.
+        let pts = vec![(0.0, 0.0), (2.0, 0.1), (1.0, 0.0), (3.0, 0.0), (1.5, 1.0)];
+        let tour = tsp_tour(&pts);
+        let len = tour_length(&pts, &tour);
+        assert!(len < 8.0, "tour length {len}");
+    }
+
+    #[test]
+    fn empty_and_singleton_tours() {
+        assert!(tsp_tour(&[]).is_empty());
+        assert_eq!(tsp_tour(&[(1.0, 1.0)]), vec![0]);
+        assert_eq!(tour_length(&[(1.0, 1.0)], &[0]), 0.0);
+    }
+}

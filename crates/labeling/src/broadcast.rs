@@ -1,0 +1,140 @@
+//! Broadcasting over a CDS backbone (§IV-A's application; the paper's [22],
+//! "a generic distributed broadcast scheme in ad hoc wireless networks").
+//!
+//! The point of the virtual backbone: during a network-wide broadcast only
+//! backbone (black) nodes retransmit, yet every node still receives the
+//! message. Blind flooding — everyone retransmits once — is the baseline;
+//! the saving is the backbone's whole reason to exist.
+
+use csn_graph::{Graph, NodeId};
+
+/// Result of one broadcast simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastResult {
+    /// Rounds until quiescence.
+    pub rounds: usize,
+    /// Number of transmissions (nodes that forwarded).
+    pub transmissions: usize,
+    /// Nodes that received the message.
+    pub covered: usize,
+}
+
+/// Simulates a source-initiated broadcast where a node retransmits (once)
+/// iff `forwarders[u]` — the source always transmits. Reception: a node is
+/// covered when any transmitting neighbor fired.
+pub fn broadcast(g: &Graph, source: NodeId, forwarders: &[bool]) -> BroadcastResult {
+    let n = g.node_count();
+    let mut received = vec![false; n];
+    let mut transmitted = vec![false; n];
+    received[source] = true;
+    let mut rounds = 0;
+    let mut transmissions = 0;
+    loop {
+        // Every covered forwarder (or the source) that has not yet
+        // transmitted fires this round.
+        let firing: Vec<NodeId> = (0..n)
+            .filter(|&u| received[u] && !transmitted[u] && (forwarders[u] || u == source))
+            .collect();
+        if firing.is_empty() {
+            break;
+        }
+        rounds += 1;
+        for &u in &firing {
+            transmitted[u] = true;
+            transmissions += 1;
+            for &v in g.neighbors(u) {
+                received[v] = true;
+            }
+        }
+    }
+    BroadcastResult {
+        rounds,
+        transmissions,
+        covered: received.iter().filter(|&&r| r).count(),
+    }
+}
+
+/// Blind flooding: every node forwards.
+pub fn blind_flood(g: &Graph, source: NodeId) -> BroadcastResult {
+    broadcast(g, source, &vec![true; g.node_count()])
+}
+
+/// CDS-backbone broadcast: only the marked-and-pruned CDS forwards.
+pub fn cds_broadcast(g: &Graph, source: NodeId, priority: &[u64]) -> BroadcastResult {
+    let cds = crate::cds::marked_and_pruned_cds(g, priority);
+    broadcast(g, source, &cds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csn_graph::generators;
+
+    fn connected_udg(seed: u64) -> Graph {
+        let gg = generators::random_geometric(200, 0.16, seed);
+        let mask = csn_graph::traversal::largest_component_mask(&gg.graph);
+        gg.graph.induced_subgraph(&mask).0
+    }
+
+    #[test]
+    fn cds_broadcast_covers_everyone() {
+        for seed in 0..5 {
+            let g = connected_udg(seed);
+            if g.node_count() < 10 {
+                continue;
+            }
+            let priority: Vec<u64> = (0..g.node_count() as u64).collect();
+            for source in [0, g.node_count() / 2] {
+                let r = cds_broadcast(&g, source, &priority);
+                assert_eq!(r.covered, g.node_count(), "seed {seed}: coverage hole");
+            }
+        }
+    }
+
+    #[test]
+    fn cds_broadcast_saves_transmissions() {
+        let mut total_cds = 0usize;
+        let mut total_blind = 0usize;
+        for seed in 0..5 {
+            let g = connected_udg(100 + seed);
+            if g.node_count() < 10 {
+                continue;
+            }
+            let priority: Vec<u64> = (0..g.node_count() as u64).collect();
+            total_cds += cds_broadcast(&g, 0, &priority).transmissions;
+            total_blind += blind_flood(&g, 0).transmissions;
+        }
+        assert!(
+            total_cds < total_blind,
+            "backbone must save transmissions: {total_cds} vs {total_blind}"
+        );
+    }
+
+    #[test]
+    fn blind_flood_transmits_everywhere() {
+        let g = generators::path(6);
+        let r = blind_flood(&g, 0);
+        assert_eq!(r.transmissions, 6);
+        assert_eq!(r.covered, 6);
+        assert_eq!(r.rounds, 6, "wave advances one hop per round");
+    }
+
+    #[test]
+    fn non_forwarding_network_strands_the_message() {
+        let g = generators::path(4);
+        let r = broadcast(&g, 0, &vec![false; 4]);
+        assert_eq!(r.transmissions, 1, "only the source fires");
+        assert_eq!(r.covered, 2, "source and its neighbor");
+    }
+
+    #[test]
+    fn source_outside_backbone_still_reaches_it() {
+        // Fig. 8: A is white; a broadcast from A must still cover everyone
+        // because A's transmission reaches the backbone.
+        let g = crate::paper_fig8();
+        let r = cds_broadcast(&g, 0, &crate::paper_fig8_priorities());
+        assert_eq!(r.covered, 6);
+        // Transmissions: A + the CDS {B, C, D} (E, F stay quiet).
+        assert!(r.transmissions <= 4, "got {}", r.transmissions);
+    }
+}

@@ -1,0 +1,211 @@
+//! Connected dominating sets by localized marking and pruning (§IV-A).
+//!
+//! "Two colors are used: black for CDS nodes and white for non-CDS nodes.
+//! Initially, all nodes are white. If a node has two unconnected neighbors,
+//! it labels itself black. All black nodes form a CDS. … A trimming process
+//! can be applied locally to change black back to white if a black node's
+//! neighborhood is covered by other connected and higher priority black
+//! nodes." (Wu–Li marking with Dai–Wu style pruning.)
+
+use csn_graph::{Graph, NodeId};
+
+/// The marking process: a node turns black iff it has two unconnected
+/// neighbors. Purely local (2-hop information).
+///
+/// For a connected graph that is not complete, the black nodes form a
+/// connected dominating set.
+pub fn marking(g: &Graph) -> Vec<bool> {
+    g.nodes()
+        .map(|u| {
+            let nbrs = g.neighbors(u);
+            nbrs.iter().enumerate().any(|(i, &a)| {
+                nbrs.iter().skip(i + 1).any(|&b| !g.has_edge(a, b))
+            })
+        })
+        .collect()
+}
+
+/// Priority-based pruning: black node `u` reverts to white if its
+/// neighborhood is covered by a *connected* set of *higher-priority* black
+/// nodes (checked against the marking, so simultaneous decisions compose).
+///
+/// Coverage test: some connected component `K` of the higher-priority black
+/// subgraph satisfies `N(u) ⊆ N[K]`.
+pub fn prune(g: &Graph, black: &[bool], priority: &[u64]) -> Vec<bool> {
+    let n = g.node_count();
+    let mut result = black.to_vec();
+    for u in 0..n {
+        if !black[u] {
+            continue;
+        }
+        // Higher-priority black nodes.
+        let eligible: Vec<bool> = (0..n)
+            .map(|v| v != u && black[v] && priority[v] > priority[u])
+            .collect();
+        if covered_by_component(g, u, &eligible) {
+            result[u] = false;
+        }
+    }
+    result
+}
+
+/// Whether some connected component of `eligible` covers all of `u`'s
+/// neighbors (each neighbor in the component or adjacent to it).
+fn covered_by_component(g: &Graph, u: NodeId, eligible: &[bool]) -> bool {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut k = 0;
+    for s in 0..n {
+        if !eligible[s] || comp[s] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![s];
+        comp[s] = k;
+        while let Some(x) = stack.pop() {
+            for &y in g.neighbors(x) {
+                if eligible[y] && comp[y] == usize::MAX {
+                    comp[y] = k;
+                    stack.push(y);
+                }
+            }
+        }
+        k += 1;
+    }
+    'comp: for c in 0..k {
+        for &v in g.neighbors(u) {
+            let ok = (eligible[v] && comp[v] == c)
+                || g.neighbors(v).iter().any(|&w| eligible[w] && comp[w] == c);
+            if !ok {
+                continue 'comp;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// The full pipeline: marking then pruning.
+pub fn marked_and_pruned_cds(g: &Graph, priority: &[u64]) -> Vec<bool> {
+    let black = marking(g);
+    prune(g, &black, priority)
+}
+
+/// Whether `set` dominates `g`: every node is in `set` or adjacent to it.
+pub fn is_dominating(g: &Graph, set: &[bool]) -> bool {
+    g.nodes().all(|u| set[u] || g.neighbors(u).iter().any(|&v| set[v]))
+}
+
+/// Whether `set` induces a connected subgraph (trivially true for sets of
+/// size ≤ 1).
+pub fn is_connected_set(g: &Graph, set: &[bool]) -> bool {
+    let members: Vec<NodeId> = g.nodes().filter(|&u| set[u]).collect();
+    if members.len() <= 1 {
+        return true;
+    }
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![members[0]];
+    seen[members[0]] = true;
+    let mut count = 1;
+    while let Some(u) = stack.pop() {
+        for &v in g.neighbors(u) {
+            if set[v] && !seen[v] {
+                seen[v] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count == members.len()
+}
+
+/// Whether `set` is a connected dominating set.
+pub fn is_cds(g: &Graph, set: &[bool]) -> bool {
+    is_dominating(g, set) && is_connected_set(g, set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{paper_fig8, paper_fig8_priorities};
+    use csn_graph::generators;
+
+    #[test]
+    fn fig8_marking_blackens_all_but_a() {
+        // "In Fig. 8, all nodes except A are labeled black."
+        let g = paper_fig8();
+        let black = marking(&g);
+        assert_eq!(black, vec![false, true, true, true, true, true]);
+        assert!(is_cds(&g, &black));
+    }
+
+    #[test]
+    fn fig8_pruning_leaves_b_c_d() {
+        // "B, C, and D are three black nodes remained after the trimming."
+        let g = paper_fig8();
+        let pruned = marked_and_pruned_cds(&g, &paper_fig8_priorities());
+        assert_eq!(pruned, vec![false, true, true, true, false, false]);
+        assert!(is_cds(&g, &pruned));
+    }
+
+    #[test]
+    fn complete_graph_has_empty_marking() {
+        // Every neighborhood is a clique: nobody marks itself.
+        let g = generators::complete(5);
+        let black = marking(&g);
+        assert!(black.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn path_marks_interior() {
+        let g = generators::path(5);
+        let black = marking(&g);
+        assert_eq!(black, vec![false, true, true, true, false]);
+        assert!(is_cds(&g, &black));
+    }
+
+    #[test]
+    fn marking_yields_cds_on_random_udgs() {
+        for seed in 0..6 {
+            let gg = generators::random_geometric(120, 0.2, seed);
+            let mask = csn_graph::traversal::largest_component_mask(&gg.graph);
+            let (g, _) = gg.graph.induced_subgraph(&mask);
+            if g.node_count() < 5 || g.edge_count() == g.node_count() * (g.node_count() - 1) / 2 {
+                continue;
+            }
+            let black = marking(&g);
+            assert!(is_cds(&g, &black), "seed {seed}: marking not a CDS");
+        }
+    }
+
+    #[test]
+    fn pruning_preserves_cds_and_shrinks() {
+        for seed in 0..6 {
+            let gg = generators::random_geometric(120, 0.2, 100 + seed);
+            let mask = csn_graph::traversal::largest_component_mask(&gg.graph);
+            let (g, _) = gg.graph.induced_subgraph(&mask);
+            if g.node_count() < 5 {
+                continue;
+            }
+            let priority: Vec<u64> = (0..g.node_count() as u64).map(|i| i * 31 % 251).collect();
+            let black = marking(&g);
+            let pruned = prune(&g, &black, &priority);
+            let nb = black.iter().filter(|&&b| b).count();
+            let np = pruned.iter().filter(|&&b| b).count();
+            assert!(np <= nb);
+            if nb > 0 {
+                assert!(is_cds(&g, &pruned), "seed {seed}: pruning broke the CDS");
+            }
+        }
+    }
+
+    #[test]
+    fn helpers_behave() {
+        let g = generators::path(4);
+        assert!(is_dominating(&g, &[false, true, true, false]));
+        assert!(!is_dominating(&g, &[true, false, false, false]));
+        assert!(is_connected_set(&g, &[false, true, true, false]));
+        assert!(!is_connected_set(&g, &[true, false, false, true]));
+        assert!(is_connected_set(&g, &[false, false, false, false]), "empty set");
+        assert!(is_connected_set(&g, &[true, false, false, false]), "singleton");
+    }
+}

@@ -1,0 +1,239 @@
+//! Dynamic maintenance of a maximal independent set (§IV-C).
+//!
+//! "[30] shows that although constructing an MIS requires log n rounds, if
+//! MIS is built based on a graph with random priority nodes, an
+//! adding/deleting operation requires one round of adjustment in
+//! expectation." (Censor-Hillel, Haramaty, Karnin, PODC'16.)
+//!
+//! The maintained object is the *greedy* MIS under a fixed random priority
+//! order: a node is in the MIS iff none of its higher-priority neighbors
+//! is. This canonical set is unique, so updates only need to repair the
+//! region whose greedy outcome actually changed — expected `O(1)` nodes
+//! per topology change under random priorities.
+
+use csn_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dynamically maintained greedy MIS over a mutable graph.
+#[derive(Debug, Clone)]
+pub struct DynamicMis {
+    g: Graph,
+    priority: Vec<u64>,
+    in_mis: Vec<bool>,
+    rng: StdRng,
+}
+
+/// Statistics of one update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateStats {
+    /// Nodes whose MIS membership flipped.
+    pub adjustments: usize,
+    /// Nodes re-evaluated while repairing.
+    pub touched: usize,
+}
+
+impl DynamicMis {
+    /// Builds the greedy MIS of `g` under random priorities drawn from
+    /// `seed`.
+    pub fn new(g: Graph, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = g.node_count();
+        let priority: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let mut s = DynamicMis { g, priority, in_mis: Vec::new(), rng };
+        s.in_mis = s.greedy_from_scratch();
+        s
+    }
+
+    fn key(&self, u: NodeId) -> (u64, NodeId) {
+        (self.priority[u], u)
+    }
+
+    /// The canonical greedy MIS, recomputed from scratch (reference).
+    pub fn greedy_from_scratch(&self) -> Vec<bool> {
+        let n = self.g.node_count();
+        let mut order: Vec<NodeId> = (0..n).collect();
+        order.sort_by_key(|&u| std::cmp::Reverse(self.key(u)));
+        let mut in_mis = vec![false; n];
+        for &u in &order {
+            if !self.g.neighbors(u).iter().any(|&v| in_mis[v] && self.key(v) > self.key(u)) {
+                in_mis[u] = true;
+            }
+        }
+        in_mis
+    }
+
+    /// Current MIS mask.
+    pub fn mis(&self) -> &[bool] {
+        &self.in_mis
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// Inserts a new node with the given neighbors; returns its id and the
+    /// repair statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a neighbor id is out of range.
+    pub fn insert_node(&mut self, neighbors: &[NodeId]) -> (NodeId, UpdateStats) {
+        let u = self.g.add_node();
+        self.priority.push(self.rng.gen());
+        self.in_mis.push(false);
+        for &v in neighbors {
+            self.g.add_edge(u, v);
+        }
+        let stats = self.repair_from(u);
+        (u, stats)
+    }
+
+    /// Removes all edges of `u` (the node leaves the network); returns
+    /// repair statistics.
+    pub fn delete_node(&mut self, u: NodeId) -> UpdateStats {
+        let nbrs: Vec<NodeId> = self.g.neighbors(u).to_vec();
+        for &v in &nbrs {
+            self.g.remove_edge(u, v);
+        }
+        // u itself becomes isolated: greedy status = true.
+        let mut stats = self.repair_from(u);
+        for &v in &nbrs {
+            let s = self.repair_from(v);
+            stats.adjustments += s.adjustments;
+            stats.touched += s.touched;
+        }
+        stats
+    }
+
+    /// Re-evaluates the greedy rule starting at `u`, cascading only where
+    /// membership actually flips.
+    fn repair_from(&mut self, u: NodeId) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        // Process in decreasing priority so each node's higher neighbors
+        // are already settled (the greedy order).
+        let mut pending = std::collections::BinaryHeap::new();
+        pending.push(self.key(u));
+        let mut queued = std::collections::HashSet::new();
+        queued.insert(u);
+        while let Some((p, v)) = pending.pop() {
+            debug_assert_eq!((p, v), self.key(v));
+            queued.remove(&v);
+            stats.touched += 1;
+            let should = !self
+                .g
+                .neighbors(v)
+                .iter()
+                .any(|&w| self.in_mis[w] && self.key(w) > self.key(v));
+            if should != self.in_mis[v] {
+                self.in_mis[v] = should;
+                stats.adjustments += 1;
+                // Only lower-priority neighbors can be affected.
+                let lower: Vec<NodeId> = self
+                    .g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| self.key(w) < self.key(v))
+                    .collect();
+                for w in lower {
+                    if queued.insert(w) {
+                        pending.push(self.key(w));
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csn_graph::generators;
+
+    #[test]
+    fn initial_mis_is_valid() {
+        let g = generators::erdos_renyi(100, 0.05, 3).unwrap();
+        let dm = DynamicMis::new(g.clone(), 7);
+        assert!(crate::mis::is_maximal_independent(&g, dm.mis()));
+    }
+
+    #[test]
+    fn insertions_keep_the_greedy_invariant() {
+        let g = generators::erdos_renyi(40, 0.1, 5).unwrap();
+        let mut dm = DynamicMis::new(g, 11);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..60 {
+            let n = dm.graph().node_count();
+            let k = rng.gen_range(0..5.min(n));
+            let mut nbrs = Vec::new();
+            while nbrs.len() < k {
+                let v = rng.gen_range(0..n);
+                if !nbrs.contains(&v) {
+                    nbrs.push(v);
+                }
+            }
+            dm.insert_node(&nbrs);
+            assert_eq!(dm.mis(), dm.greedy_from_scratch().as_slice(), "greedy drifted");
+            assert!(crate::mis::is_maximal_independent(dm.graph(), dm.mis()));
+        }
+    }
+
+    #[test]
+    fn deletions_keep_the_greedy_invariant() {
+        let g = generators::erdos_renyi(60, 0.1, 23).unwrap();
+        let mut dm = DynamicMis::new(g, 29);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let u = rng.gen_range(0..dm.graph().node_count());
+            dm.delete_node(u);
+            assert_eq!(dm.mis(), dm.greedy_from_scratch().as_slice());
+            assert!(crate::mis::is_maximal_independent(dm.graph(), dm.mis()));
+        }
+    }
+
+    #[test]
+    fn expected_adjustments_are_small() {
+        // The paper's [30] claim: O(1) expected adjustments per update.
+        let mut totals = Vec::new();
+        for &n in &[100usize, 400, 1600] {
+            let g = generators::erdos_renyi(n, 8.0 / n as f64, n as u64).unwrap();
+            let mut dm = DynamicMis::new(g, 77);
+            let mut rng = StdRng::seed_from_u64(99);
+            let updates = 200;
+            let mut adj = 0usize;
+            for _ in 0..updates {
+                let sz = dm.graph().node_count();
+                let k = 4.min(sz);
+                let mut nbrs = Vec::new();
+                while nbrs.len() < k {
+                    let v = rng.gen_range(0..sz);
+                    if !nbrs.contains(&v) {
+                        nbrs.push(v);
+                    }
+                }
+                let (_, s) = dm.insert_node(&nbrs);
+                adj += s.adjustments;
+            }
+            totals.push(adj as f64 / updates as f64);
+        }
+        for &avg in &totals {
+            assert!(avg < 3.0, "average adjustments {avg} should be O(1)");
+        }
+        // No systematic growth with n (allowing noise).
+        assert!(
+            totals[2] < totals[0] + 2.0,
+            "adjustments should not grow with n: {totals:?}"
+        );
+    }
+
+    #[test]
+    fn isolated_insert_joins_mis_directly() {
+        let mut dm = DynamicMis::new(Graph::new(3), 1);
+        let (u, stats) = dm.insert_node(&[]);
+        assert!(dm.mis()[u]);
+        assert_eq!(stats.adjustments, 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! View inconsistency under lossy information exchange (§IV-C).
+//!
+//! "Mobility will create another serious problem: *view inconsistency*. In
+//! a mobile application, both neighborhood information exchanges … and
+//! asynchronous Hello message exchanges cause delays, which will generate
+//! inconsistent neighborhood and location information."
+//!
+//! This module stages the problem concretely: the three-color MIS election
+//! of §IV-A is run on top of unreliable hello exchanges (each hello is lost
+//! independently with probability `p`). A node that never heard a
+//! higher-priority neighbor's hello believes itself a local maximum — and
+//! two adjacent "clusterheads" appear. A conflict-resolution round (black
+//! nodes re-announce; the lower-priority one of an adjacent pair yields)
+//! repairs independence at the cost of extra rounds and possibly lost
+//! coverage, quantifying the paper's efficiency-vs-consistency tension.
+
+use csn_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a lossy MIS election.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LossyElection {
+    /// Elected set before any repair.
+    pub elected: Vec<bool>,
+    /// Adjacent elected pairs (independence violations) before repair.
+    pub conflicts: Vec<(NodeId, NodeId)>,
+    /// Elected set after the conflict-resolution round.
+    pub repaired: Vec<bool>,
+    /// Nodes left uncovered (not elected, no elected neighbor) after repair.
+    pub uncovered: usize,
+}
+
+/// Runs the §IV-A clusterhead election where every hello/declare message is
+/// dropped independently with probability `drop_prob`, then one repair
+/// round. Each node's *view* of its neighborhood is whatever survived.
+pub fn lossy_mis_election(
+    g: &Graph,
+    priority: &[u64],
+    drop_prob: f64,
+    seed: u64,
+) -> LossyElection {
+    let n = g.node_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Hello phase: node u knows neighbor v only if v's hello got through.
+    let mut known: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for u in 0..n {
+        for &v in g.neighbors(u) {
+            if rng.gen::<f64>() >= drop_prob {
+                known[u].push(v);
+            }
+        }
+    }
+    // Election rounds on the (inconsistent) views: same dynamics as
+    // mis::mis_distributed, but "white neighbors" means *known* neighbors,
+    // and declare messages are lossy too.
+    #[derive(Clone, Copy, PartialEq)]
+    enum C {
+        White,
+        Black,
+        Gray,
+    }
+    let key = |u: NodeId| (priority[u], u);
+    let mut color = vec![C::White; n];
+    loop {
+        let whites: Vec<NodeId> = (0..n).filter(|&u| color[u] == C::White).collect();
+        if whites.is_empty() {
+            break;
+        }
+        let mut new_black = Vec::new();
+        for &u in &whites {
+            let is_max = known[u]
+                .iter()
+                .filter(|&&v| color[v] == C::White)
+                .all(|&v| key(u) > key(v));
+            if is_max {
+                new_black.push(u);
+            }
+        }
+        if new_black.is_empty() {
+            // Inconsistent views can deadlock the election (mutual belief in
+            // a higher-priority white neighbor is impossible, but a node may
+            // wait on a neighbor it knows while being unknown to it). Break
+            // the tie by electing the globally best remaining white.
+            let best = *whites.iter().max_by_key(|&&u| key(u)).expect("nonempty");
+            new_black.push(best);
+        }
+        for &u in &new_black {
+            color[u] = C::Black;
+        }
+        // Declare messages: also lossy — a gray transition may be missed.
+        for &u in &whites {
+            if color[u] == C::White {
+                let heard = g
+                    .neighbors(u)
+                    .iter()
+                    .any(|&v| color[v] == C::Black && rng.gen::<f64>() >= drop_prob);
+                if heard {
+                    color[u] = C::Gray;
+                }
+            }
+        }
+    }
+    let elected: Vec<bool> = color.iter().map(|&c| c == C::Black).collect();
+    let conflicts: Vec<(NodeId, NodeId)> =
+        g.edges().filter(|&(u, v)| elected[u] && elected[v]).collect();
+    // Repair round: black nodes re-announce reliably (e.g. acknowledged
+    // unicast); for each adjacent black pair the lower priority yields.
+    let mut repaired = elected.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (u, v) in g.edges() {
+            if repaired[u] && repaired[v] {
+                let loser = if key(u) < key(v) { u } else { v };
+                repaired[loser] = false;
+                changed = true;
+            }
+        }
+    }
+    let uncovered = (0..n)
+        .filter(|&u| !repaired[u] && !g.neighbors(u).iter().any(|&v| repaired[v]))
+        .count();
+    LossyElection { elected, conflicts, repaired, uncovered }
+}
+
+/// Sweeps drop probabilities and reports mean conflicts and uncovered
+/// nodes over `trials` elections each: the quantified cost of view
+/// inconsistency.
+pub fn inconsistency_sweep(
+    g: &Graph,
+    priority: &[u64],
+    drop_probs: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<(f64, f64, f64)> {
+    drop_probs
+        .iter()
+        .map(|&p| {
+            let mut conflicts = 0usize;
+            let mut uncovered = 0usize;
+            for t in 0..trials {
+                let r = lossy_mis_election(g, priority, p, seed ^ (t as u64 * 0x9e37) ^ ((p * 1e6) as u64));
+                conflicts += r.conflicts.len();
+                uncovered += r.uncovered;
+            }
+            (p, conflicts as f64 / trials as f64, uncovered as f64 / trials as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mis::is_independent;
+    use csn_graph::generators;
+
+    #[test]
+    fn lossless_election_is_a_valid_mis() {
+        let g = generators::erdos_renyi(60, 0.1, 3).unwrap();
+        let priority: Vec<u64> = (0..60).map(|i| (i * 13) % 251).collect();
+        let r = lossy_mis_election(&g, &priority, 0.0, 7);
+        assert!(r.conflicts.is_empty(), "no losses, no inconsistency");
+        assert!(crate::mis::is_maximal_independent(&g, &r.elected));
+        assert_eq!(r.elected, r.repaired);
+        assert_eq!(r.uncovered, 0);
+    }
+
+    #[test]
+    fn losses_create_conflicts() {
+        // The paper's point: inconsistent views break the structure.
+        let g = generators::erdos_renyi(80, 0.15, 5).unwrap();
+        let priority: Vec<u64> = (0..80).map(|i| (i * 29) % 509).collect();
+        let mut total = 0;
+        for t in 0..20 {
+            let r = lossy_mis_election(&g, &priority, 0.4, 100 + t);
+            total += r.conflicts.len();
+        }
+        assert!(total > 0, "40% message loss must eventually elect neighbors");
+    }
+
+    #[test]
+    fn repair_restores_independence() {
+        let g = generators::erdos_renyi(80, 0.15, 9).unwrap();
+        let priority: Vec<u64> = (0..80).map(|i| (i * 17) % 499).collect();
+        for t in 0..20 {
+            let r = lossy_mis_election(&g, &priority, 0.5, 300 + t);
+            assert!(is_independent(&g, &r.repaired), "trial {t}: repair failed");
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_spirit() {
+        let g = generators::erdos_renyi(60, 0.15, 13).unwrap();
+        let priority: Vec<u64> = (0..60).collect();
+        let sweep = inconsistency_sweep(&g, &priority, &[0.0, 0.3, 0.6], 15, 3);
+        assert_eq!(sweep[0].1, 0.0, "no drops, no conflicts");
+        assert!(
+            sweep[2].1 > sweep[0].1,
+            "heavy loss must create conflicts: {sweep:?}"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! # csn-labeling — distributed and localized labeling schemes (§IV)
+//!
+//! "We advocate distributed or local labeling schemes that use colors and
+//! labels to identify logical and physical structures."
+//!
+//! * **Static labels** (§IV-A) — each node labeled a small number of times:
+//!   [`cds`]: the marking process (black if two unconnected neighbors) and
+//!   priority-based pruning for connected dominating sets; [`mis`]:
+//!   three-color clusterhead election in `O(log n)` rounds and the
+//!   one-round *neighbor-designated* dominating set. The paper's Fig. 8
+//!   worked example is [`paper_fig8`].
+//! * **Dynamic labels** (§IV-B) — nodes relabeled a non-constant number of
+//!   times: [`bellman_ford`]: distributed shortest-path labels with
+//!   failure-driven re-convergence (and its slow count-to-infinity
+//!   behavior); link reversal lives in `csn-layering`; PageRank/HITS in
+//!   `csn-graph`.
+//! * **Hybrids** (§IV-C) — [`safety`]: hypercube *safety levels* (the
+//!   paper's [32]), a distributed labeling that converges in at most `n−1`
+//!   rounds, each label decided exactly once, and then guides optimal
+//!   fault-tolerant routing with no routing table; [`dynamic_mis`]:
+//!   maintaining an MIS under node insertions/deletions with `O(1)`
+//!   expected adjustments per update (the paper's [30]).
+
+pub mod bellman_ford;
+pub mod cds;
+pub mod dynamic_mis;
+pub mod inconsistency;
+pub mod broadcast;
+pub mod mis;
+pub mod protocols;
+pub mod safety;
+pub mod sdn;
+pub mod safety_vector;
+
+use csn_graph::Graph;
+
+/// The worked example of the paper's Fig. 8 (six nodes `A..F`, indices
+/// `0..6`): marking turns every node except `A` black; pruning leaves the
+/// CDS `{B, C, D}`; the distributed MIS is `{A, B, E}`; the
+/// neighbor-designated DS is `{A, B, C}`.
+pub fn paper_fig8() -> Graph {
+    // A=0, B=1, C=2, D=3, E=4, F=5.
+    Graph::from_edges(6, &[(0, 3), (1, 2), (1, 5), (2, 3), (2, 4), (3, 4), (4, 5)])
+        .expect("static example is valid")
+}
+
+/// Priorities for [`paper_fig8`] matching the paper's ID order
+/// `p(A) > p(B) > … > p(F)`.
+pub fn paper_fig8_priorities() -> Vec<u64> {
+    vec![60, 50, 40, 30, 20, 10]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_shape() {
+        let g = paper_fig8();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.degree(0), 1, "A touches only D");
+        assert!(csn_graph::traversal::is_connected(&g));
+    }
+}

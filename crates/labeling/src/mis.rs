@@ -1,0 +1,226 @@
+//! Maximal independent sets and neighbor-designated dominating sets by
+//! localized coloring (§IV-A).
+//!
+//! "Distributed clusterhead calculation uses three colors to determine a
+//! maximal independent set … in log n rounds. Initially all nodes are
+//! white. If a node is the local 1-hop maximum (in terms of priorities)
+//! among white neighbors, it is colored black (and becomes a clusterhead).
+//! A node with a black neighbor is labeled gray … This process repeats
+//! until there is no white node."
+//!
+//! "The color of each node does not have to be self-determined. It can also
+//! be neighbor-designated: each node selects one winner (the one with
+//! the highest priority) from its 1-hop neighborhood including itself. A
+//! node is colored black if it is selected by at least one node. This
+//! process terminates in one round."
+
+use csn_graph::{Graph, NodeId};
+
+/// Node colors of the clusterhead election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Color {
+    /// Still competing.
+    White,
+    /// Clusterhead (MIS member).
+    Black,
+    /// Dominated by a black neighbor; out of the competition.
+    Gray,
+}
+
+/// Result of the distributed MIS election.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MisResult {
+    /// Membership mask of the MIS.
+    pub mis: Vec<bool>,
+    /// Rounds used (expected `O(log n)` under random priorities).
+    pub rounds: usize,
+}
+
+/// Three-color distributed MIS election under the given priorities
+/// (distinct values; ties broken by node id).
+pub fn mis_distributed(g: &Graph, priority: &[u64]) -> MisResult {
+    let n = g.node_count();
+    let mut color = vec![Color::White; n];
+    let mut rounds = 0;
+    let key = |u: NodeId| (priority[u], u);
+    loop {
+        let whites: Vec<NodeId> = (0..n).filter(|&u| color[u] == Color::White).collect();
+        if whites.is_empty() {
+            break;
+        }
+        rounds += 1;
+        // Local maxima among white neighbors turn black (simultaneously).
+        let mut new_black = Vec::new();
+        for &u in &whites {
+            let is_max = g
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| color[v] == Color::White)
+                .all(|&v| key(u) > key(v));
+            if is_max {
+                new_black.push(u);
+            }
+        }
+        for &u in &new_black {
+            color[u] = Color::Black;
+        }
+        // Whites with a black neighbor turn gray.
+        for &u in &whites {
+            if color[u] == Color::White
+                && g.neighbors(u).iter().any(|&v| color[v] == Color::Black)
+            {
+                color[u] = Color::Gray;
+            }
+        }
+    }
+    MisResult { mis: color.iter().map(|&c| c == Color::Black).collect(), rounds }
+}
+
+/// One-round neighbor-designated dominating set: every node votes for the
+/// highest-priority node of its closed neighborhood; voted nodes are black.
+pub fn neighbor_designated_ds(g: &Graph, priority: &[u64]) -> Vec<bool> {
+    let n = g.node_count();
+    let key = |u: NodeId| (priority[u], u);
+    let mut selected = vec![false; n];
+    for u in 0..n {
+        let winner = g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .chain(std::iter::once(u))
+            .max_by_key(|&v| key(v))
+            .expect("closed neighborhood nonempty");
+        selected[winner] = true;
+    }
+    selected
+}
+
+/// Whether `set` is an independent set.
+pub fn is_independent(g: &Graph, set: &[bool]) -> bool {
+    g.edges().all(|(u, v)| !(set[u] && set[v]))
+}
+
+/// Whether `set` is a *maximal* independent set (independent and every
+/// outside node has a neighbor inside).
+pub fn is_maximal_independent(g: &Graph, set: &[bool]) -> bool {
+    is_independent(g, set)
+        && g.nodes().all(|u| set[u] || g.neighbors(u).iter().any(|&v| set[v]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{paper_fig8, paper_fig8_priorities};
+    use csn_graph::generators;
+    use rand::{seq::SliceRandom, SeedableRng};
+
+    #[test]
+    fn fig8_mis_is_a_b_e() {
+        // "A and B are colored black [round 1] … The final MIS is A, B, and
+        // E, all colored black."
+        let g = paper_fig8();
+        let result = mis_distributed(&g, &paper_fig8_priorities());
+        assert_eq!(result.mis, vec![true, true, false, false, true, false]);
+        assert!(is_maximal_independent(&g, &result.mis));
+        assert_eq!(result.rounds, 2, "A, B in round 1; E in round 2");
+    }
+
+    #[test]
+    fn fig8_neighbor_designated_ds_is_a_b_c() {
+        // "In Fig. [8], A, B, and C are selected as DS (but not a CDS or an
+        // IS)."
+        let g = paper_fig8();
+        let ds = neighbor_designated_ds(&g, &paper_fig8_priorities());
+        assert_eq!(ds, vec![true, true, true, false, false, false]);
+        assert!(crate::cds::is_dominating(&g, &ds));
+        // Not independent (B-C edge) and not connected (A apart from B-C).
+        assert!(!is_independent(&g, &ds));
+        assert!(!crate::cds::is_connected_set(&g, &ds));
+    }
+
+    #[test]
+    fn mis_is_maximal_on_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for trial in 0..10 {
+            let g = generators::erdos_renyi(80, 0.08, 300 + trial).unwrap();
+            let mut priority: Vec<u64> = (0..80).collect();
+            priority.shuffle(&mut rng);
+            let result = mis_distributed(&g, &priority);
+            assert!(is_maximal_independent(&g, &result.mis), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn mis_rounds_grow_slowly() {
+        // Expected O(log n) rounds with random priorities.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for &n in &[100usize, 400, 1600] {
+            let g = generators::erdos_renyi(n, 4.0 / n as f64, n as u64).unwrap();
+            let mut priority: Vec<u64> = (0..n as u64).collect();
+            priority.shuffle(&mut rng);
+            let result = mis_distributed(&g, &priority);
+            let bound = 4 * (n as f64).log2().ceil() as usize;
+            assert!(
+                result.rounds <= bound,
+                "n={n}: rounds {} above O(log n) ballpark {bound}",
+                result.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_priorities_can_take_linear_rounds() {
+        // A path with increasing priorities peels one node per round from
+        // the high end: why *random* priorities matter.
+        let n = 40;
+        let g = generators::path(n);
+        let priority: Vec<u64> = (0..n as u64).collect();
+        let result = mis_distributed(&g, &priority);
+        assert!(result.rounds >= n / 4, "expected slow rounds, got {}", result.rounds);
+        assert!(is_maximal_independent(&g, &result.mis));
+    }
+
+    #[test]
+    fn neighbor_designated_always_dominates() {
+        for trial in 0..10 {
+            let g = generators::erdos_renyi(60, 0.1, 600 + trial).unwrap();
+            let priority: Vec<u64> = (0..60).map(|i| (i * 37) % 251).collect();
+            let ds = neighbor_designated_ds(&g, &priority);
+            assert!(crate::cds::is_dominating(&g, &ds), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn mis_bounded_by_five_times_cds_on_udgs() {
+        // §IV-A footnote: in a unit disk graph no MIS exceeds five times the
+        // minimum CDS; the pruned CDS upper-bounds nothing, but the ratio to
+        // it is still a sanity check that MIS sizes are moderate.
+        for seed in 0..5 {
+            let gg = generators::random_geometric(150, 0.22, 40 + seed);
+            let mask = csn_graph::traversal::largest_component_mask(&gg.graph);
+            let (g, _) = gg.graph.induced_subgraph(&mask);
+            if g.node_count() < 10 {
+                continue;
+            }
+            let priority: Vec<u64> = (0..g.node_count() as u64).collect();
+            let mis = mis_distributed(&g, &priority).mis;
+            let cds = crate::cds::marked_and_pruned_cds(&g, &priority);
+            let nm = mis.iter().filter(|&&b| b).count();
+            let nc = cds.iter().filter(|&&b| b).count().max(1);
+            assert!(nm <= 5 * nc, "seed {seed}: |MIS|={nm} vs 5·|CDS|={}", 5 * nc);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g = Graph::new(0);
+        let r = mis_distributed(&g, &[]);
+        assert!(r.mis.is_empty());
+        assert_eq!(r.rounds, 0);
+        let g1 = Graph::new(1);
+        let r1 = mis_distributed(&g1, &[7]);
+        assert_eq!(r1.mis, vec![true]);
+        let ds = neighbor_designated_ds(&g1, &[7]);
+        assert_eq!(ds, vec![true]);
+    }
+}

@@ -1,0 +1,250 @@
+//! The static labeling schemes of §IV-A as genuine message-passing
+//! protocols over `csn-distsim`.
+//!
+//! The module-level algorithms in [`crate::mis`] and [`crate::cds`] compute
+//! the same labels with a centralized sweep per round; the implementations
+//! here exchange real messages, so rounds *and messages* are accounted the
+//! way §IV-C worries about, and the fault plans of `csn-distsim` apply.
+//! Tests assert the message-passing runs reproduce the centralized labels
+//! exactly on fault-free networks.
+
+use csn_distsim::{Envelope, Neighborhood, Protocol, Simulator};
+use csn_graph::{Graph, NodeId};
+
+/// Messages of the three-color MIS election.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisMsg {
+    /// "I am still white" (sent with the sender's priority).
+    StillWhite(u64),
+    /// "I turned black."
+    Declare,
+}
+
+/// Per-node state of the MIS protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisState {
+    /// Competing.
+    White,
+    /// Clusterhead.
+    Black,
+    /// Dominated.
+    Gray,
+}
+
+/// The distributed MIS election: each round white nodes announce
+/// themselves; a white node that heard no higher-priority white neighbor
+/// last round declares black; whites hearing a declare turn gray.
+pub struct MisProtocol {
+    /// Node priorities (distinct; ties broken by id).
+    pub priority: Vec<u64>,
+}
+
+/// Internal per-node bookkeeping.
+#[derive(Debug, Clone)]
+pub struct MisNodeState {
+    /// Current color.
+    pub color: MisState,
+    /// Whether the initial announce round has happened.
+    announced: bool,
+    /// Highest (priority, id) heard from a white neighbor last round.
+    best_white_heard: Option<(u64, NodeId)>,
+}
+
+impl Protocol for MisProtocol {
+    type State = MisNodeState;
+    type Msg = MisMsg;
+
+    fn init(&self, _u: NodeId, _ctx: &Neighborhood) -> MisNodeState {
+        MisNodeState { color: MisState::White, announced: false, best_white_heard: None }
+    }
+
+    fn round(
+        &self,
+        u: NodeId,
+        state: &mut MisNodeState,
+        _ctx: &Neighborhood,
+        inbox: &[(NodeId, MisMsg)],
+    ) -> Vec<Envelope<MisMsg>> {
+        // Digest last round's messages.
+        let mut heard_declare = false;
+        let mut best: Option<(u64, NodeId)> = None;
+        for &(from, msg) in inbox {
+            match msg {
+                MisMsg::Declare => heard_declare = true,
+                MisMsg::StillWhite(p) => {
+                    let k = (p, from);
+                    if best.map_or(true, |b| k > b) {
+                        best = Some(k);
+                    }
+                }
+            }
+        }
+        state.best_white_heard = best;
+        match state.color {
+            MisState::White => {
+                if heard_declare {
+                    state.color = MisState::Gray;
+                    return vec![];
+                }
+                if state.announced {
+                    let me = (self.priority[u], u);
+                    let is_max = state.best_white_heard.map_or(true, |b| me > b);
+                    if is_max {
+                        state.color = MisState::Black;
+                        return vec![Envelope::Broadcast(MisMsg::Declare)];
+                    }
+                }
+                state.announced = true;
+                vec![Envelope::Broadcast(MisMsg::StillWhite(self.priority[u]))]
+            }
+            _ => vec![],
+        }
+    }
+}
+
+/// Outcome of a message-passing labeling run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolOutcome {
+    /// Final membership mask (black nodes).
+    pub black: Vec<bool>,
+    /// Rounds until quiescence.
+    pub rounds: usize,
+    /// Messages delivered.
+    pub messages: usize,
+}
+
+/// Runs the MIS election protocol to quiescence.
+pub fn run_mis_protocol(g: &Graph, priority: &[u64], max_rounds: usize) -> ProtocolOutcome {
+    let protocol = MisProtocol { priority: priority.to_vec() };
+    let mut sim = Simulator::new(g, &protocol);
+    let stats = sim.run_until_quiet(max_rounds);
+    ProtocolOutcome {
+        black: sim.states().iter().map(|s| s.color == MisState::Black).collect(),
+        rounds: stats.rounds,
+        messages: stats.messages,
+    }
+}
+
+/// The marking process (black iff two unconnected neighbors) as a protocol:
+/// round 1, everyone broadcasts its neighbor list; round 2, each node
+/// checks pairwise adjacency of its neighbors from the received lists.
+pub struct MarkingProtocol;
+
+/// Per-node state of the marking protocol.
+#[derive(Debug, Clone, Default)]
+pub struct MarkingState {
+    /// Decided black?
+    pub black: bool,
+    /// Neighbor lists received: (neighbor, its neighbors).
+    tables: Vec<(NodeId, Vec<NodeId>)>,
+    sent: bool,
+    decided: bool,
+}
+
+impl Protocol for MarkingProtocol {
+    type State = MarkingState;
+    type Msg = Vec<NodeId>;
+
+    fn init(&self, _u: NodeId, _ctx: &Neighborhood) -> MarkingState {
+        MarkingState::default()
+    }
+
+    fn round(
+        &self,
+        _u: NodeId,
+        state: &mut MarkingState,
+        ctx: &Neighborhood,
+        inbox: &[(NodeId, Vec<NodeId>)],
+    ) -> Vec<Envelope<Vec<NodeId>>> {
+        for (from, list) in inbox {
+            state.tables.push((*from, list.clone()));
+        }
+        if !state.sent {
+            state.sent = true;
+            return vec![Envelope::Broadcast(ctx.neighbors().to_vec())];
+        }
+        if !state.decided && state.tables.len() == ctx.degree() {
+            state.decided = true;
+            // Two unconnected neighbors <=> some neighbor pair (a, b) where
+            // b is absent from a's table.
+            let nbrs = ctx.neighbors();
+            'outer: for (i, &a) in nbrs.iter().enumerate() {
+                let table_a = state
+                    .tables
+                    .iter()
+                    .find(|(f, _)| *f == a)
+                    .map(|(_, t)| t.as_slice())
+                    .unwrap_or(&[]);
+                for &b in nbrs.iter().skip(i + 1) {
+                    if !table_a.contains(&b) {
+                        state.black = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        vec![]
+    }
+}
+
+/// Runs the marking protocol (terminates in 3 rounds).
+pub fn run_marking_protocol(g: &Graph) -> ProtocolOutcome {
+    let mut sim = Simulator::new(g, &MarkingProtocol);
+    let stats = sim.run_until_quiet(10);
+    ProtocolOutcome {
+        black: sim.states().iter().map(|s| s.black).collect(),
+        rounds: stats.rounds,
+        messages: stats.messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{paper_fig8, paper_fig8_priorities};
+    use csn_graph::generators;
+    use rand::{seq::SliceRandom, SeedableRng};
+
+    #[test]
+    fn protocol_mis_matches_centralized_on_fig8() {
+        let g = paper_fig8();
+        let out = run_mis_protocol(&g, &paper_fig8_priorities(), 100);
+        assert_eq!(out.black, vec![true, true, false, false, true, false]);
+        assert!(out.messages > 0);
+    }
+
+    #[test]
+    fn protocol_mis_matches_centralized_on_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for trial in 0..10 {
+            let g = generators::erdos_renyi(60, 0.08, 700 + trial).unwrap();
+            let mut priority: Vec<u64> = (0..60).collect();
+            priority.shuffle(&mut rng);
+            let central = crate::mis::mis_distributed(&g, &priority);
+            let protocol = run_mis_protocol(&g, &priority, 1000);
+            assert_eq!(protocol.black, central.mis, "trial {trial}");
+            assert!(crate::mis::is_maximal_independent(&g, &protocol.black));
+        }
+    }
+
+    #[test]
+    fn protocol_marking_matches_centralized() {
+        for trial in 0..8 {
+            let g = generators::erdos_renyi(50, 0.12, 900 + trial).unwrap();
+            let central = crate::cds::marking(&g);
+            let protocol = run_marking_protocol(&g);
+            assert_eq!(protocol.black, central, "trial {trial}");
+            assert!(protocol.rounds <= 4, "marking is localized: {}", protocol.rounds);
+        }
+    }
+
+    #[test]
+    fn marking_message_cost_is_one_broadcast_each() {
+        let g = generators::star(6);
+        let out = run_marking_protocol(&g);
+        // Each node broadcasts once: total deliveries = 2 * |E|.
+        assert_eq!(out.messages, 2 * g.edge_count());
+        assert!(out.black[0], "the hub sees unconnected leaves");
+        assert!(!out.black[1]);
+    }
+}

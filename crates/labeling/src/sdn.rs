@@ -1,0 +1,262 @@
+//! Hybrid centralized-and-distributed routing (§IV-C).
+//!
+//! "The first [front] is designing a hybrid centralized-and-distributed
+//! method… The key issue is how a centralized solution can offer some
+//! 'guidance' to a distributed one. … A recent work on central SDN control
+//! over distributed routing offers some interesting insights: … it inserts
+//! fake nodes and links to create an augmented topology for a distributed
+//! solution." (the paper's [31], Fissure-style central control.)
+//!
+//! Here the distributed substrate is weighted distance-vector routing
+//! (synchronous Bellman–Ford labels); the central controller *programs the
+//! weights* of an augmented topology so that the autonomous distributed
+//! computation converges to the forwarding tree the controller wants —
+//! guidance without replacing the distributed protocol.
+
+use csn_graph::{NodeId, WeightedGraph};
+
+/// Outcome of a synchronous weighted distance-vector run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceVectorOutcome {
+    /// Distance label per node (`f64::INFINITY` if unreachable).
+    pub dist: Vec<f64>,
+    /// Chosen next hop toward the destination (`None` at the destination or
+    /// when unreachable).
+    pub next_hop: Vec<Option<NodeId>>,
+    /// Rounds until no label changed.
+    pub rounds: usize,
+}
+
+/// Runs synchronous distributed Bellman–Ford on a weighted graph: each
+/// round every node re-relaxes from its neighbors' previous-round labels.
+pub fn distance_vector(g: &WeightedGraph, dest: NodeId, max_rounds: usize) -> DistanceVectorOutcome {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut next_hop: Vec<Option<NodeId>> = vec![None; n];
+    dist[dest] = 0.0;
+    let mut rounds = 0;
+    for _ in 0..max_rounds {
+        let snapshot = dist.clone();
+        let mut changed = false;
+        for u in 0..n {
+            if u == dest {
+                continue;
+            }
+            let best = g
+                .neighbors(u)
+                .iter()
+                .map(|&(v, w)| (snapshot[v] + w, v))
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite weights"));
+            if let Some((d, v)) = best {
+                if d.is_finite() && (d < dist[u] || next_hop[u].is_none()) {
+                    if (dist[u] - d).abs() > 1e-12 || next_hop[u] != Some(v) {
+                        changed = true;
+                    }
+                    dist[u] = d;
+                    next_hop[u] = Some(v);
+                }
+            }
+        }
+        rounds += 1;
+        if !changed {
+            break;
+        }
+    }
+    DistanceVectorOutcome { dist, next_hop, rounds }
+}
+
+/// A forwarding policy the controller wants: `parent[u]` is the required
+/// next hop of `u` toward the destination (`None` leaves `u` unmanaged).
+pub type DesiredTree = Vec<Option<NodeId>>;
+
+/// The controller's weight program: an augmented copy of the topology whose
+/// link weights make the desired tree the unique shortest-path tree.
+///
+/// Construction: desired tree edges get weight 1; every other link gets
+/// weight `n + 1` (long enough that no shortcut beats a tree path, short
+/// enough that unmanaged regions stay connected).
+///
+/// # Panics
+///
+/// Panics if the desired parents are not edges of `g`, or if the desired
+/// tree has a cycle (it must be destination-oriented).
+pub fn program_weights(g: &WeightedGraph, dest: NodeId, desired: &DesiredTree) -> WeightedGraph {
+    let n = g.node_count();
+    assert_eq!(desired.len(), n, "one desired parent per node");
+    // Validate: parents are real edges and the managed subgraph is acyclic
+    // toward dest.
+    for (u, parent) in desired.iter().enumerate() {
+        if let Some(p) = parent {
+            assert!(g.weight(u, *p).is_some(), "desired parent ({u} -> {p}) is not a link");
+        }
+    }
+    // Cycle check by walking each chain with a step bound.
+    for mut u in 0..n {
+        let mut steps = 0;
+        while let Some(p) = desired[u] {
+            u = p;
+            steps += 1;
+            assert!(steps <= n, "desired tree contains a cycle");
+            if u == dest {
+                break;
+            }
+        }
+    }
+    let long = (n + 1) as f64;
+    let mut programmed = WeightedGraph::new(n);
+    for (u, v, _) in g.edges() {
+        let on_tree = desired[u] == Some(v) || desired[v] == Some(u);
+        programmed.add_edge(u, v, if on_tree { 1.0 } else { long });
+    }
+    programmed
+}
+
+/// End-to-end hybrid: program the weights centrally, run the distributed
+/// protocol, and report whether every managed node converged to its
+/// desired next hop.
+pub fn steer(
+    g: &WeightedGraph,
+    dest: NodeId,
+    desired: &DesiredTree,
+    max_rounds: usize,
+) -> (DistanceVectorOutcome, bool) {
+    let programmed = program_weights(g, dest, desired);
+    let out = distance_vector(&programmed, dest, max_rounds);
+    let obeyed = desired
+        .iter()
+        .enumerate()
+        .all(|(u, want)| want.is_none() || out.next_hop[u] == *want);
+    (out, obeyed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A diamond where the default shortest path is NOT what the controller
+    /// wants: 0-1-3 is cheap, but the controller routes 0 via 2.
+    fn diamond() -> WeightedGraph {
+        let mut g = WeightedGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g
+    }
+
+    #[test]
+    fn distance_vector_matches_dijkstra() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 40;
+        let mut g = WeightedGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < 0.2 {
+                    g.add_edge(u, v, 0.5 + rng.gen::<f64>());
+                }
+            }
+        }
+        let out = distance_vector(&g, 0, 1000);
+        let sp = csn_graph::shortest_path::dijkstra(&g, 0);
+        for u in 0..n {
+            if sp.dist[u].is_finite() {
+                assert!((out.dist[u] - sp.dist[u]).abs() < 1e-9, "node {u}");
+            } else {
+                assert!(out.dist[u].is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn controller_overrides_the_natural_path() {
+        let g = diamond();
+        // Unprogrammed: node 0 is indifferent (both routes cost 2); make the
+        // natural route 0 -> 1 strictly better first.
+        let mut natural = g.clone();
+        natural.add_edge(0, 1, 0.5);
+        let before = distance_vector(&natural, 3, 100);
+        assert_eq!(before.next_hop[0], Some(1), "naturally routes via 1");
+        // Controller wants 0 -> 2 -> 3 and 1 -> 3.
+        let desired: DesiredTree = vec![Some(2), Some(3), Some(3), None];
+        let (out, obeyed) = steer(&natural, 3, &desired, 100);
+        assert!(obeyed, "next hops {:?}", out.next_hop);
+        assert_eq!(out.next_hop[0], Some(2));
+    }
+
+    #[test]
+    fn unmanaged_nodes_keep_working() {
+        let g = diamond();
+        // Only node 0 is managed; 1 and 2 are left to the protocol.
+        let desired: DesiredTree = vec![Some(2), None, None, None];
+        let (out, obeyed) = steer(&g, 3, &desired, 100);
+        assert!(obeyed);
+        assert!(out.next_hop[1].is_some());
+        assert!(out.dist.iter().take(3).all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn steering_on_random_graphs_always_obeys() {
+        // Controller asks for BFS-tree forwarding; the programmed weights
+        // must make the distributed protocol deliver exactly that.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for trial in 0..10 {
+            let n = 30;
+            let mut g = WeightedGraph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen::<f64>() < 0.15 {
+                        g.add_edge(u, v, 0.5 + rng.gen::<f64>() * 4.0);
+                    }
+                }
+            }
+            let skeleton = g.to_unweighted();
+            let mask = csn_graph::traversal::largest_component_mask(&skeleton);
+            let (sub, back) = {
+                let (s, map) = skeleton.induced_subgraph(&mask);
+                let mut back = vec![0usize; s.node_count()];
+                for (old, new) in map.iter().enumerate() {
+                    if let Some(nw) = new {
+                        back[*nw] = old;
+                    }
+                }
+                (s, back)
+            };
+            if sub.node_count() < 5 {
+                continue;
+            }
+            // Desired tree: BFS parents in the component, mapped back.
+            let mut desired: DesiredTree = vec![None; n];
+            let mut seen = vec![false; sub.node_count()];
+            let mut q = std::collections::VecDeque::from([0usize]);
+            seen[0] = true;
+            while let Some(u) = q.pop_front() {
+                for &v in sub.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        desired[back[v]] = Some(back[u]);
+                        q.push_back(v);
+                    }
+                }
+            }
+            let (out, obeyed) = steer(&g, back[0], &desired, 1000);
+            assert!(obeyed, "trial {trial}: {:?}", out.next_hop);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_desired_tree_rejected() {
+        let g = diamond();
+        let desired: DesiredTree = vec![Some(1), Some(0), None, None];
+        program_weights(&g, 3, &desired);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a link")]
+    fn non_edge_parent_rejected() {
+        let g = diamond();
+        let desired: DesiredTree = vec![Some(3), None, None, None];
+        program_weights(&g, 3, &desired);
+    }
+}

@@ -1,0 +1,24 @@
+//! # csn-layering — structural layering (§III-B)
+//!
+//! "The second approach is based on layering through the assignment of
+//! hierarchical levels to the nodes. Such a structure is either embedded in
+//! a given graph or man-made."
+//!
+//! * **Embedded layering** — [`nsf`]: scale-free (SF) and *nested
+//!   scale-free* (NSF) hierarchies obtained by iteratively removing local
+//!   lowest-degree nodes (the paper's Fig. 3 Gnutella experiment and the
+//!   Fig. 7 level labeling), plus [`pubsub`]: push/pull
+//!   publish–subscribe over the resulting hierarchy.
+//! * **Man-made layering** — [`link_reversal`]: destination-oriented DAGs
+//!   maintained by link reversal. The binary-link-label machine of the
+//!   paper's [24] is the core; full reversal (all labels 1, Rule 1 only)
+//!   and partial reversal (all labels 0, Rules 1 and 2) are its two
+//!   initializations, exactly as §IV-B describes. [`maxflow`]: the
+//!   height-based max-flow algorithms the paper points to — the cited
+//!   `O(|V|³)` MPM algorithm [17], Dinic, and push–relabel (heights
+//!   steering flow toward the sink).
+
+pub mod link_reversal;
+pub mod maxflow;
+pub mod nsf;
+pub mod pubsub;

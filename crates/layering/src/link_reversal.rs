@@ -1,0 +1,492 @@
+//! Man-made layering: destination-oriented DAGs by link reversal
+//! (§III-B Fig. 4 and §IV-B).
+//!
+//! The binary-link-label machine of the paper's [24] (Charron-Bost, Függer,
+//! Welch, Widder) is implemented as the core routine; the classical
+//! Gafni–Bertsekas algorithms fall out as initializations:
+//!
+//! * **Full reversal** — every sink reverses all incident links. Binary
+//!   labels: start uniform so Rule 2 fires exclusively.
+//! * **Partial reversal** — a sink does not re-reverse links reversed
+//!   toward it since its last activation. Binary labels: start all 0; Rules
+//!   1 and 2 alternate.
+//!
+//! The rules, quoted from §IV-B: "Rule 1: if at least one link incident on
+//! node `i` is labeled 0, then all the links incident on node `i` that are
+//! labeled 0 are reversed. The other incident links are not reversed, and
+//! the labels on all the incident links are flipped. Rule 2: if all the
+//! links incident on `i` are labeled 1, then all the links incident on `i`
+//! are reversed, but none of their labels change."
+//!
+//! A height-based full reversal ([`HeightReversal`]) cross-validates the
+//! label machine: "we can simply raise the levels of these sinks so that
+//! they are higher than their highest neighbors by 1."
+
+use csn_graph::{Digraph, Graph, NodeId};
+
+/// Statistics of a reversal run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReversalStats {
+    /// Synchronous rounds executed.
+    pub rounds: usize,
+    /// Node activations (a sink firing once).
+    pub node_activations: usize,
+    /// Individual link reversals.
+    pub link_reversals: usize,
+    /// Whether a destination-oriented DAG was reached.
+    pub converged: bool,
+}
+
+/// The binary-link-label link-reversal machine.
+#[derive(Debug, Clone)]
+pub struct BinaryLabelReversal {
+    dest: NodeId,
+    /// Edge list; `dir[e]` true means `edges[e].0 -> edges[e].1`.
+    edges: Vec<(NodeId, NodeId)>,
+    dir: Vec<bool>,
+    /// `label[e]` true = 1, false = 0.
+    label: Vec<bool>,
+    adj: Vec<Vec<usize>>,
+    /// Activation count per node.
+    activations: Vec<usize>,
+}
+
+/// Initial labeling: uniform 1 (full reversal) or uniform 0 (partial).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelInit {
+    /// All labels 1 — pure full reversal (Rule 2 only ever fires).
+    Full,
+    /// All labels 0 — partial reversal (Rules 1 and 2 interplay).
+    Partial,
+}
+
+impl BinaryLabelReversal {
+    /// Creates the machine from an undirected graph, heights to orient the
+    /// links (higher points to lower, ties by id), and the destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heights` has the wrong length or two adjacent nodes share
+    /// a height with equal ids (impossible) — ties break by id.
+    pub fn from_heights(g: &Graph, heights: &[i64], dest: NodeId, init: LabelInit) -> Self {
+        assert_eq!(heights.len(), g.node_count(), "height per node");
+        let mut edges = Vec::new();
+        let mut dir = Vec::new();
+        let mut adj = vec![Vec::new(); g.node_count()];
+        for (u, v) in g.edges() {
+            let e = edges.len();
+            edges.push((u, v));
+            // Height order; ties by id (distinct ids break symmetry).
+            dir.push((heights[u], u) > (heights[v], v));
+            adj[u].push(e);
+            adj[v].push(e);
+        }
+        let label = vec![matches!(init, LabelInit::Full); edges.len()];
+        BinaryLabelReversal {
+            dest,
+            dir,
+            label,
+            adj,
+            activations: vec![0; g.node_count()],
+            edges,
+        }
+    }
+
+    /// The current orientation as a digraph.
+    pub fn orientation(&self) -> Digraph {
+        let mut d = Digraph::new(self.adj.len());
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            if self.dir[e] {
+                d.add_arc(u, v);
+            } else {
+                d.add_arc(v, u);
+            }
+        }
+        d
+    }
+
+    /// Out-degree of `u` under the current orientation.
+    fn out_degree(&self, u: NodeId) -> usize {
+        self.adj[u]
+            .iter()
+            .filter(|&&e| {
+                let (a, _b) = self.edges[e];
+                self.dir[e] == (a == u)
+            })
+            .count()
+    }
+
+    /// Non-destination sinks under the current orientation.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        (0..self.adj.len())
+            .filter(|&u| u != self.dest && !self.adj[u].is_empty() && self.out_degree(u) == 0)
+            .collect()
+    }
+
+    /// Applies the rules to every current sink simultaneously (sinks are
+    /// pairwise non-adjacent, so this is well-defined). Returns the number
+    /// of link reversals performed.
+    pub fn step(&mut self) -> usize {
+        let sinks = self.sinks();
+        let mut reversals = 0;
+        for &u in &sinks {
+            self.activations[u] += 1;
+            let incident = self.adj[u].clone();
+            let any_zero = incident.iter().any(|&e| !self.label[e]);
+            if any_zero {
+                // Rule 1: reverse the 0-labeled links, flip every label.
+                for &e in &incident {
+                    if !self.label[e] {
+                        self.dir[e] = !self.dir[e];
+                        reversals += 1;
+                    }
+                    self.label[e] = !self.label[e];
+                }
+            } else {
+                // Rule 2: reverse everything, labels unchanged.
+                for &e in &incident {
+                    self.dir[e] = !self.dir[e];
+                    reversals += 1;
+                }
+            }
+        }
+        reversals
+    }
+
+    /// Runs until no non-destination sink remains or `max_rounds` elapse.
+    pub fn run(&mut self, max_rounds: usize) -> ReversalStats {
+        let mut stats = ReversalStats::default();
+        for _ in 0..max_rounds {
+            let sinks = self.sinks();
+            if sinks.is_empty() {
+                stats.converged = true;
+                break;
+            }
+            stats.node_activations += sinks.len();
+            stats.link_reversals += self.step();
+            stats.rounds += 1;
+        }
+        if self.sinks().is_empty() {
+            stats.converged = true;
+        }
+        stats
+    }
+
+    /// Per-node activation counts so far.
+    pub fn activations(&self) -> &[usize] {
+        &self.activations
+    }
+
+    /// Whether the orientation is a destination-oriented DAG: acyclic and
+    /// every node (in the destination's component) reaches `dest`.
+    pub fn is_destination_oriented(&self) -> bool {
+        let d = self.orientation();
+        if !d.is_acyclic() {
+            return false;
+        }
+        // Every non-isolated node must reach dest by following arcs.
+        let mut reach = vec![false; d.node_count()];
+        reach[self.dest] = true;
+        // Reverse BFS from dest over in-arcs.
+        let mut queue = std::collections::VecDeque::from([self.dest]);
+        while let Some(x) = queue.pop_front() {
+            for &w in d.in_neighbors(x) {
+                if !reach[w] {
+                    reach[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        (0..d.node_count()).all(|u| reach[u] || self.adj[u].is_empty())
+    }
+
+    /// Removes the link `(u, v)` (e.g. a broken radio link). Returns whether
+    /// it existed.
+    pub fn remove_link(&mut self, u: NodeId, v: NodeId) -> bool {
+        let Some(pos) = self
+            .edges
+            .iter()
+            .position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+        else {
+            return false;
+        };
+        // Swap-remove, then rebuild the adjacency index (link failures are
+        // rare events; O(m) rebuild keeps the bookkeeping simple).
+        let last = self.edges.len() - 1;
+        self.edges.swap(pos, last);
+        self.dir.swap(pos, last);
+        self.label.swap(pos, last);
+        self.edges.pop();
+        self.dir.pop();
+        self.label.pop();
+        for list in &mut self.adj {
+            list.clear();
+        }
+        for (e, &(a, b)) in self.edges.iter().enumerate() {
+            self.adj[a].push(e);
+            self.adj[b].push(e);
+        }
+        true
+    }
+}
+
+/// Classical full link reversal driven by integer heights (Fig. 4): a sink
+/// raises its height above its highest neighbor; links orient from higher
+/// to lower height.
+#[derive(Debug, Clone)]
+pub struct HeightReversal {
+    g: Graph,
+    dest: NodeId,
+    heights: Vec<i64>,
+    activations: Vec<usize>,
+}
+
+impl HeightReversal {
+    /// Creates the process with the given initial heights (destination
+    /// conventionally 0 and lowest).
+    pub fn new(g: Graph, heights: Vec<i64>, dest: NodeId) -> Self {
+        assert_eq!(heights.len(), g.node_count());
+        let activations = vec![0; g.node_count()];
+        HeightReversal { g, dest, heights, activations }
+    }
+
+    fn points_to(&self, u: NodeId, v: NodeId) -> bool {
+        (self.heights[u], u) > (self.heights[v], v)
+    }
+
+    /// Non-destination sinks (no lower neighbor).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.g
+            .nodes()
+            .filter(|&u| {
+                u != self.dest
+                    && self.g.degree(u) > 0
+                    && self.g.neighbors(u).iter().all(|&v| !self.points_to(u, v))
+            })
+            .collect()
+    }
+
+    /// One synchronous round of full reversal; returns reversal count.
+    pub fn step(&mut self) -> usize {
+        let sinks = self.sinks();
+        let mut reversals = 0;
+        for &u in &sinks {
+            self.activations[u] += 1;
+            let top = self
+                .g
+                .neighbors(u)
+                .iter()
+                .map(|&v| self.heights[v])
+                .max()
+                .expect("sink has neighbors");
+            self.heights[u] = top + 1;
+            reversals += self.g.degree(u);
+        }
+        reversals
+    }
+
+    /// Runs to convergence or `max_rounds`.
+    pub fn run(&mut self, max_rounds: usize) -> ReversalStats {
+        let mut stats = ReversalStats::default();
+        for _ in 0..max_rounds {
+            let sinks = self.sinks();
+            if sinks.is_empty() {
+                stats.converged = true;
+                break;
+            }
+            stats.node_activations += sinks.len();
+            stats.link_reversals += self.step();
+            stats.rounds += 1;
+        }
+        if self.sinks().is_empty() {
+            stats.converged = true;
+        }
+        stats
+    }
+
+    /// Heights after the process.
+    pub fn heights(&self) -> &[i64] {
+        &self.heights
+    }
+
+    /// Per-node activation counts.
+    pub fn activations(&self) -> &[usize] {
+        &self.activations
+    }
+
+    /// Current orientation as a digraph.
+    pub fn orientation(&self) -> Digraph {
+        let mut d = Digraph::new(self.g.node_count());
+        for (u, v) in self.g.edges() {
+            if self.points_to(u, v) {
+                d.add_arc(u, v);
+            } else {
+                d.add_arc(v, u);
+            }
+        }
+        d
+    }
+
+    /// Removes a link.
+    pub fn remove_link(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.g.remove_edge(u, v)
+    }
+}
+
+/// The adversarial chain instance exhibiting the `O(n²)` reversal cost of
+/// §IV-B: a path `dest - v₁ - v₂ - … - v_{n-1}` whose initial heights make
+/// every link point *away* from the destination; the reversal wave must
+/// ripple back and forth.
+pub fn adversarial_chain(n: usize) -> (Graph, Vec<i64>, NodeId) {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    // dest = 0 lowest; heights increase away from 0... that would already be
+    // destination-oriented. Adversarial: heights *decrease* away from 0, so
+    // the far end is the sink and reversals cascade node by node.
+    let heights: Vec<i64> = (0..n).map(|i| -(i as i64)).collect();
+    (g, heights, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csn_graph::generators;
+    use rand::{Rng, SeedableRng};
+
+    /// A Fig. 4-like instance: destination D with a small mesh above it, a
+    /// broken (A, D) link turning A into a sink.
+    fn fig4_like() -> (Graph, Vec<i64>, NodeId, NodeId) {
+        // Nodes: A=1, B=2, C=3, D=0 (dest), E=4.
+        let g = Graph::from_edges(
+            5,
+            &[(1, 0), (1, 2), (2, 3), (3, 0), (1, 4), (4, 3), (2, 0)],
+        )
+        .unwrap();
+        // Heights: D lowest; A just above D; others higher.
+        let heights = vec![0, 1, 2, 3, 4];
+        (g, heights, 0, 1)
+    }
+
+    #[test]
+    fn initial_orientation_is_destination_oriented() {
+        let (g, h, dest, _) = fig4_like();
+        let m = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Full);
+        assert!(m.is_destination_oriented());
+        assert!(m.sinks().is_empty());
+    }
+
+    #[test]
+    fn full_reversal_reconverges_after_link_break() {
+        let (g, h, dest, a) = fig4_like();
+        let mut m = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Full);
+        // Break (A, D): A loses its only outgoing link and becomes a sink.
+        assert!(m.remove_link(a, dest));
+        assert_eq!(m.sinks(), vec![a]);
+        let stats = m.run(10_000);
+        assert!(stats.converged, "full reversal must terminate");
+        assert!(m.is_destination_oriented());
+        assert!(stats.link_reversals > 0);
+        // "Each node may be involved in multiple rounds of reversals, like
+        // node A in Fig. 4."
+        assert!(m.activations()[a] >= 1);
+    }
+
+    #[test]
+    fn partial_reversal_reconverges_too() {
+        let (g, h, dest, a) = fig4_like();
+        let mut m = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Partial);
+        m.remove_link(a, dest);
+        let stats = m.run(10_000);
+        assert!(stats.converged);
+        assert!(m.is_destination_oriented());
+        let _ = stats;
+    }
+
+    #[test]
+    fn height_machine_matches_binary_full_reversal() {
+        // Same instance, same synchronous schedule: activation counts agree.
+        let (g, h, dest, a) = fig4_like();
+        let mut bl = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Full);
+        let mut hr = HeightReversal::new(g.clone(), h.clone(), dest);
+        bl.remove_link(a, dest);
+        hr.remove_link(a, dest);
+        let sb = bl.run(10_000);
+        let sh = hr.run(10_000);
+        assert!(sb.converged && sh.converged);
+        assert_eq!(bl.activations(), hr.activations());
+        assert_eq!(sb.rounds, sh.rounds);
+        assert_eq!(sb.link_reversals, sh.link_reversals);
+    }
+
+    #[test]
+    fn adversarial_chain_costs_quadratic() {
+        // §IV-B: "Overall, the number of reversals is O(n²)" — and the chain
+        // instance actually realizes Θ(n²) growth.
+        let mut costs = Vec::new();
+        for &n in &[8usize, 16, 32] {
+            let (g, h, dest) = adversarial_chain(n);
+            let mut m = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Full);
+            let stats = m.run(1_000_000);
+            assert!(stats.converged);
+            assert!(m.is_destination_oriented());
+            costs.push(stats.link_reversals as f64);
+        }
+        // Doubling n should roughly quadruple the reversals.
+        let r1 = costs[1] / costs[0];
+        let r2 = costs[2] / costs[1];
+        assert!(r1 > 2.5 && r2 > 2.5, "growth ratios {r1:.2}, {r2:.2} not quadratic");
+    }
+
+    #[test]
+    fn partial_no_worse_than_full_on_chain() {
+        // "Partial link reversal improves performance… but does not reduce
+        // the overall complexity."
+        let (g, h, dest) = adversarial_chain(32);
+        let mut full = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Full);
+        let mut part = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Partial);
+        let sf = full.run(1_000_000);
+        let sp = part.run(1_000_000);
+        assert!(sf.converged && sp.converged);
+        assert!(
+            sp.link_reversals <= sf.link_reversals,
+            "partial {} vs full {}",
+            sp.link_reversals,
+            sf.link_reversals
+        );
+    }
+
+    #[test]
+    fn random_graphs_always_reconverge() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for trial in 0..10 {
+            let g = generators::erdos_renyi(30, 0.15, 2100 + trial).unwrap();
+            // Work within the destination's component.
+            let mask = csn_graph::traversal::largest_component_mask(&g);
+            let (sub, _) = g.induced_subgraph(&mask);
+            if sub.node_count() < 3 {
+                continue;
+            }
+            let dest = 0;
+            let heights: Vec<i64> = (0..sub.node_count()).map(|_| rng.gen_range(0..50)).collect();
+            for init in [LabelInit::Full, LabelInit::Partial] {
+                let mut m = BinaryLabelReversal::from_heights(&sub, &heights, dest, init);
+                let stats = m.run(1_000_000);
+                assert!(stats.converged, "trial {trial} {init:?}");
+                assert!(m.is_destination_oriented(), "trial {trial} {init:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_reports_cycles() {
+        // Manually build a cyclic orientation via heights is impossible
+        // (heights are acyclic), so validate the checker on a DAG that is
+        // not destination-oriented: a node that cannot reach dest.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let m = BinaryLabelReversal::from_heights(&g, &[0, 1, 2], 1, LabelInit::Full);
+        // Orientation: 2 -> 1 -> 0; dest = 1; node 0 cannot reach it.
+        assert!(!m.is_destination_oriented());
+    }
+}

@@ -1,0 +1,201 @@
+//! Publish–subscribe over an NSF hierarchy (§III-B).
+//!
+//! "The hierarchical structure can facilitate efficient implementations of
+//! the pub-sub systems through push (moving up through the layered
+//! structure) and pull (coming down through the layered structure)."
+//!
+//! Publications are pushed up the hierarchy toward an apex; subscriptions
+//! are pulled up the same way; publisher and subscriber rendezvous on the
+//! subscriber's up-chain. Where several apexes exist, the paper's
+//! "external server" joins them ([`Hierarchy::apexes`]).
+
+use crate::nsf::nsf_levels;
+use csn_graph::{Graph, NodeId};
+
+/// A routing hierarchy derived from NSF levels: each node points to its
+/// lexicographically-largest `(level, id)` neighbor above itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hierarchy {
+    levels: Vec<usize>,
+    parent: Vec<Option<NodeId>>,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy of `g` from its NSF levels.
+    pub fn new(g: &Graph) -> Self {
+        let levels = nsf_levels(g);
+        let key = |u: NodeId| (levels[u], u);
+        let parent = g
+            .nodes()
+            .map(|u| {
+                g.neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| key(v) > key(u))
+                    .max_by_key(|&v| key(v))
+            })
+            .collect();
+        Hierarchy { levels, parent }
+    }
+
+    /// NSF level of `u`.
+    pub fn level(&self, u: NodeId) -> usize {
+        self.levels[u]
+    }
+
+    /// `u`'s parent in the hierarchy (`None` for apex nodes).
+    pub fn parent(&self, u: NodeId) -> Option<NodeId> {
+        self.parent[u]
+    }
+
+    /// Apex nodes: local maxima of `(level, id)` — roots of up-chains. The
+    /// paper assumes an external server connects them.
+    pub fn apexes(&self) -> Vec<NodeId> {
+        (0..self.parent.len()).filter(|&u| self.parent[u].is_none()).collect()
+    }
+
+    /// The up-chain from `u` to its apex (inclusive of both).
+    pub fn up_chain(&self, u: NodeId) -> Vec<NodeId> {
+        let mut chain = vec![u];
+        let mut cur = u;
+        while let Some(p) = self.parent[cur] {
+            chain.push(p);
+            cur = p;
+        }
+        chain
+    }
+}
+
+/// Result of routing one publication to one subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PubSubCost {
+    /// Hops the publication travelled (push + pull legs).
+    pub hops: usize,
+    /// Whether the external server had to bridge two apexes.
+    pub via_server: bool,
+}
+
+/// Routes a publication from `publisher` to `subscriber` through the
+/// hierarchy: push up the publisher's chain to the first node on the
+/// subscriber's up-chain (rendezvous), then pull down; if the chains never
+/// meet, both apexes talk via the external server.
+pub fn route(h: &Hierarchy, publisher: NodeId, subscriber: NodeId) -> PubSubCost {
+    let up_pub = h.up_chain(publisher);
+    let up_sub = h.up_chain(subscriber);
+    // First node of the publisher's chain lying on the subscriber's chain.
+    for (i, &x) in up_pub.iter().enumerate() {
+        if let Some(j) = up_sub.iter().position(|&y| y == x) {
+            return PubSubCost { hops: i + j, via_server: false };
+        }
+    }
+    // Disjoint chains: publisher apex -> server -> subscriber apex.
+    PubSubCost { hops: (up_pub.len() - 1) + 1 + (up_sub.len() - 1), via_server: true }
+}
+
+/// Baseline: flooding the publication reaches subscribers at BFS distance
+/// but costs one transmission per edge.
+pub fn flooding_cost(g: &Graph) -> usize {
+    g.edge_count()
+}
+
+/// Average pub-sub hop count over `pairs` random publisher/subscriber
+/// pairs, plus the fraction needing the server.
+pub fn average_route_cost(h: &Hierarchy, g: &Graph, pairs: usize, seed: u64) -> (f64, f64) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = g.node_count();
+    let mut total = 0usize;
+    let mut server = 0usize;
+    for _ in 0..pairs {
+        let p = rng.gen_range(0..n);
+        let s = rng.gen_range(0..n);
+        let cost = route(h, p, s);
+        total += cost.hops;
+        if cost.via_server {
+            server += 1;
+        }
+    }
+    (total as f64 / pairs as f64, server as f64 / pairs as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csn_graph::generators;
+
+    fn star_hierarchy() -> (Graph, Hierarchy) {
+        let g = generators::star(5);
+        let h = Hierarchy::new(&g);
+        (g, h)
+    }
+
+    #[test]
+    fn star_apex_is_center() {
+        let (_, h) = star_hierarchy();
+        assert_eq!(h.apexes(), vec![0]);
+        for leaf in 1..=5 {
+            assert_eq!(h.parent(leaf), Some(0));
+            assert_eq!(h.up_chain(leaf), vec![leaf, 0]);
+        }
+    }
+
+    #[test]
+    fn leaf_to_leaf_routes_through_center() {
+        let (_, h) = star_hierarchy();
+        let cost = route(&h, 1, 2);
+        assert_eq!(cost.hops, 2);
+        assert!(!cost.via_server);
+        // Publisher == subscriber: zero hops.
+        assert_eq!(route(&h, 3, 3).hops, 0);
+        // Center to leaf: one pull hop.
+        assert_eq!(route(&h, 0, 4).hops, 1);
+    }
+
+    #[test]
+    fn disconnected_components_use_the_server() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let h = Hierarchy::new(&g);
+        assert_eq!(h.apexes().len(), 2);
+        let cost = route(&h, 0, 2);
+        assert!(cost.via_server);
+        assert!(cost.hops >= 2);
+    }
+
+    #[test]
+    fn up_chains_terminate_on_scale_free_graphs() {
+        // Parent keys strictly increase, so chains cannot loop.
+        let g = generators::barabasi_albert(800, 3, 3).unwrap();
+        let h = Hierarchy::new(&g);
+        for u in g.nodes() {
+            let chain = h.up_chain(u);
+            assert!(chain.len() <= g.node_count());
+            // Keys strictly increase along the chain.
+            for w in chain.windows(2) {
+                assert!(
+                    (h.level(w[1]), w[1]) > (h.level(w[0]), w[0]),
+                    "chain must climb"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_routing_beats_flooding_on_average() {
+        let g = generators::gnutella_like(1500, 3, 0.05, 9).unwrap();
+        let h = Hierarchy::new(&g);
+        let (avg_hops, _server_frac) = average_route_cost(&h, &g, 300, 4);
+        let flood = flooding_cost(&g) as f64;
+        assert!(
+            avg_hops * 20.0 < flood,
+            "hierarchical rendezvous ({avg_hops} hops) must be far below flooding ({flood})"
+        );
+    }
+
+    #[test]
+    fn apex_count_small_on_scale_free() {
+        let g = generators::barabasi_albert(1000, 3, 17).unwrap();
+        let h = Hierarchy::new(&g);
+        let apexes = h.apexes().len();
+        assert!(apexes <= 20, "expected few apexes, got {apexes}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Random-waypoint (RWP) mobility (§II-B).
+//!
+//! Each node repeatedly picks a uniform destination in the unit square,
+//! travels there at a uniform-random speed, optionally pauses, and repeats.
+//! Contacts arise whenever two nodes come within the radio range.
+//!
+//! The paper: "a random waypoint mobility without a boundary does not meet
+//! the exponential distribution for either contact duration or inter-contact
+//! time" — experiment E17 measures exactly this with [`crate::stats`].
+
+use crate::trace::{ContactEvent, ContactTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a random-waypoint simulation on the unit square.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWaypoint {
+    /// Number of nodes.
+    pub n: usize,
+    /// Radio range (contact iff distance `<=` range).
+    pub range: f64,
+    /// Minimum travel speed (units/second); must be `> 0`.
+    pub v_min: f64,
+    /// Maximum travel speed.
+    pub v_max: f64,
+    /// Maximum pause at each waypoint (uniform in `[0, pause_max]`).
+    pub pause_max: f64,
+    /// Simulation time step (seconds).
+    pub dt: f64,
+}
+
+impl RandomWaypoint {
+    /// A reasonable default: range 0.1, speeds 0.01–0.05, pauses up to 2 s,
+    /// 0.5 s steps.
+    pub fn default_config(n: usize) -> Self {
+        RandomWaypoint { n, range: 0.1, v_min: 0.01, v_max: 0.05, pause_max: 2.0, dt: 0.5 }
+    }
+
+    /// Simulates `duration` seconds and returns the contact trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are non-positive or `v_min > v_max`.
+    pub fn simulate(&self, duration: f64, seed: u64) -> ContactTrace {
+        assert!(self.n > 0 && self.range > 0.0 && self.dt > 0.0, "bad parameters");
+        assert!(0.0 < self.v_min && self.v_min <= self.v_max, "bad speed range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state: Vec<NodeState> = (0..self.n)
+            .map(|_| NodeState {
+                pos: (rng.gen(), rng.gen()),
+                dest: (rng.gen(), rng.gen()),
+                speed: rng.gen_range(self.v_min..=self.v_max),
+                pause_left: 0.0,
+            })
+            .collect();
+        let steps = (duration / self.dt).ceil() as usize;
+        // Track open contacts per pair.
+        let mut open: std::collections::HashMap<(usize, usize), f64> =
+            std::collections::HashMap::new();
+        let mut events = Vec::new();
+        for step in 0..steps {
+            let now = step as f64 * self.dt;
+            for s in &mut state {
+                s.advance(self.dt, self.v_min, self.v_max, self.pause_max, &mut rng);
+            }
+            for u in 0..self.n {
+                for v in (u + 1)..self.n {
+                    let dx = state[u].pos.0 - state[v].pos.0;
+                    let dy = state[u].pos.1 - state[v].pos.1;
+                    let within = (dx * dx + dy * dy).sqrt() <= self.range;
+                    let key = (u, v);
+                    match (within, open.contains_key(&key)) {
+                        (true, false) => {
+                            open.insert(key, now);
+                        }
+                        (false, true) => {
+                            let start = open.remove(&key).expect("checked");
+                            events.push(ContactEvent { u, v, start, end: now });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Close contacts still open at the end of the simulation.
+        for ((u, v), start) in open {
+            let end = steps as f64 * self.dt;
+            if end > start {
+                events.push(ContactEvent { u, v, start, end });
+            }
+        }
+        ContactTrace::new(self.n, duration, events)
+    }
+}
+
+impl RandomWaypoint {
+    /// Random waypoint **without a boundary** (§II-B): each waypoint is a
+    /// uniform-direction trip of length `trip_min..trip_max` from the
+    /// current position, so nodes diffuse over the open plane. The paper's
+    /// claim — reproduced by experiment E17 — is that this variant does
+    /// *not* produce exponential contact-duration or inter-contact-time
+    /// distributions (pairs drift apart, stretching the tail).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive parameters or `trip_min > trip_max`.
+    pub fn simulate_unbounded(
+        &self,
+        duration: f64,
+        trip_min: f64,
+        trip_max: f64,
+        seed: u64,
+    ) -> ContactTrace {
+        assert!(self.n > 0 && self.range > 0.0 && self.dt > 0.0, "bad parameters");
+        assert!(0.0 < self.v_min && self.v_min <= self.v_max, "bad speed range");
+        assert!(0.0 < trip_min && trip_min <= trip_max, "bad trip range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let new_dest = |pos: (f64, f64), rng: &mut StdRng| {
+            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+            let len = rng.gen_range(trip_min..=trip_max);
+            (pos.0 + len * theta.cos(), pos.1 + len * theta.sin())
+        };
+        let mut state: Vec<NodeState> = (0..self.n)
+            .map(|_| {
+                let pos = (rng.gen::<f64>(), rng.gen::<f64>());
+                NodeState {
+                    pos,
+                    dest: new_dest(pos, &mut rng),
+                    speed: rng.gen_range(self.v_min..=self.v_max),
+                    pause_left: 0.0,
+                }
+            })
+            .collect();
+        let steps = (duration / self.dt).ceil() as usize;
+        let mut open: std::collections::HashMap<(usize, usize), f64> =
+            std::collections::HashMap::new();
+        let mut events = Vec::new();
+        for step in 0..steps {
+            let now = step as f64 * self.dt;
+            for s in &mut state {
+                if s.pause_left > 0.0 {
+                    s.pause_left -= self.dt;
+                    continue;
+                }
+                let dx = s.dest.0 - s.pos.0;
+                let dy = s.dest.1 - s.pos.1;
+                let d = (dx * dx + dy * dy).sqrt();
+                let travel = s.speed * self.dt;
+                if d <= travel {
+                    s.pos = s.dest;
+                    s.dest = new_dest(s.pos, &mut rng);
+                    s.speed = rng.gen_range(self.v_min..=self.v_max);
+                    s.pause_left = rng.gen::<f64>() * self.pause_max;
+                } else {
+                    s.pos.0 += dx / d * travel;
+                    s.pos.1 += dy / d * travel;
+                }
+            }
+            for u in 0..self.n {
+                for v in (u + 1)..self.n {
+                    let dx = state[u].pos.0 - state[v].pos.0;
+                    let dy = state[u].pos.1 - state[v].pos.1;
+                    let within = (dx * dx + dy * dy).sqrt() <= self.range;
+                    let key = (u, v);
+                    match (within, open.contains_key(&key)) {
+                        (true, false) => {
+                            open.insert(key, now);
+                        }
+                        (false, true) => {
+                            let start = open.remove(&key).expect("checked");
+                            events.push(ContactEvent { u, v, start, end: now });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for ((u, v), start) in open {
+            let end = steps as f64 * self.dt;
+            if end > start {
+                events.push(ContactEvent { u, v, start, end });
+            }
+        }
+        ContactTrace::new(self.n, duration, events)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeState {
+    pos: (f64, f64),
+    dest: (f64, f64),
+    speed: f64,
+    pause_left: f64,
+}
+
+impl NodeState {
+    fn advance(&mut self, dt: f64, v_min: f64, v_max: f64, pause_max: f64, rng: &mut StdRng) {
+        if self.pause_left > 0.0 {
+            self.pause_left -= dt;
+            return;
+        }
+        let dx = self.dest.0 - self.pos.0;
+        let dy = self.dest.1 - self.pos.1;
+        let d = (dx * dx + dy * dy).sqrt();
+        let travel = self.speed * dt;
+        if d <= travel {
+            // Arrive; choose the next waypoint, speed, and pause.
+            self.pos = self.dest;
+            self.dest = (rng.gen(), rng.gen());
+            self.speed = rng.gen_range(v_min..=v_max);
+            self.pause_left = rng.gen::<f64>() * pause_max;
+        } else {
+            self.pos.0 += dx / d * travel;
+            self.pos.1 += dy / d * travel;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_is_seeded_and_produces_contacts() {
+        let m = RandomWaypoint::default_config(15);
+        let t1 = m.simulate(300.0, 3);
+        let t2 = m.simulate(300.0, 3);
+        assert_eq!(t1, t2, "same seed, same trace");
+        assert!(!t1.events().is_empty(), "15 nodes over 300 s must meet");
+        let t3 = m.simulate(300.0, 4);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn contacts_are_well_formed() {
+        let m = RandomWaypoint::default_config(10);
+        let t = m.simulate(200.0, 9);
+        for e in t.events() {
+            assert!(e.duration() > 0.0);
+            assert!(e.start >= 0.0 && e.end <= 200.0 + m.dt);
+            assert!(e.u < 10 && e.v < 10 && e.u != e.v);
+        }
+    }
+
+    #[test]
+    fn larger_range_means_more_contact_time() {
+        let mut small = RandomWaypoint::default_config(10);
+        small.range = 0.05;
+        let mut large = small;
+        large.range = 0.3;
+        let ts = small.simulate(200.0, 5);
+        let tl = large.simulate(200.0, 5);
+        let sum = |t: &crate::trace::ContactTrace| t.contact_durations().iter().sum::<f64>();
+        assert!(sum(&tl) > sum(&ts), "{} vs {}", sum(&tl), sum(&ts));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad speed range")]
+    fn zero_speed_rejected() {
+        let mut m = RandomWaypoint::default_config(5);
+        m.v_min = 0.0;
+        m.simulate(10.0, 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Social-feature-driven contact model (§III-C, Fig. 6).
+//!
+//! Substitute for the INFOCOM'06 / MIT Reality Mining traces (see
+//! DESIGN.md §3). Each person carries a *social feature profile* — e.g.
+//! gender ∈ {male, female}, occupation ∈ {professional, student},
+//! nationality ∈ {1, 2, 3} — and the pairwise contact process is Poisson
+//! with rate decaying in the *feature distance* (number of differing
+//! features): `rate(u, v) = base_rate · exp(−beta · distance(u, v))`.
+//!
+//! The paper's load-bearing observation — "the closer the distance, the
+//! higher the contact frequency" — holds here *by construction*, which is
+//! exactly what the substitution needs to preserve; `beta` sweeps probe how
+//! strongly the structure depends on it.
+
+use crate::trace::{ContactEvent, ContactTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A social feature profile: one value per feature dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureProfile {
+    /// Feature values; `values[i] < radix[i]` of the owning population.
+    pub values: Vec<usize>,
+}
+
+impl FeatureProfile {
+    /// Feature (Hamming) distance: the number of differing features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles have different dimensionality.
+    pub fn distance(&self, other: &FeatureProfile) -> usize {
+        assert_eq!(self.values.len(), other.values.len(), "dimension mismatch");
+        self.values.iter().zip(&other.values).filter(|(a, b)| a != b).count()
+    }
+}
+
+/// A population with feature profiles drawn over mixed-radix dimensions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Population {
+    radix: Vec<usize>,
+    profiles: Vec<FeatureProfile>,
+}
+
+impl Population {
+    /// Samples `n` people with uniform feature values over `radix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radix` is empty or has a zero entry.
+    pub fn random(n: usize, radix: &[usize], seed: u64) -> Self {
+        assert!(!radix.is_empty() && radix.iter().all(|&r| r > 0), "bad radix");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profiles = (0..n)
+            .map(|_| FeatureProfile {
+                values: radix.iter().map(|&r| rng.gen_range(0..r)).collect(),
+            })
+            .collect();
+        Population { radix: radix.to_vec(), profiles }
+    }
+
+    /// A population with explicit profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any profile is out of range for `radix`.
+    pub fn from_profiles(radix: &[usize], profiles: Vec<FeatureProfile>) -> Self {
+        for p in &profiles {
+            assert_eq!(p.values.len(), radix.len(), "dimension mismatch");
+            for (v, r) in p.values.iter().zip(radix) {
+                assert!(v < r, "feature value {v} out of radix {r}");
+            }
+        }
+        Population { radix: radix.to_vec(), profiles }
+    }
+
+    /// The paper's Fig. 6 dimensions: gender (2) × occupation (2) ×
+    /// nationality (3).
+    pub fn fig6_radix() -> Vec<usize> {
+        vec![2, 2, 3]
+    }
+
+    /// Number of people.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Per-dimension radices.
+    pub fn radix(&self) -> &[usize] {
+        &self.radix
+    }
+
+    /// Profile of person `i`.
+    pub fn profile(&self, i: usize) -> &FeatureProfile {
+        &self.profiles[i]
+    }
+
+    /// Feature distance between two people.
+    pub fn distance(&self, i: usize, j: usize) -> usize {
+        self.profiles[i].distance(&self.profiles[j])
+    }
+
+    /// Groups people by identical profile (the paper's F-space node
+    /// communities: "each node corresponds to one community of people with
+    /// common features"). Returns `(community index per person, communities)`.
+    pub fn communities(&self) -> (Vec<usize>, Vec<Vec<usize>>) {
+        use std::collections::HashMap;
+        let mut map: HashMap<&FeatureProfile, usize> = HashMap::new();
+        let mut communities: Vec<Vec<usize>> = Vec::new();
+        let mut index = vec![0usize; self.len()];
+        for (i, p) in self.profiles.iter().enumerate() {
+            let c = *map.entry(p).or_insert_with(|| {
+                communities.push(Vec::new());
+                communities.len() - 1
+            });
+            communities[c].push(i);
+            index[i] = c;
+        }
+        (index, communities)
+    }
+}
+
+/// Parameters of the feature-distance-driven Poisson contact process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocialContactModel {
+    /// Contact rate (contacts/second) between people with identical profiles.
+    pub base_rate: f64,
+    /// Exponential decay of rate per unit feature distance.
+    pub beta: f64,
+    /// Mean contact duration (seconds, exponential).
+    pub mean_duration: f64,
+}
+
+impl SocialContactModel {
+    /// INFOCOM-like defaults: same-profile pairs meet about every 200 s,
+    /// each feature difference halves the rate (`beta = ln 2`), contacts
+    /// last 30 s on average.
+    pub fn default_config() -> Self {
+        SocialContactModel { base_rate: 1.0 / 200.0, beta: std::f64::consts::LN_2, mean_duration: 30.0 }
+    }
+
+    /// Contact rate between people at feature distance `d`.
+    pub fn rate(&self, d: usize) -> f64 {
+        self.base_rate * (-self.beta * d as f64).exp()
+    }
+
+    /// Generates a contact trace for `population` over `duration` seconds:
+    /// each pair's contact starts are Poisson(`rate(distance)`), durations
+    /// exponential(`mean_duration`) truncated at the horizon.
+    pub fn simulate(&self, population: &Population, duration: f64, seed: u64) -> ContactTrace {
+        let n = population.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let rate = self.rate(population.distance(u, v));
+                if rate <= 0.0 {
+                    continue;
+                }
+                let mut t = sample_exp(&mut rng, rate);
+                while t < duration {
+                    let d = sample_exp(&mut rng, 1.0 / self.mean_duration);
+                    let end = (t + d).min(duration);
+                    if end > t {
+                        events.push(ContactEvent { u, v, start: t, end });
+                    }
+                    // Next contact begins after this one ends.
+                    t = end + sample_exp(&mut rng, rate);
+                }
+            }
+        }
+        ContactTrace::new(n, duration, events)
+    }
+}
+
+/// Exponential sample with the given rate via inverse CDF.
+fn sample_exp(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_distance() {
+        let a = FeatureProfile { values: vec![0, 1, 2] };
+        let b = FeatureProfile { values: vec![0, 0, 1] };
+        assert_eq!(a.distance(&b), 2);
+        assert_eq!(a.distance(&a), 0);
+    }
+
+    #[test]
+    fn population_validates_profiles() {
+        let p = Population::random(50, &Population::fig6_radix(), 1);
+        assert_eq!(p.len(), 50);
+        for i in 0..50 {
+            for (v, r) in p.profile(i).values.iter().zip(p.radix()) {
+                assert!(v < r);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of radix")]
+    fn bad_profile_rejected() {
+        Population::from_profiles(&[2, 2], vec![FeatureProfile { values: vec![0, 5] }]);
+    }
+
+    #[test]
+    fn communities_group_identical_profiles() {
+        let profiles = vec![
+            FeatureProfile { values: vec![0, 0] },
+            FeatureProfile { values: vec![0, 1] },
+            FeatureProfile { values: vec![0, 0] },
+        ];
+        let p = Population::from_profiles(&[2, 2], profiles);
+        let (idx, comms) = p.communities();
+        assert_eq!(comms.len(), 2);
+        assert_eq!(idx[0], idx[2]);
+        assert_ne!(idx[0], idx[1]);
+        assert_eq!(comms[idx[0]], vec![0, 2]);
+    }
+
+    #[test]
+    fn closer_profiles_contact_more_often() {
+        // The paper's core claim, which the generator must enforce.
+        let radix = [2usize, 2, 3];
+        // Three people: 0 and 1 identical, 2 differs from 0 in all features.
+        let profiles = vec![
+            FeatureProfile { values: vec![0, 0, 0] },
+            FeatureProfile { values: vec![0, 0, 0] },
+            FeatureProfile { values: vec![1, 1, 1] },
+        ];
+        let pop = Population::from_profiles(&radix, profiles);
+        let model = SocialContactModel::default_config();
+        let trace = model.simulate(&pop, 500_000.0, 42);
+        let counts = trace.contact_counts();
+        let close = counts.get(&(0, 1)).copied().unwrap_or(0);
+        let far = counts.get(&(0, 2)).copied().unwrap_or(0);
+        assert!(
+            close > 2 * far,
+            "identical profiles must meet much more often: {close} vs {far}"
+        );
+        // Rate ratio should be ~ exp(beta * 3) = 8.
+        let ratio = close as f64 / far.max(1) as f64;
+        assert!((4.0..16.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn rate_decays_exponentially() {
+        let m = SocialContactModel::default_config();
+        assert!((m.rate(1) / m.rate(0) - 0.5).abs() < 1e-12);
+        assert!((m.rate(3) / m.rate(0) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulation_is_seeded() {
+        let pop = Population::random(10, &[2, 2], 7);
+        let m = SocialContactModel::default_config();
+        assert_eq!(m.simulate(&pop, 10_000.0, 5), m.simulate(&pop, 10_000.0, 5));
+        assert_ne!(m.simulate(&pop, 10_000.0, 5), m.simulate(&pop, 10_000.0, 6));
+    }
+
+    #[test]
+    fn contacts_do_not_overlap_per_pair() {
+        let pop = Population::random(6, &[2, 3], 3);
+        let m = SocialContactModel {
+            base_rate: 0.01,
+            beta: 0.5,
+            mean_duration: 50.0,
+        };
+        let trace = m.simulate(&pop, 50_000.0, 8);
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                let evs = trace.pair_events(u, v);
+                for w in evs.windows(2) {
+                    assert!(w[0].end <= w[1].start, "overlapping contacts for ({u},{v})");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Remapping domain: the social-feature space (§III-C, Fig. 6).
+//!
+//! "Suppose we group all individuals with the same features in one node.
+//! Two nodes are connected if they differ in exactly one feature; a
+//! generalized hypercube is generated. In this way, we convert a routing
+//! process in a highly mobile and unstructured contact space (M-space) to
+//! one in a static and structured feature space (F-space)… A generalized
+//! hypercube can easily support shortest-path routing as well as
+//! node-disjoint multiple-path routing."
+
+use csn_mobility::social::Population;
+use csn_mobility::ContactTrace;
+use csn_graph::NodeId;
+
+/// A feature-space coordinate (one value per feature dimension).
+pub type Profile = Vec<usize>;
+
+/// Feature (Hamming) distance between profiles.
+pub fn feature_distance(a: &[usize], b: &[usize]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// The F-space shortest path from `a` to `b` obtained by fixing differing
+/// features left-to-right; its length equals the feature distance.
+pub fn shortest_path(a: &[usize], b: &[usize]) -> Vec<Profile> {
+    let mut path = vec![a.to_vec()];
+    let mut cur = a.to_vec();
+    for i in 0..a.len() {
+        if cur[i] != b[i] {
+            cur[i] = b[i];
+            path.push(cur.clone());
+        }
+    }
+    path
+}
+
+/// `d` node-disjoint F-space paths between profiles at feature distance
+/// `d`, built by rotating the dimension-fixing order (the classical
+/// generalized-hypercube construction).
+pub fn node_disjoint_paths(a: &[usize], b: &[usize]) -> Vec<Vec<Profile>> {
+    let diff: Vec<usize> = (0..a.len()).filter(|&i| a[i] != b[i]).collect();
+    let d = diff.len();
+    (0..d)
+        .map(|rot| {
+            let mut path = vec![a.to_vec()];
+            let mut cur = a.to_vec();
+            for k in 0..d {
+                let dim = diff[(rot + k) % d];
+                cur[dim] = b[dim];
+                path.push(cur.clone());
+            }
+            path
+        })
+        .collect()
+}
+
+/// Routing strategies compared by experiment E11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MSpaceStrategy {
+    /// Wait for a direct contact with the destination person.
+    DirectWait,
+    /// Epidemic flooding: every contact receives a copy.
+    Epidemic,
+    /// F-space greedy: forward on contact iff the peer's profile is
+    /// strictly closer (in feature distance) to the destination's profile,
+    /// or the peer is the destination.
+    FeatureGreedy,
+}
+
+/// Outcome of routing one message over a contact trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingOutcome {
+    /// Delivery time (seconds), if delivered within the trace.
+    pub delivery_time: Option<f64>,
+    /// Number of message copies created (1 = source only).
+    pub copies: usize,
+    /// Hops of the delivering copy (0 if undelivered).
+    pub hops: usize,
+}
+
+/// Simulates one message `source -> dest` created at `t0` over `trace`
+/// under `strategy`, using `population` profiles for feature decisions.
+pub fn simulate_routing(
+    trace: &ContactTrace,
+    population: &Population,
+    source: NodeId,
+    dest: NodeId,
+    t0: f64,
+    strategy: MSpaceStrategy,
+) -> RoutingOutcome {
+    let n = trace.node_count();
+    let dest_profile = population.profile(dest).values.clone();
+    // carriers[p] = Some(hops) if person p holds a copy.
+    let mut carriers: Vec<Option<usize>> = vec![None; n];
+    carriers[source] = Some(0);
+    let mut copies = 1usize;
+    for e in trace.events() {
+        if e.end <= t0 {
+            continue;
+        }
+        let t = e.start.max(t0);
+        if t >= trace.duration() {
+            break;
+        }
+        for (holder, peer) in [(e.u, e.v), (e.v, e.u)] {
+            let Some(hops) = carriers[holder] else { continue };
+            if peer == dest {
+                return RoutingOutcome { delivery_time: Some(t), copies, hops: hops + 1 };
+            }
+            if carriers[peer].is_some() {
+                continue;
+            }
+            let forward = match strategy {
+                MSpaceStrategy::DirectWait => false,
+                MSpaceStrategy::Epidemic => true,
+                MSpaceStrategy::FeatureGreedy => {
+                    let dp = feature_distance(&population.profile(peer).values, &dest_profile);
+                    let dh = feature_distance(&population.profile(holder).values, &dest_profile);
+                    dp < dh
+                }
+            };
+            if forward {
+                carriers[peer] = Some(hops + 1);
+                copies += 1;
+                if matches!(strategy, MSpaceStrategy::FeatureGreedy) {
+                    // Single-copy handoff: the holder passes custody on.
+                    carriers[holder] = None;
+                    copies -= 1;
+                }
+            }
+        }
+    }
+    RoutingOutcome { delivery_time: None, copies, hops: 0 }
+}
+
+/// Aggregate comparison over `pairs` random source/destination pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyStats {
+    /// Fraction delivered.
+    pub delivery_ratio: f64,
+    /// Mean latency over delivered messages (seconds).
+    pub mean_latency: f64,
+    /// Mean copies per message.
+    pub mean_copies: f64,
+}
+
+/// Evaluates a strategy over random pairs on a trace.
+pub fn evaluate_strategy(
+    trace: &ContactTrace,
+    population: &Population,
+    strategy: MSpaceStrategy,
+    pairs: usize,
+    seed: u64,
+) -> StrategyStats {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = trace.node_count();
+    let mut delivered = 0usize;
+    let mut latency = 0.0;
+    let mut copies = 0usize;
+    for _ in 0..pairs {
+        let s = rng.gen_range(0..n);
+        let mut d = rng.gen_range(0..n);
+        while d == s {
+            d = rng.gen_range(0..n);
+        }
+        let out = simulate_routing(trace, population, s, d, 0.0, strategy);
+        copies += out.copies;
+        if let Some(t) = out.delivery_time {
+            delivered += 1;
+            latency += t;
+        }
+    }
+    StrategyStats {
+        delivery_ratio: delivered as f64 / pairs as f64,
+        mean_latency: if delivered > 0 { latency / delivered as f64 } else { f64::INFINITY },
+        mean_copies: copies as f64 / pairs as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csn_mobility::social::{FeatureProfile, SocialContactModel};
+
+    #[test]
+    fn shortest_path_length_is_feature_distance() {
+        let a = vec![0, 0, 0];
+        let b = vec![1, 0, 2];
+        let p = shortest_path(&a, &b);
+        assert_eq!(p.len(), 3, "distance 2 => 3 profiles");
+        assert_eq!(p[0], a);
+        assert_eq!(*p.last().unwrap(), b);
+        for w in p.windows(2) {
+            assert_eq!(feature_distance(&w[0], &w[1]), 1, "one feature per hop");
+        }
+    }
+
+    #[test]
+    fn disjoint_paths_are_disjoint_and_shortest() {
+        let a = vec![0, 0, 0];
+        let b = vec![1, 1, 2];
+        let paths = node_disjoint_paths(&a, &b);
+        assert_eq!(paths.len(), 3, "distance = number of disjoint paths");
+        for p in &paths {
+            assert_eq!(p.len(), 4);
+            assert_eq!(p[0], a);
+            assert_eq!(*p.last().unwrap(), b);
+        }
+        // Interior nodes pairwise disjoint.
+        for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                for x in &paths[i][1..paths[i].len() - 1] {
+                    for y in &paths[j][1..paths[j].len() - 1] {
+                        assert_ne!(x, y, "paths {i} and {j} share {x:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fig. 6 population: 2×2×3 features, several people per community.
+    fn fig6_setup(seed: u64) -> (Population, ContactTrace) {
+        let radix = Population::fig6_radix();
+        let mut profiles = Vec::new();
+        for g in 0..2 {
+            for o in 0..2 {
+                for c in 0..3 {
+                    // Three people per community.
+                    for _ in 0..3 {
+                        profiles.push(FeatureProfile { values: vec![g, o, c] });
+                    }
+                }
+            }
+        }
+        let pop = Population::from_profiles(&radix, profiles);
+        let model = SocialContactModel { base_rate: 1.0 / 50.0, beta: 1.2, mean_duration: 5.0 };
+        let trace = model.simulate(&pop, 30_000.0, seed);
+        (pop, trace)
+    }
+
+    #[test]
+    fn feature_greedy_beats_direct_wait_on_latency() {
+        let (pop, trace) = fig6_setup(3);
+        let direct = evaluate_strategy(&trace, &pop, MSpaceStrategy::DirectWait, 120, 1);
+        let greedy = evaluate_strategy(&trace, &pop, MSpaceStrategy::FeatureGreedy, 120, 1);
+        assert!(greedy.delivery_ratio >= direct.delivery_ratio);
+        assert!(
+            greedy.mean_latency < direct.mean_latency,
+            "F-space greedy {} vs direct {}",
+            greedy.mean_latency,
+            direct.mean_latency
+        );
+    }
+
+    #[test]
+    fn epidemic_fastest_but_costs_copies() {
+        let (pop, trace) = fig6_setup(7);
+        let epidemic = evaluate_strategy(&trace, &pop, MSpaceStrategy::Epidemic, 80, 2);
+        let greedy = evaluate_strategy(&trace, &pop, MSpaceStrategy::FeatureGreedy, 80, 2);
+        assert!(epidemic.mean_latency <= greedy.mean_latency);
+        assert!(
+            epidemic.mean_copies > 4.0 * greedy.mean_copies,
+            "epidemic copies {} vs greedy {}",
+            epidemic.mean_copies,
+            greedy.mean_copies
+        );
+        assert!(epidemic.delivery_ratio >= greedy.delivery_ratio);
+    }
+
+    #[test]
+    fn greedy_is_single_copy() {
+        let (pop, trace) = fig6_setup(11);
+        let greedy = evaluate_strategy(&trace, &pop, MSpaceStrategy::FeatureGreedy, 60, 3);
+        assert!(
+            greedy.mean_copies <= 1.0 + 1e-9,
+            "single-copy handoff, got {}",
+            greedy.mean_copies
+        );
+    }
+
+    #[test]
+    fn undelivered_when_no_contacts() {
+        let pop = Population::random(4, &[2, 2], 1);
+        let trace = ContactTrace::new(4, 100.0, vec![]);
+        let out = simulate_routing(&trace, &pop, 0, 3, 0.0, MSpaceStrategy::Epidemic);
+        assert_eq!(out.delivery_time, None);
+        assert_eq!(out.copies, 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Greedy geographic routing and the hole problem (§III-C, Fig. 5(a)).
+//!
+//! "Greedy geographic routing is commonly used to greedily reduce the
+//! Euclidean distance between the source and destination. However, such a
+//! greedy process may get stuck at a local minimum, such as at one of three
+//! non-convex holes."
+
+use csn_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point in the plane.
+pub type Point = (f64, f64);
+
+fn dist(a: Point, b: Point) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Outcome of a greedy walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GreedyOutcome {
+    /// Reached the destination; the path taken.
+    Delivered(Vec<NodeId>),
+    /// Stuck at a local minimum (no neighbor closer to the destination).
+    Stuck {
+        /// The node where progress stopped.
+        at: NodeId,
+        /// The path walked before getting stuck.
+        path: Vec<NodeId>,
+    },
+}
+
+impl GreedyOutcome {
+    /// Whether the message arrived.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, GreedyOutcome::Delivered(_))
+    }
+}
+
+/// Euclidean greedy routing: always move to the neighbor strictly closer to
+/// the destination; stop when none exists.
+pub fn greedy_route(
+    g: &Graph,
+    positions: &[Point],
+    source: NodeId,
+    dest: NodeId,
+) -> GreedyOutcome {
+    let mut path = vec![source];
+    let mut cur = source;
+    while cur != dest {
+        let here = dist(positions[cur], positions[dest]);
+        let next = g
+            .neighbors(cur)
+            .iter()
+            .copied()
+            .filter(|&v| dist(positions[v], positions[dest]) < here)
+            .min_by(|&a, &b| {
+                dist(positions[a], positions[dest])
+                    .partial_cmp(&dist(positions[b], positions[dest]))
+                    .expect("finite")
+            });
+        match next {
+            Some(v) => {
+                path.push(v);
+                cur = v;
+            }
+            None => return GreedyOutcome::Stuck { at: cur, path },
+        }
+    }
+    GreedyOutcome::Delivered(path)
+}
+
+/// A perforated unit-disk topology modelled on Fig. 5(a): `n` random nodes
+/// on the unit square with three non-convex (C-shaped) holes punched out,
+/// connected within `radius`.
+#[derive(Debug, Clone)]
+pub struct PerforatedDisk {
+    /// The unit disk graph.
+    pub graph: Graph,
+    /// Node positions.
+    pub positions: Vec<Point>,
+    /// Connection radius.
+    pub radius: f64,
+}
+
+/// A C-shaped (non-convex) hole: an annular sector around `center` between
+/// radii `r_in..r_out`, open over `gap` radians starting at `gap_at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CHole {
+    /// Hole center.
+    pub center: Point,
+    /// Inner radius of the C.
+    pub r_in: f64,
+    /// Outer radius of the C.
+    pub r_out: f64,
+    /// Where the opening starts (radians).
+    pub gap_at: f64,
+    /// Angular width of the opening (radians).
+    pub gap: f64,
+}
+
+impl CHole {
+    /// Whether `p` falls inside the solid part of the C.
+    pub fn contains(&self, p: Point) -> bool {
+        let dx = p.0 - self.center.0;
+        let dy = p.1 - self.center.1;
+        let r = (dx * dx + dy * dy).sqrt();
+        if r < self.r_in || r > self.r_out {
+            return false;
+        }
+        let mut theta = dy.atan2(dx);
+        if theta < 0.0 {
+            theta += std::f64::consts::TAU;
+        }
+        // Inside the annulus; solid unless within the gap.
+        let rel = (theta - self.gap_at).rem_euclid(std::f64::consts::TAU);
+        rel > self.gap
+    }
+}
+
+/// The three holes used by the Fig. 5(a)-style experiment, mouths facing
+/// away from the bottom-right source corner so greedy walks pocket inside.
+pub fn fig5_holes() -> Vec<CHole> {
+    vec![
+        CHole { center: (0.30, 0.65), r_in: 0.06, r_out: 0.16, gap_at: 0.9, gap: 1.2 },
+        CHole { center: (0.62, 0.45), r_in: 0.05, r_out: 0.15, gap_at: 0.7, gap: 1.2 },
+        CHole { center: (0.45, 0.22), r_in: 0.05, r_out: 0.13, gap_at: 1.1, gap: 1.2 },
+    ]
+}
+
+/// Samples the perforated topology: uniform points with hole interiors
+/// rejected, then the unit disk graph, restricted to its largest connected
+/// component.
+pub fn perforated_disk(n: usize, radius: f64, holes: &[CHole], seed: u64) -> PerforatedDisk {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut positions: Vec<Point> = Vec::with_capacity(n);
+    while positions.len() < n {
+        let p = (rng.gen::<f64>(), rng.gen::<f64>());
+        if !holes.iter().any(|h| h.contains(p)) {
+            positions.push(p);
+        }
+    }
+    let g = csn_graph::generators::unit_disk_from_points(&positions, radius);
+    let mask = csn_graph::traversal::largest_component_mask(&g);
+    let (graph, map) = g.induced_subgraph(&mask);
+    let kept: Vec<Point> = positions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &p)| map[i].map(|_| p))
+        .collect();
+    PerforatedDisk { graph, positions: kept, radius }
+}
+
+/// Delivery statistics of a routing scheme over sampled pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveryStats {
+    /// Fraction of pairs delivered.
+    pub delivery_ratio: f64,
+    /// Mean hop count over delivered pairs.
+    pub mean_hops: f64,
+    /// Pairs sampled.
+    pub pairs: usize,
+}
+
+/// Measures plain greedy delivery over `pairs` random source/dest pairs.
+pub fn greedy_delivery_stats(
+    g: &Graph,
+    positions: &[Point],
+    pairs: usize,
+    seed: u64,
+) -> DeliveryStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.node_count();
+    let mut delivered = 0usize;
+    let mut hops = 0usize;
+    for _ in 0..pairs {
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        if let GreedyOutcome::Delivered(path) = greedy_route(g, positions, s, t) {
+            delivered += 1;
+            hops += path.len() - 1;
+        }
+    }
+    DeliveryStats {
+        delivery_ratio: delivered as f64 / pairs as f64,
+        mean_hops: if delivered > 0 { hops as f64 / delivered as f64 } else { 0.0 },
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csn_graph::generators;
+
+    #[test]
+    fn greedy_succeeds_on_dense_hole_free_disk() {
+        let gg = generators::random_geometric(300, 0.15, 3);
+        let mask = csn_graph::traversal::largest_component_mask(&gg.graph);
+        let (g, map) = gg.graph.induced_subgraph(&mask);
+        let pts: Vec<Point> = gg
+            .positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| map[i].map(|_| p))
+            .collect();
+        let stats = greedy_delivery_stats(&g, &pts, 300, 7);
+        assert!(
+            stats.delivery_ratio > 0.95,
+            "dense uniform disk should rarely strand greedy: {}",
+            stats.delivery_ratio
+        );
+    }
+
+    #[test]
+    fn holes_strand_greedy_routing() {
+        // The Fig. 5(a) phenomenon: non-convex holes create local minima.
+        let pd = perforated_disk(700, 0.07, &fig5_holes(), 5);
+        let stats = greedy_delivery_stats(&pd.graph, &pd.positions, 400, 9);
+        assert!(
+            stats.delivery_ratio < 0.98,
+            "holes should strand some routes: {}",
+            stats.delivery_ratio
+        );
+        assert!(stats.delivery_ratio > 0.3, "graph should still be largely routable");
+    }
+
+    #[test]
+    fn stuck_reports_the_local_minimum() {
+        // Hand-built trap: dest above, wall between. 0 at bottom, wall
+        // nodes left/right but none closer to dest than 0... construct:
+        // dest (2, 2); cur at (0,0); neighbors at (0,-1) and (1,-1): both
+        // farther from dest.
+        let pts = vec![(0.0, 0.0), (0.0, -1.0), (1.0, -1.0), (2.0, 2.0)];
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        // dest 3 is disconnected on purpose (radio gap).
+        match greedy_route(&g, &pts, 0, 3) {
+            GreedyOutcome::Stuck { at, path } => {
+                assert_eq!(at, 0);
+                assert_eq!(path, vec![0]);
+            }
+            other => panic!("expected stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chole_geometry() {
+        let h = CHole { center: (0.5, 0.5), r_in: 0.1, r_out: 0.2, gap_at: 0.0, gap: 1.0 };
+        // Inside annulus, angle pi (within solid part).
+        assert!(h.contains((0.35, 0.5)));
+        // Inside the gap (angle ~0.5 rad < 1.0).
+        let p = (0.5 + 0.15 * 0.5f64.cos(), 0.5 + 0.15 * 0.5f64.sin());
+        assert!(!h.contains(p));
+        // Inside inner void.
+        assert!(!h.contains((0.55, 0.5)));
+        // Outside.
+        assert!(!h.contains((0.9, 0.9)));
+    }
+
+    #[test]
+    fn perforated_disk_respects_holes() {
+        let holes = fig5_holes();
+        let pd = perforated_disk(400, 0.08, &holes, 11);
+        for &p in &pd.positions {
+            assert!(!holes.iter().any(|h| h.contains(p)), "node inside a hole at {p:?}");
+        }
+        assert!(csn_graph::traversal::is_connected(&pd.graph));
+    }
+
+    #[test]
+    fn self_route_is_trivially_delivered() {
+        let pts = vec![(0.0, 0.0), (1.0, 0.0)];
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        assert_eq!(greedy_route(&g, &pts, 0, 0), GreedyOutcome::Delivered(vec![0]));
+        assert!(greedy_route(&g, &pts, 0, 1).is_delivered());
+    }
+}

@@ -1,0 +1,313 @@
+//! Greedy virtual-coordinate remapping (§III-C; the paper's [19], R.
+//! Kleinberg, INFOCOM'07, and [20], Ricci-flow conformal mapping).
+//!
+//! "By mapping the Euclidean space to the hyperbolic space, [19] shows that
+//! carefully assigning each node a virtual coordinate in the hyperbolic
+//! plane allows the greedy algorithm to succeed in finding a route to the
+//! destination."
+//!
+//! Two remappings are provided (DESIGN.md §3 records the substitution):
+//!
+//! * [`TreeCoordinates`] — **exact** greedy virtual coordinates: each node's
+//!   coordinate is its root-path label in a spanning tree, and greedy
+//!   minimizes the label-derived tree distance. Delivery is *guaranteed*
+//!   (the tree neighbor toward the destination always makes progress, and
+//!   non-tree shortcuts only help). This is the label-based analogue of
+//!   Kleinberg's embedding, free of the floating-point saturation that
+//!   plagues deep hyperbolic embeddings.
+//! * [`HyperbolicEmbedding`] — genuine Poincaré-disk coordinates from the
+//!   same spanning tree (sector construction). Faithful to the remapping
+//!   story but *approximate* in `f64`: on deep or high-degree trees the
+//!   metric distortion can strand greedy walks, so delivery is measured,
+//!   not asserted.
+
+use csn_graph::{Graph, NodeId};
+
+/// A point in the Poincaré disk (`|z| < 1`).
+pub type DiskPoint = (f64, f64);
+
+/// Hyperbolic (Poincaré-disk) distance.
+pub fn hyperbolic_distance(a: DiskPoint, b: DiskPoint) -> f64 {
+    let d2 = (a.0 - b.0).powi(2) + (a.1 - b.1).powi(2);
+    let na = 1.0 - (a.0 * a.0 + a.1 * a.1);
+    let nb = 1.0 - (b.0 * b.0 + b.1 * b.1);
+    let x = 1.0 + 2.0 * d2 / (na * nb).max(f64::MIN_POSITIVE);
+    x.acosh()
+}
+
+/// Builds a BFS spanning tree: returns `(parent, children, bfs_order)`;
+/// the root is its own parent.
+fn bfs_tree(g: &Graph, root: NodeId) -> (Vec<NodeId>, Vec<Vec<NodeId>>, Vec<NodeId>) {
+    let n = g.node_count();
+    let mut parent = vec![usize::MAX; n];
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut order = Vec::with_capacity(n);
+    parent[root] = root;
+    let mut q = std::collections::VecDeque::from([root]);
+    while let Some(u) = q.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if parent[v] == usize::MAX {
+                parent[v] = u;
+                children[u].push(v);
+                q.push_back(v);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "graph must be connected");
+    (parent, children, order)
+}
+
+/// Exact greedy virtual coordinates: every node is labelled with its
+/// root path (sequence of child ranks); the remapped distance between two
+/// labels is the tree distance `depth(u) + depth(v) − 2·|LCP|`.
+#[derive(Debug, Clone)]
+pub struct TreeCoordinates {
+    /// Root-path label per node.
+    pub labels: Vec<Vec<u32>>,
+    /// Spanning-tree parent per node (root points to itself).
+    pub parent: Vec<NodeId>,
+    /// The root.
+    pub root: NodeId,
+}
+
+impl TreeCoordinates {
+    /// Labels a connected graph from a BFS spanning tree rooted at `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected.
+    pub fn new(g: &Graph, root: NodeId) -> Self {
+        let (parent, children, order) = bfs_tree(g, root);
+        let mut labels: Vec<Vec<u32>> = vec![Vec::new(); g.node_count()];
+        for &u in &order {
+            for (rank, &c) in children[u].iter().enumerate() {
+                let mut label = labels[u].clone();
+                label.push(rank as u32);
+                labels[c] = label;
+            }
+        }
+        TreeCoordinates { labels, parent, root }
+    }
+
+    /// Tree distance derived purely from the two labels.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> usize {
+        let a = &self.labels[u];
+        let b = &self.labels[v];
+        let lcp = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+        a.len() + b.len() - 2 * lcp
+    }
+
+    /// Greedy routing on the remapped (label) distance. Delivery is
+    /// guaranteed on a connected graph, so the path is returned directly.
+    pub fn greedy_route(&self, g: &Graph, source: NodeId, dest: NodeId) -> Vec<NodeId> {
+        let mut path = vec![source];
+        let mut cur = source;
+        while cur != dest {
+            let here = self.distance(cur, dest);
+            let next = g
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .map(|v| (self.distance(v, dest), v))
+                .min()
+                .expect("connected graph: node has neighbors");
+            debug_assert!(next.0 < here, "tree neighbor always decreases the distance");
+            if next.0 >= here {
+                unreachable!("greedy embedding invariant violated");
+            }
+            path.push(next.1);
+            cur = next.1;
+        }
+        path
+    }
+}
+
+/// Approximate Poincaré-disk embedding from a BFS spanning tree: the root
+/// sits at the origin and each node's children fan out in its angular
+/// sector at hyperbolic radius `step` below it.
+#[derive(Debug, Clone)]
+pub struct HyperbolicEmbedding {
+    /// Virtual coordinate of each node.
+    pub coords: Vec<DiskPoint>,
+    /// The BFS spanning tree used (parent per node; root's parent = itself).
+    pub parent: Vec<NodeId>,
+    /// The root node.
+    pub root: NodeId,
+}
+
+impl HyperbolicEmbedding {
+    /// Embeds a connected graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is disconnected.
+    pub fn new(g: &Graph, root: NodeId, step: f64) -> Self {
+        let (parent, children, order) = bfs_tree(g, root);
+        let n = g.node_count();
+        let mut sector: Vec<(f64, f64)> = vec![(0.0, std::f64::consts::TAU); n];
+        let mut rho = vec![0.0f64; n];
+        let mut coords: Vec<DiskPoint> = vec![(0.0, 0.0); n];
+        for &u in &order {
+            let (lo, hi) = sector[u];
+            let k = children[u].len();
+            for (i, &c) in children[u].iter().enumerate() {
+                let w = (hi - lo) / k as f64;
+                let clo = lo + i as f64 * w;
+                sector[c] = (clo, clo + w);
+                rho[c] = rho[u] + step;
+                let theta = clo + w / 2.0;
+                let r = (rho[c] / 2.0).tanh();
+                coords[c] = (r * theta.cos(), r * theta.sin());
+            }
+        }
+        HyperbolicEmbedding { coords, parent, root }
+    }
+
+    /// Greedy routing on hyperbolic distance; `None` when distortion
+    /// strands the walk (measured by the experiments, not asserted).
+    pub fn greedy_route(&self, g: &Graph, source: NodeId, dest: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![source];
+        let mut cur = source;
+        let mut guard = 0;
+        while cur != dest {
+            guard += 1;
+            if guard > g.node_count() * 2 {
+                return None;
+            }
+            let here = hyperbolic_distance(self.coords[cur], self.coords[dest]);
+            let next = g
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .map(|v| (hyperbolic_distance(self.coords[v], self.coords[dest]), v))
+                .filter(|&(d, _)| d < here)
+                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                .map(|(_, v)| v)?;
+            path.push(next);
+            cur = next;
+        }
+        Some(path)
+    }
+}
+
+/// Delivery ratio of a fallible routing closure over sampled pairs.
+pub fn delivery_ratio<F>(g: &Graph, mut route: F, pairs: usize, seed: u64) -> f64
+where
+    F: FnMut(NodeId, NodeId) -> bool,
+{
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let n = g.node_count();
+    let mut delivered = 0;
+    for _ in 0..pairs {
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        if route(s, t) {
+            delivered += 1;
+        }
+    }
+    delivered as f64 / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::{fig5_holes, greedy_delivery_stats, perforated_disk};
+    use csn_graph::generators;
+
+    #[test]
+    fn distance_properties() {
+        let o = (0.0, 0.0);
+        let a = (0.5, 0.0);
+        let b = (0.0, 0.5);
+        assert_eq!(hyperbolic_distance(o, o), 0.0);
+        assert!((hyperbolic_distance(o, a) - hyperbolic_distance(o, b)).abs() < 1e-12);
+        assert!((hyperbolic_distance(a, b) - hyperbolic_distance(b, a)).abs() < 1e-12);
+        assert!(hyperbolic_distance(o, (0.99, 0.0)) > hyperbolic_distance(o, (0.9, 0.0)));
+    }
+
+    #[test]
+    fn tree_coordinates_measure_tree_distance() {
+        let g = generators::path(8);
+        let tc = TreeCoordinates::new(&g, 0);
+        assert_eq!(tc.distance(0, 7), 7);
+        assert_eq!(tc.distance(3, 5), 2);
+        assert_eq!(tc.distance(4, 4), 0);
+        let star = generators::star(4);
+        let tc2 = TreeCoordinates::new(&star, 0);
+        assert_eq!(tc2.distance(1, 2), 2, "leaf to leaf through the hub");
+    }
+
+    #[test]
+    fn tree_greedy_rescues_routing_at_holes() {
+        // The Fig. 5 comparison: Euclidean greedy strands at non-convex
+        // holes; the remapped coordinates deliver everything.
+        let pd = perforated_disk(600, 0.08, &fig5_holes(), 5);
+        let euclid = greedy_delivery_stats(&pd.graph, &pd.positions, 400, 9);
+        assert!(euclid.delivery_ratio < 1.0, "holes should strand someone");
+        let tc = TreeCoordinates::new(&pd.graph, 0);
+        let ratio = delivery_ratio(
+            &pd.graph,
+            |s, t| {
+                let path = tc.greedy_route(&pd.graph, s, t);
+                *path.last().expect("nonempty") == t
+            },
+            400,
+            9,
+        );
+        assert_eq!(ratio, 1.0, "remapped greedy must deliver everything");
+    }
+
+    #[test]
+    fn tree_greedy_guaranteed_on_random_graphs() {
+        for seed in 0..5 {
+            let g0 = generators::erdos_renyi(80, 0.06, 50 + seed).unwrap();
+            let mask = csn_graph::traversal::largest_component_mask(&g0);
+            let (g, _) = g0.induced_subgraph(&mask);
+            if g.node_count() < 10 {
+                continue;
+            }
+            let tc = TreeCoordinates::new(&g, 0);
+            for s in 0..g.node_count() {
+                let path = tc.greedy_route(&g, s, g.node_count() - 1);
+                assert_eq!(*path.last().unwrap(), g.node_count() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shortcuts_can_beat_the_tree_distance() {
+        // On a cycle the BFS tree is two arms; greedy may hop across the
+        // closing edge and beat pure tree routing.
+        let g = generators::cycle(21);
+        let tc = TreeCoordinates::new(&g, 0);
+        let path = tc.greedy_route(&g, 10, 11);
+        assert!(path.len() - 1 <= tc.distance(10, 11));
+    }
+
+    #[test]
+    fn hyperbolic_embedding_is_inside_disk_and_mostly_routes() {
+        let pd = perforated_disk(400, 0.09, &fig5_holes(), 7);
+        let emb = HyperbolicEmbedding::new(&pd.graph, 0, 1.0);
+        for &(x, y) in &emb.coords {
+            assert!(x * x + y * y < 1.0);
+        }
+        let ratio = delivery_ratio(
+            &pd.graph,
+            |s, t| emb.greedy_route(&pd.graph, s, t).is_some(),
+            200,
+            3,
+        );
+        assert!(ratio > 0.3, "approximate embedding should route a fair share, got {ratio}");
+    }
+
+    #[test]
+    fn hyperbolic_tree_route_on_path_is_exact() {
+        // Shallow, branchless tree: no distortion; greedy follows the path.
+        let g = generators::path(20);
+        let emb = HyperbolicEmbedding::new(&g, 0, 0.8);
+        let path = emb.greedy_route(&g, 3, 17).expect("no branching, no distortion");
+        assert_eq!(path.len(), 15);
+    }
+}

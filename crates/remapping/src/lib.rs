@@ -1,0 +1,22 @@
+//! # csn-remapping — structural remapping (§III-C)
+//!
+//! "In some applications, the complexity of a problem can be reduced or even
+//! removed by carefully remapping from one representation to another… or
+//! from one domain to another."
+//!
+//! * **Remapping representation** — [`geo`]: greedy geographic routing and
+//!   its local-minimum failure at non-convex holes (Fig. 5(a));
+//!   [`hyperbolic`]: spanning-tree greedy embedding into the Poincaré disk
+//!   (the paper's [19]) restoring guaranteed delivery — the substitution
+//!   for Ricci-flow conformal mapping documented in DESIGN.md §3.
+//! * **Remapping domain** — [`fspace`]: the social-feature space of Fig. 6:
+//!   people grouped by feature profile form a generalized hypercube
+//!   (F-space), converting routing in the chaotic contact space (M-space)
+//!   into structured shortest-path / node-disjoint multipath routing;
+//!   [`smallworld`]: Kleinberg's inverse-square small world (§I), where
+//!   decentralized greedy routing finds short paths only at exponent 2.
+
+pub mod fspace;
+pub mod geo;
+pub mod hyperbolic;
+pub mod smallworld;

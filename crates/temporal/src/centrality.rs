@@ -1,0 +1,135 @@
+//! Temporal centrality measures.
+//!
+//! §II-B: "using EG, any topological terminology can be extended to a
+//! temporal one — path to *journey*, distance to *temporal distance*,
+//! diameter to *dynamic diameter*." This module extends §III's centrality
+//! inventory the same way, supporting the paper's question about layered
+//! structures "not only in the space dimension, but also in
+//! time-and-space" (the small-world-in-time-varying-graphs work of [15]).
+
+use crate::graph::{TimeEvolvingGraph, TimeUnit};
+use crate::journey::earliest_arrival;
+use csn_graph::NodeId;
+
+/// Harmonic temporal closeness of `u` at `start`:
+/// `Σ_v 1 / (arrival(v) − start + 1)` over reachable `v ≠ u`, normalized by
+/// `n − 1`. Robust to unreachable nodes (they contribute 0).
+pub fn temporal_closeness(eg: &TimeEvolvingGraph, u: NodeId, start: TimeUnit) -> f64 {
+    let n = eg.node_count();
+    if n <= 1 {
+        return 0.0;
+    }
+    let arr = earliest_arrival(eg, u, start);
+    let sum: f64 = (0..n)
+        .filter(|&v| v != u)
+        .filter_map(|v| arr[v])
+        .map(|t| 1.0 / f64::from(t - start + 1))
+        .sum();
+    sum / (n - 1) as f64
+}
+
+/// Temporal closeness of every node at `start`.
+pub fn temporal_closeness_all(eg: &TimeEvolvingGraph, start: TimeUnit) -> Vec<f64> {
+    (0..eg.node_count()).map(|u| temporal_closeness(eg, u, start)).collect()
+}
+
+/// Global temporal efficiency at `start`: mean over ordered pairs of
+/// `1 / (temporal distance + 1)` — the time-and-space analogue of network
+/// efficiency used by [15] to detect temporal small worlds.
+pub fn temporal_efficiency(eg: &TimeEvolvingGraph, start: TimeUnit) -> f64 {
+    let n = eg.node_count();
+    if n <= 1 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for u in 0..n {
+        let arr = earliest_arrival(eg, u, start);
+        for v in 0..n {
+            if v != u {
+                if let Some(t) = arr[v] {
+                    total += 1.0 / f64::from(t - start + 1);
+                }
+            }
+        }
+    }
+    total / (n * (n - 1)) as f64
+}
+
+/// Temporal reachability: the fraction of ordered pairs `(u, v)` with a
+/// journey from `u` at `start`.
+pub fn temporal_reachability(eg: &TimeEvolvingGraph, start: TimeUnit) -> f64 {
+    let n = eg.node_count();
+    if n <= 1 {
+        return 1.0;
+    }
+    let mut reached = 0usize;
+    for u in 0..n {
+        let arr = earliest_arrival(eg, u, start);
+        reached += (0..n).filter(|&v| v != u && arr[v].is_some()).count();
+    }
+    reached as f64 / (n * (n - 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{fig2_example, A, B, C, D};
+
+    #[test]
+    fn fig2_closeness_favors_the_hub() {
+        let eg = fig2_example();
+        let c = temporal_closeness_all(&eg, 0);
+        // B touches everyone early (labels 1, 1, 2): highest closeness.
+        assert!(c[B] >= c[A], "B {:.3} vs A {:.3}", c[B], c[A]);
+        assert!(c[B] >= c[C]);
+        assert!(c[B] >= c[D]);
+        assert!(c.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn closeness_vanishes_past_the_last_contact() {
+        // Delay is measured from the start, so a start adjacent to a
+        // contact can score high — but past A's last usable contact (label
+        // 7) nothing is reachable and closeness drops to zero.
+        let eg = fig2_example();
+        assert!(temporal_closeness(&eg, A, 0) > 0.0);
+        assert_eq!(temporal_closeness(&eg, A, 8), 0.0);
+    }
+
+    #[test]
+    fn efficiency_and_reachability_bounds() {
+        let eg = fig2_example();
+        let eff = temporal_efficiency(&eg, 0);
+        let reach = temporal_reachability(&eg, 0);
+        assert!((0.0..=1.0).contains(&eff));
+        assert!((0.0..=1.0).contains(&reach));
+        assert!(eff <= reach, "efficiency is reachability discounted by delay");
+        assert_eq!(reach, 1.0, "Fig. 2 is temporally connected at t = 0");
+    }
+
+    #[test]
+    fn empty_graph_scores_zero() {
+        let eg = TimeEvolvingGraph::new(3, 5);
+        assert_eq!(temporal_closeness(&eg, 0, 0), 0.0);
+        assert_eq!(temporal_efficiency(&eg, 0), 0.0);
+        assert_eq!(temporal_reachability(&eg, 0), 0.0);
+        let single = TimeEvolvingGraph::new(1, 5);
+        assert_eq!(temporal_closeness(&single, 0, 0), 0.0);
+        assert_eq!(temporal_reachability(&single, 0), 1.0);
+    }
+
+    #[test]
+    fn instant_clique_maximizes_everything() {
+        let mut eg = TimeEvolvingGraph::new(4, 5);
+        for u in 0..4 {
+            for v in (u + 1)..4 {
+                eg.add_contact(u, v, 0);
+            }
+        }
+        assert_eq!(temporal_efficiency(&eg, 0), 1.0);
+        assert_eq!(temporal_reachability(&eg, 0), 1.0);
+        for u in 0..4 {
+            assert_eq!(temporal_closeness(&eg, u, 0), 1.0);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The paper's worked examples as ready-made fixtures.
+
+use crate::graph::TimeEvolvingGraph;
+use csn_graph::NodeId;
+
+/// Node `A` of Fig. 2 (static road-side unit).
+pub const A: NodeId = 0;
+/// Node `B` of Fig. 2 (mobile, moving cycle 3).
+pub const B: NodeId = 1;
+/// Node `C` of Fig. 2 (mobile, moving cycle 3).
+pub const C: NodeId = 2;
+/// Node `D` of Fig. 2 (mobile, moving cycle 2).
+pub const D: NodeId = 3;
+
+/// The VANET time-evolving graph of the paper's Fig. 2(c).
+///
+/// Three mobile nodes `B`, `C`, `D` (moving cycles 3, 3, 2) and static node
+/// `A`; Fig. 2(a,b) also draws two further static nodes that take part in no
+/// labelled edge, so they are omitted here. Label sets are chosen to satisfy
+/// every statement the paper makes about the figure:
+///
+/// * `(A,B)` and `(B,C)` have cycle 3; `(A,D)` cycle 2; `(B,D)`, `(C,D)` cycle 6.
+/// * the journey `A -4-> B -5-> C` exists, so `A` is connected to `C` at
+///   starting time units 0–4;
+/// * `A` and `C` are not connected at any single time unit;
+/// * `A -3-> D -6-> C` can be replaced by `A -4-> B -5-> C` (trimming rule,
+///   §III-A), and in fact every `A -> D -> {B, C}` journey is replaceable,
+///   so `A` can ignore its neighbor `D`;
+/// * `D -> A -> B` is *not* statically replaceable by the direct contact
+///   `D -> B`, but is at time unit 1 (dynamic trimming).
+///
+/// Horizon is 9 (time units 0–8, one full display period of the figure).
+pub fn fig2_example() -> TimeEvolvingGraph {
+    let mut eg = TimeEvolvingGraph::new(4, 9);
+    // (A, B): cycle 3 -> labels {1, 4, 7}
+    eg.add_periodic(A, B, 1, 3);
+    // (B, C): cycle 3 -> labels {2, 5, 8}
+    eg.add_periodic(B, C, 2, 3);
+    // (A, D): cycle 2, D only near A early -> labels {1, 3}
+    eg.add_contact(A, D, 1);
+    eg.add_contact(A, D, 3);
+    // (B, D): cycle 6 -> labels {1, 7}
+    eg.add_periodic(B, D, 1, 6);
+    // (C, D): cycle 6 -> label {6}
+    eg.add_contact(C, D, 6);
+    eg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_label_sets() {
+        let eg = fig2_example();
+        assert_eq!(eg.labels(A, B), Some(&[1, 4, 7][..]));
+        assert_eq!(eg.labels(B, C), Some(&[2, 5, 8][..]));
+        assert_eq!(eg.labels(A, D), Some(&[1, 3][..]));
+        assert_eq!(eg.labels(B, D), Some(&[1, 7][..]));
+        assert_eq!(eg.labels(C, D), Some(&[6][..]));
+        assert_eq!(eg.labels(A, C), None);
+        assert_eq!(eg.node_count(), 4);
+        assert_eq!(eg.horizon(), 9);
+    }
+
+    #[test]
+    fn fig2_paper_trimming_example_paths_exist() {
+        // "A -3-> D -6-> C can be replaced by A -4-> B -5-> C".
+        let eg = fig2_example();
+        assert!(eg.labels(A, D).unwrap().contains(&3));
+        assert!(eg.labels(C, D).unwrap().contains(&6));
+        assert!(eg.labels(A, B).unwrap().contains(&4));
+        assert!(eg.labels(B, C).unwrap().contains(&5));
+    }
+}

@@ -1,0 +1,245 @@
+//! Weighted time-evolving graphs (§II-B): "each edge at time unit `i` is
+//! associated with a weight `w_i`, which [has] different interpretations
+//! based on the application — bandwidth, transmission delay, or reliability."
+//!
+//! Journeys then trade off completion time against accumulated weight; this
+//! module computes the Pareto frontier of `(arrival time, total cost)` by
+//! multi-criteria label correcting.
+
+use crate::graph::TimeUnit;
+use csn_graph::NodeId;
+
+/// A weighted contact: edge `(u, v)` up at `t` with cost `w` (e.g. delay).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedContact {
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// Time unit of the contact.
+    pub t: TimeUnit,
+    /// Additive cost of using the contact.
+    pub w: f64,
+}
+
+/// A weighted time-evolving graph, stored as per-node sorted contact lists.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WeightedTimeEvolvingGraph {
+    n: usize,
+    horizon: TimeUnit,
+    /// `adj[u]` holds `(v, t, w)` sorted by `t`.
+    adj: Vec<Vec<(NodeId, TimeUnit, f64)>>,
+}
+
+impl WeightedTimeEvolvingGraph {
+    /// Creates an empty weighted `EG` on `n` nodes.
+    pub fn new(n: usize, horizon: TimeUnit) -> Self {
+        WeightedTimeEvolvingGraph { n, horizon, adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Time horizon.
+    pub fn horizon(&self) -> TimeUnit {
+        self.horizon
+    }
+
+    /// Adds an undirected weighted contact.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, `u == v`, `t >= horizon`, or a
+    /// negative weight.
+    pub fn add_contact(&mut self, u: NodeId, v: NodeId, t: TimeUnit, w: f64) {
+        assert!(u < self.n && v < self.n, "node out of range");
+        assert_ne!(u, v, "self-contacts are not allowed");
+        assert!(t < self.horizon, "label outside horizon");
+        assert!(w >= 0.0, "weights must be non-negative");
+        let pos_u = self.adj[u].partition_point(|&(_, tt, _)| tt <= t);
+        self.adj[u].insert(pos_u, (v, t, w));
+        let pos_v = self.adj[v].partition_point(|&(_, tt, _)| tt <= t);
+        self.adj[v].insert(pos_v, (u, t, w));
+    }
+
+    /// Contacts incident to `u`, sorted by time.
+    pub fn contacts_of(&self, u: NodeId) -> &[(NodeId, TimeUnit, f64)] {
+        &self.adj[u]
+    }
+
+    /// Total number of contacts.
+    pub fn contact_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+/// One point on the `(arrival, cost)` Pareto frontier at a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoLabel {
+    /// Arrival (completion) time of the journey.
+    pub arrival: TimeUnit,
+    /// Accumulated cost of the journey.
+    pub cost: f64,
+}
+
+/// Computes, for every node, the Pareto frontier of `(arrival time, total
+/// cost)` over journeys from `source` with first label `>= start`.
+///
+/// Frontiers are sorted by increasing arrival (hence decreasing cost). The
+/// source's frontier is `[(start, 0)]`.
+pub fn pareto_journeys(
+    eg: &WeightedTimeEvolvingGraph,
+    source: NodeId,
+    start: TimeUnit,
+) -> Vec<Vec<ParetoLabel>> {
+    let n = eg.node_count();
+    let mut front: Vec<Vec<ParetoLabel>> = vec![Vec::new(); n];
+    front[source].push(ParetoLabel { arrival: start, cost: 0.0 });
+    // Label-correcting over (node, arrival, cost) states, processed in
+    // arrival order (arrival never decreases along a journey).
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    #[derive(PartialEq)]
+    struct S(TimeUnit, u64, NodeId); // arrival, cost bits (ordered), node
+    impl Eq for S {}
+    impl Ord for S {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            (self.0, self.1, self.2).cmp(&(o.0, o.1, o.2))
+        }
+    }
+    impl PartialOrd for S {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    let bits = |c: f64| c.to_bits(); // non-negative floats order like their bits
+    let mut heap: BinaryHeap<Reverse<S>> = BinaryHeap::new();
+    heap.push(Reverse(S(start, bits(0.0), source)));
+    while let Some(Reverse(S(t, cb, u))) = heap.pop() {
+        let cost = f64::from_bits(cb);
+        // Skip states that have since been dominated.
+        if !on_frontier(&front[u], t, cost) {
+            continue;
+        }
+        for &(v, lab, w) in eg.contacts_of(u) {
+            if lab < t {
+                continue;
+            }
+            let cand = ParetoLabel { arrival: lab, cost: cost + w };
+            if insert_frontier(&mut front[v], cand) {
+                heap.push(Reverse(S(cand.arrival, bits(cand.cost), v)));
+            }
+        }
+    }
+    front
+}
+
+fn on_frontier(front: &[ParetoLabel], arrival: TimeUnit, cost: f64) -> bool {
+    front.iter().any(|l| l.arrival == arrival && (l.cost - cost).abs() < 1e-12)
+}
+
+/// Inserts `cand` if not dominated; removes labels it dominates. Returns
+/// whether it was inserted.
+fn insert_frontier(front: &mut Vec<ParetoLabel>, cand: ParetoLabel) -> bool {
+    if front.iter().any(|l| l.arrival <= cand.arrival && l.cost <= cand.cost) {
+        return false;
+    }
+    front.retain(|l| !(cand.arrival <= l.arrival && cand.cost <= l.cost));
+    let pos = front.partition_point(|l| l.arrival < cand.arrival);
+    front.insert(pos, cand);
+    true
+}
+
+/// Minimum-cost journey value to `target` regardless of arrival time, from a
+/// precomputed frontier. `None` if unreachable.
+pub fn min_cost(front: &[Vec<ParetoLabel>], target: NodeId) -> Option<f64> {
+    front[target].iter().map(|l| l.cost).reduce(f64::min)
+}
+
+/// Earliest-arrival value to `target` from a precomputed frontier.
+pub fn min_arrival(front: &[Vec<ParetoLabel>], target: NodeId) -> Option<TimeUnit> {
+    front[target].first().map(|l| l.arrival)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_contact_keeps_sorted() {
+        let mut eg = WeightedTimeEvolvingGraph::new(3, 10);
+        eg.add_contact(0, 1, 5, 1.0);
+        eg.add_contact(0, 1, 2, 1.0);
+        eg.add_contact(0, 2, 3, 2.0);
+        let ts: Vec<TimeUnit> = eg.contacts_of(0).iter().map(|&(_, t, _)| t).collect();
+        assert_eq!(ts, vec![2, 3, 5]);
+        assert_eq!(eg.contact_count(), 3);
+    }
+
+    #[test]
+    fn pareto_tradeoff_between_fast_and_cheap() {
+        // Fast route: arrive 2, cost 10. Cheap route: arrive 8, cost 1.
+        let mut eg = WeightedTimeEvolvingGraph::new(4, 10);
+        eg.add_contact(0, 1, 1, 5.0);
+        eg.add_contact(1, 3, 2, 5.0);
+        eg.add_contact(0, 2, 4, 0.5);
+        eg.add_contact(2, 3, 8, 0.5);
+        let front = pareto_journeys(&eg, 0, 0);
+        assert_eq!(front[3].len(), 2);
+        assert_eq!(front[3][0], ParetoLabel { arrival: 2, cost: 10.0 });
+        assert_eq!(front[3][1], ParetoLabel { arrival: 8, cost: 1.0 });
+        assert_eq!(min_cost(&front, 3), Some(1.0));
+        assert_eq!(min_arrival(&front, 3), Some(2));
+    }
+
+    #[test]
+    fn dominated_routes_are_pruned() {
+        // Second route both later and costlier: dominated.
+        let mut eg = WeightedTimeEvolvingGraph::new(3, 10);
+        eg.add_contact(0, 1, 1, 1.0);
+        eg.add_contact(1, 2, 2, 1.0);
+        eg.add_contact(0, 2, 5, 9.0);
+        let front = pareto_journeys(&eg, 0, 0);
+        assert_eq!(front[2].len(), 1);
+        assert_eq!(front[2][0], ParetoLabel { arrival: 2, cost: 2.0 });
+    }
+
+    #[test]
+    fn arrival_matches_unweighted_earliest_arrival() {
+        use crate::graph::TimeEvolvingGraph;
+        use crate::journey::earliest_arrival;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let n = 12;
+        let mut weg = WeightedTimeEvolvingGraph::new(n, 30);
+        let mut eg = TimeEvolvingGraph::new(n, 30);
+        for _ in 0..80 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let t = rng.gen_range(0..30);
+            if eg.add_contact(u, v, t) {
+                weg.add_contact(u, v, t, rng.gen::<f64>());
+            }
+        }
+        let front = pareto_journeys(&weg, 0, 0);
+        let arr = earliest_arrival(&eg, 0, 0);
+        for v in 0..n {
+            assert_eq!(min_arrival(&front, v).filter(|_| v != 0), arr[v].filter(|_| v != 0));
+        }
+    }
+
+    #[test]
+    fn frontier_insertions() {
+        let mut f = vec![];
+        assert!(insert_frontier(&mut f, ParetoLabel { arrival: 5, cost: 3.0 }));
+        assert!(!insert_frontier(&mut f, ParetoLabel { arrival: 6, cost: 3.5 }), "dominated");
+        assert!(insert_frontier(&mut f, ParetoLabel { arrival: 2, cost: 9.0 }));
+        assert!(insert_frontier(&mut f, ParetoLabel { arrival: 1, cost: 1.0 }), "dominates all");
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,403 @@
+//! Dynamic trimming: forwarding sets for opportunistic routing (§III-A).
+//!
+//! "In a routing process in a dynamic network, should a message be forwarded
+//! at a new contact (which may lead to a less favorable path) or at a future
+//! contact? … This is analogous to multi-bus riding."
+//!
+//! Following the paper's [13] (TOUR): inter-contact times are exponential,
+//! message utility decays linearly over time, and the *optimal time-varying
+//! forwarding set* is derived by an optimal-stopping dynamic program. The
+//! paper's claim, reproduced by experiment E5: **the forwarding set at the
+//! same intermediate node shrinks over time**.
+//!
+//! The multi-copy variant ([`copy_varying_sets`]) shows the *copy-varying*
+//! forwarding set: when the objective is the delivery time of the first
+//! copy, the spray set depends on the remaining copy budget.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A relay's contact statistics: it meets the destination as a Poisson
+/// process with `rate_to_dest`, and the source meets the relay with
+/// `rate_from_source`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Relay {
+    /// Poisson rate at which the source meets this relay.
+    pub rate_from_source: f64,
+    /// Poisson rate at which this relay meets the destination.
+    pub rate_to_dest: f64,
+}
+
+/// Linearly decaying message utility: `U(t) = max(0, u0 − c·t)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearUtility {
+    /// Utility at creation time.
+    pub u0: f64,
+    /// Decay per second.
+    pub c: f64,
+}
+
+impl LinearUtility {
+    /// Utility at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        (self.u0 - self.c * t).max(0.0)
+    }
+
+    /// The message lifetime `u0 / c` (utility is 0 afterwards).
+    pub fn deadline(&self) -> f64 {
+        self.u0 / self.c
+    }
+}
+
+/// Expected utility when a node holding the message at time `t` can *only*
+/// deliver directly, meeting the destination at Poisson rate `lambda`:
+/// `E[U(t + T)]`, `T ~ Exp(lambda)` — closed form under linear decay.
+pub fn expected_direct_utility(lambda: f64, t: f64, u: LinearUtility) -> f64 {
+    let rem = (u.deadline() - t).max(0.0);
+    if rem == 0.0 || lambda <= 0.0 {
+        return 0.0;
+    }
+    // ∫₀^rem λe^{−λτ}·(U(t) − cτ) dτ
+    //   = U(t)(1 − e^{−λ·rem}) − (c/λ)(1 − e^{−λ·rem}(1 + λ·rem))
+    let e = (-lambda * rem).exp();
+    u.at(t) * (1.0 - e) - (u.c / lambda) * (1.0 - e * (1.0 + lambda * rem))
+}
+
+/// The optimal-stopping solution at the source: value function and
+/// time-varying forwarding sets.
+#[derive(Debug, Clone)]
+pub struct ForwardingPolicy {
+    /// Discretization step (seconds).
+    pub dt: f64,
+    /// `value[k]` = expected utility of holding the message at `t = k·dt`
+    /// and playing optimally.
+    pub value: Vec<f64>,
+    /// `sets[k]` = indices of relays worth forwarding to at `t = k·dt`.
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl ForwardingPolicy {
+    /// The forwarding set at time `t`.
+    pub fn set_at(&self, t: f64) -> &[usize] {
+        let k = ((t / self.dt) as usize).min(self.sets.len().saturating_sub(1));
+        &self.sets[k]
+    }
+
+    /// Whether the sets are monotonically shrinking over time (the paper's
+    /// claim for linear decay + exponential contacts).
+    pub fn sets_shrink_monotonically(&self) -> bool {
+        self.sets.windows(2).all(|w| w[1].iter().all(|r| w[0].contains(r)))
+    }
+}
+
+/// Solves the optimal-stopping problem by backward induction over `[0, T]`,
+/// `T = utility.deadline()`: the source meets the destination at
+/// `rate_source_dest` and relay `r` at `relays[r].rate_from_source`; a relay
+/// that receives the message can only deliver directly. Handing the message
+/// to a relay costs `forward_cost` (TOUR's utility is benefit minus
+/// transmission cost — the cost is what makes waiting for a "later bus"
+/// a real trade-off).
+///
+/// At each contact with relay `r` at time `t`, forwarding is optimal iff the
+/// relay's net direct-delivery value exceeds the source's continuation
+/// value: `E_r(t) − cost > V_s(t⁺)` — those relays form the forwarding set
+/// at `t`. As the utility decays, fewer and fewer relays clear the bar, so
+/// the set *shrinks over time* (the paper's claim about [13]).
+///
+/// # Panics
+///
+/// Panics if `dt <= 0`, the cost is negative, or the utility does not decay
+/// from a positive start.
+pub fn solve_forwarding_policy(
+    rate_source_dest: f64,
+    relays: &[Relay],
+    utility: LinearUtility,
+    forward_cost: f64,
+    dt: f64,
+) -> ForwardingPolicy {
+    assert!(dt > 0.0, "dt must be positive");
+    assert!(forward_cost >= 0.0, "cost must be non-negative");
+    assert!(utility.c > 0.0 && utility.u0 > 0.0, "utility must decay from a positive start");
+    let horizon = utility.deadline();
+    let steps = (horizon / dt).ceil() as usize;
+    let mut value = vec![0.0f64; steps + 1];
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); steps + 1];
+    // Backward induction: V(T) = 0.
+    for k in (0..steps).rev() {
+        let t = k as f64 * dt;
+        let cont = value[k + 1];
+        // Probability of meeting the destination within dt: deliver now.
+        let p_dest = 1.0 - (-rate_source_dest * dt).exp();
+        let mut v = 0.0;
+        let mut p_none = 1.0;
+        // Meeting the destination dominates all other events.
+        v += p_dest * utility.at(t);
+        p_none *= 1.0 - p_dest;
+        let mut set = Vec::new();
+        for (ri, relay) in relays.iter().enumerate() {
+            let e_relay = expected_direct_utility(relay.rate_to_dest, t, utility) - forward_cost;
+            if e_relay > cont {
+                set.push(ri);
+                let p_meet = 1.0 - (-relay.rate_from_source * dt).exp();
+                // Forward on meeting (best response); approximate
+                // independent events within dt.
+                v += p_none * p_meet * e_relay;
+                p_none *= 1.0 - p_meet;
+            }
+        }
+        v += p_none * cont;
+        value[k] = v;
+        sets[k] = set;
+    }
+    // Terminal set is empty.
+    sets[steps].clear();
+    ForwardingPolicy { dt, value, sets }
+}
+
+/// Strategies compared in experiment E5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Hold the message; deliver only on direct contact with the destination.
+    DirectOnly,
+    /// Forward to the first relay encountered, whatever its rate.
+    FirstContact,
+    /// Forward only to relays in the optimal time-varying forwarding set.
+    OptimalSet,
+}
+
+/// Simulates single-copy delivery under a strategy; returns the achieved
+/// net utilities (delivery utility minus forwarding cost) over `trials`
+/// runs.
+pub fn simulate_strategy(
+    strategy: Strategy,
+    rate_source_dest: f64,
+    relays: &[Relay],
+    utility: LinearUtility,
+    forward_cost: f64,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let dt = utility.deadline() / 1000.0;
+    let policy = solve_forwarding_policy(rate_source_dest, relays, utility, forward_cost, dt);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = utility.deadline();
+    (0..trials)
+        .map(|_| {
+            // Sample next meeting times for destination and each relay.
+            let t_dest = sample_exp(&mut rng, rate_source_dest);
+            let mut relay_times: Vec<f64> =
+                relays.iter().map(|r| sample_exp(&mut rng, r.rate_from_source)).collect();
+            loop {
+                // Next event.
+                let (ri, t_relay) = relay_times
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .unwrap_or((usize::MAX, f64::INFINITY));
+                if t_dest <= t_relay {
+                    // Met the destination first: deliver.
+                    return utility.at(t_dest);
+                }
+                if t_relay >= horizon {
+                    return 0.0;
+                }
+                let forward = match strategy {
+                    Strategy::DirectOnly => false,
+                    Strategy::FirstContact => true,
+                    Strategy::OptimalSet => policy.set_at(t_relay).contains(&ri),
+                };
+                if forward {
+                    // Relay delivers directly at its own rate.
+                    let t_deliver = t_relay + sample_exp(&mut rng, relays[ri].rate_to_dest);
+                    return utility.at(t_deliver) - forward_cost;
+                }
+                // Keep waiting: resample this relay's next meeting
+                // (memoryless, so resampling is exact).
+                relay_times[ri] = t_relay + sample_exp(&mut rng, relays[ri].rate_from_source);
+            }
+        })
+        .collect()
+}
+
+fn sample_exp(rng: &mut StdRng, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    -(1.0 - rng.gen::<f64>()).ln() / rate
+}
+
+/// Multi-copy spray: with `copies` copies and the objective of minimizing
+/// the expected delivery time of the *first* copy, the optimal spray set is
+/// the `copies` relays with the highest delivery rates (plus the source's
+/// own copy). Returns the chosen relay indices for each copy budget
+/// `1..=max_copies` — the *copy-varying* forwarding sets of §III-A.
+pub fn copy_varying_sets(relays: &[Relay], max_copies: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..relays.len()).collect();
+    order.sort_by(|&a, &b| {
+        relays[b]
+            .rate_to_dest
+            .partial_cmp(&relays[a].rate_to_dest)
+            .expect("finite rates")
+    });
+    (1..=max_copies).map(|k| order.iter().copied().take(k).collect()).collect()
+}
+
+/// Expected first-copy delivery time when the copy holders' delivery rates
+/// are `rates` (minimum of independent exponentials).
+pub fn expected_first_delivery(rates: &[f64]) -> f64 {
+    let total: f64 = rates.iter().sum();
+    if total <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const U: LinearUtility = LinearUtility { u0: 100.0, c: 1.0 };
+
+    #[test]
+    fn utility_decays_linearly_to_zero() {
+        assert_eq!(U.at(0.0), 100.0);
+        assert_eq!(U.at(40.0), 60.0);
+        assert_eq!(U.at(100.0), 0.0);
+        assert_eq!(U.at(150.0), 0.0);
+        assert_eq!(U.deadline(), 100.0);
+    }
+
+    #[test]
+    fn expected_direct_utility_closed_form_matches_numeric() {
+        for &(lambda, t) in &[(0.05, 0.0), (0.2, 30.0), (1.0, 90.0)] {
+            let closed = expected_direct_utility(lambda, t, U);
+            // Numeric integration.
+            let rem: f64 = U.deadline() - t;
+            let steps = 200_000;
+            let dt = rem / steps as f64;
+            let mut numeric = 0.0;
+            for i in 0..steps {
+                let tau = (i as f64 + 0.5) * dt;
+                numeric += lambda * (-lambda * tau).exp() * U.at(t + tau) * dt;
+            }
+            assert!(
+                (closed - numeric).abs() < 1e-2,
+                "lambda {lambda}, t {t}: {closed} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_utility_decreases_over_time_and_increases_in_rate() {
+        assert!(expected_direct_utility(0.1, 0.0, U) > expected_direct_utility(0.1, 50.0, U));
+        assert!(expected_direct_utility(0.5, 10.0, U) > expected_direct_utility(0.05, 10.0, U));
+        assert_eq!(expected_direct_utility(0.1, 100.0, U), 0.0);
+        assert_eq!(expected_direct_utility(0.0, 0.0, U), 0.0);
+    }
+
+    fn mixed_relays() -> Vec<Relay> {
+        vec![
+            Relay { rate_from_source: 0.05, rate_to_dest: 0.5 },  // great
+            Relay { rate_from_source: 0.05, rate_to_dest: 0.1 },  // good
+            Relay { rate_from_source: 0.05, rate_to_dest: 0.03 }, // mediocre
+            Relay { rate_from_source: 0.05, rate_to_dest: 0.01 }, // poor
+        ]
+    }
+
+    const COST: f64 = 10.0;
+
+    #[test]
+    fn forwarding_set_shrinks_over_time() {
+        // The paper's claim: "the forwarding set at the same intermediate
+        // node shrinks over time."
+        let policy = solve_forwarding_policy(0.02, &mixed_relays(), U, COST, 0.1);
+        assert!(policy.sets_shrink_monotonically(), "sets must shrink");
+        let early = policy.set_at(1.0).len();
+        let late = policy.set_at(95.0).len();
+        assert!(early > late, "early {early} late {late}");
+        assert!(early >= 2, "several relays clear the bar early, got {early}");
+        assert!(
+            policy.set_at(99.5).is_empty(),
+            "near the deadline no relay repays the forwarding cost"
+        );
+    }
+
+    #[test]
+    fn better_relays_enter_the_set_first() {
+        let policy = solve_forwarding_policy(0.02, &mixed_relays(), U, COST, 0.1);
+        // At any time, if a relay is in the set, all strictly better relays
+        // (higher rate_to_dest) are too.
+        let relays = mixed_relays();
+        for set in &policy.sets {
+            for &r in set {
+                for better in 0..relays.len() {
+                    if relays[better].rate_to_dest > relays[r].rate_to_dest {
+                        assert!(set.contains(&better), "set {set:?} skips better relay");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_set_beats_first_contact_and_direct() {
+        let relays = mixed_relays();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let trials = 4000;
+        let u_direct =
+            mean(&simulate_strategy(Strategy::DirectOnly, 0.02, &relays, U, COST, trials, 1));
+        let u_first =
+            mean(&simulate_strategy(Strategy::FirstContact, 0.02, &relays, U, COST, trials, 2));
+        let u_opt =
+            mean(&simulate_strategy(Strategy::OptimalSet, 0.02, &relays, U, COST, trials, 3));
+        assert!(
+            u_opt > u_first,
+            "optimal set must beat first-contact: {u_opt} vs {u_first}"
+        );
+        assert!(
+            u_opt > u_direct,
+            "optimal set must beat direct-only: {u_opt} vs {u_direct}"
+        );
+    }
+
+    #[test]
+    fn copy_varying_sets_grow_with_budget() {
+        let relays = mixed_relays();
+        let sets = copy_varying_sets(&relays, 3);
+        assert_eq!(sets[0], vec![0], "single copy goes to the best relay");
+        assert_eq!(sets[1], vec![0, 1]);
+        assert_eq!(sets[2], vec![0, 1, 2]);
+        // Nested: the set for k copies contains the set for k-1.
+        for w in sets.windows(2) {
+            for r in &w[0] {
+                assert!(w[1].contains(r));
+            }
+        }
+    }
+
+    #[test]
+    fn first_delivery_time_improves_with_more_copies() {
+        let relays = mixed_relays();
+        let sets = copy_varying_sets(&relays, 4);
+        let mut prev = f64::INFINITY;
+        for set in sets {
+            let rates: Vec<f64> = set.iter().map(|&r| relays[r].rate_to_dest).collect();
+            let t = expected_first_delivery(&rates);
+            assert!(t <= prev);
+            prev = t;
+        }
+        assert_eq!(expected_first_delivery(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn value_function_is_nonincreasing_in_time() {
+        let policy = solve_forwarding_policy(0.02, &mixed_relays(), U, COST, 0.5);
+        for w in policy.value.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "value must decay: {} -> {}", w[0], w[1]);
+        }
+        assert_eq!(*policy.value.last().unwrap(), 0.0);
+    }
+}
+

@@ -1,0 +1,26 @@
+//! # csn-trimming — structural trimming (§III-A)
+//!
+//! "Structural trimming deals with removing links and/or nodes to form a
+//! subgraph as a useful structure… The main purpose of trimming is to reduce
+//! the complexity of information dissemination or network searching without
+//! losing the desirable properties of the original network topology."
+//!
+//! * [`static_rule`] — the paper's time-evolving-graph trimming rule: a node
+//!   (or link) is removed when every path through it has a *replacement
+//!   path* departing no earlier and arriving no later, with priorities
+//!   preventing circular replacements. Preserves earliest completion times.
+//! * [`topology`] — classical static trimming by localized topology control
+//!   on unit disk graphs: Gabriel graph, relative neighborhood graph, and
+//!   local MST (LMST), all computable from 1-hop position information.
+//! * [`forwarding`] — dynamic trimming: *forwarding sets* for opportunistic
+//!   routing, including the TOUR-style optimal time-varying forwarding set
+//!   under exponential inter-contact times and linearly decaying utility
+//!   (the paper's [13]: "the forwarding set at the same intermediate node
+//!   shrinks over time"), and copy-varying sets for multi-copy delivery.
+
+pub mod forwarding;
+pub mod probabilistic;
+pub mod static_rule;
+pub mod topology;
+
+pub use static_rule::{TrimOptions, TrimReport};

@@ -1,0 +1,245 @@
+//! Probabilistic trimming (§III-A's open question).
+//!
+//! "In situations where link labels are not deterministically, but rather,
+//! probabilistically, known, it would be interesting to explore different
+//! probabilistic versions of the trimming rule."
+//!
+//! This module gives one concrete instantiation: contacts materialize
+//! independently with probability `p`, delivery probabilities are estimated
+//! by Monte Carlo over common random realizations, and a transit arc is
+//! trimmed only when removing it costs **at most `epsilon`** delivery
+//! probability for *every* (source, destination) pair. With `p = 1` and
+//! `epsilon = 0` the accepted arcs coincide with deterministically
+//! redundant ones.
+
+use csn_graph::NodeId;
+use csn_temporal::journey::earliest_arrival;
+use csn_temporal::{TimeEvolvingGraph, TimeUnit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A time-evolving graph whose contacts each materialize independently with
+/// probability `contact_prob`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbabilisticEg {
+    /// The nominal (schedule) graph.
+    pub eg: TimeEvolvingGraph,
+    /// Probability each scheduled contact actually happens.
+    pub contact_prob: f64,
+}
+
+impl ProbabilisticEg {
+    /// Wraps a schedule with a contact probability in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is out of range.
+    pub fn new(eg: TimeEvolvingGraph, contact_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&contact_prob), "probability out of range");
+        ProbabilisticEg { eg, contact_prob }
+    }
+
+    /// Samples one realization: each scheduled contact kept with
+    /// probability `contact_prob`.
+    pub fn sample(&self, seed: u64) -> TimeEvolvingGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = TimeEvolvingGraph::new(self.eg.node_count(), self.eg.horizon());
+        for c in self.eg.contacts() {
+            if rng.gen::<f64>() < self.contact_prob {
+                out.add_contact(c.u, c.v, c.t);
+            }
+        }
+        out
+    }
+
+    /// Monte Carlo delivery probability `source -> dest` from `start`,
+    /// optionally with transit arcs removed (delivery exemption applies, as
+    /// in the deterministic rule). Uses `samples` common-random-number
+    /// realizations derived from `seed`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn delivery_prob(
+        &self,
+        source: NodeId,
+        dest: NodeId,
+        start: TimeUnit,
+        removed: &HashSet<(NodeId, NodeId)>,
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut delivered = 0usize;
+        for k in 0..samples {
+            let real = self.sample(seed.wrapping_add(k as u64));
+            let ok = if removed.is_empty() {
+                earliest_arrival(&real, source, start)[dest].is_some()
+            } else {
+                crate::static_rule::earliest_arrival_trimmed(&real, removed, source, dest, start)
+                    .is_some()
+            };
+            if ok {
+                delivered += 1;
+            }
+        }
+        delivered as f64 / samples as f64
+    }
+}
+
+/// Report of a probabilistic trimming pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbabilisticTrimReport {
+    /// Accepted (removed) transit arcs.
+    pub removed_arcs: Vec<(NodeId, NodeId)>,
+    /// Candidate arcs rejected because some pair lost more than `epsilon`.
+    pub rejected_arcs: Vec<(NodeId, NodeId)>,
+    /// The worst observed delivery-probability drop among accepted arcs.
+    pub worst_accepted_drop: f64,
+}
+
+/// Greedily trims transit arcs of `peg`, accepting an arc only if, over the
+/// Monte Carlo estimate, no (source, dest) pair's delivery probability from
+/// `start` drops by more than `epsilon`. Arcs are considered in ascending
+/// bypassed-neighbor priority, mirroring the deterministic rule.
+pub fn trim_arcs_probabilistic(
+    peg: &ProbabilisticEg,
+    priority: &[u64],
+    start: TimeUnit,
+    epsilon: f64,
+    samples: usize,
+    seed: u64,
+) -> ProbabilisticTrimReport {
+    let n = peg.eg.node_count();
+    let mut removed: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut report = ProbabilisticTrimReport {
+        removed_arcs: Vec::new(),
+        rejected_arcs: Vec::new(),
+        worst_accepted_drop: 0.0,
+    };
+    // Baseline delivery probabilities with the current removal set.
+    let mut baseline = vec![vec![0.0f64; n]; n];
+    let recompute = |removed: &HashSet<(NodeId, NodeId)>| {
+        let mut m = vec![vec![0.0f64; n]; n];
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    m[s][d] = peg.delivery_prob(s, d, start, removed, samples, seed);
+                }
+            }
+        }
+        m
+    };
+    baseline = recompute(&removed);
+    let mut arcs: Vec<(NodeId, NodeId)> =
+        peg.eg.edges().iter().flat_map(|e| [(e.u, e.v), (e.v, e.u)]).collect();
+    arcs.sort_by_key(|&(x, y)| (priority[y], priority[x]));
+    for (x, y) in arcs {
+        let mut candidate = removed.clone();
+        candidate.insert((x, y));
+        let trial = recompute(&candidate);
+        let mut worst = 0.0f64;
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    worst = worst.max(baseline[s][d] - trial[s][d]);
+                }
+            }
+        }
+        if worst <= epsilon + 1e-12 {
+            removed = candidate;
+            baseline = trial;
+            report.removed_arcs.push((x, y));
+            report.worst_accepted_drop = report.worst_accepted_drop.max(worst);
+        } else {
+            report.rejected_arcs.push((x, y));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csn_temporal::paper::fig2_example;
+
+    #[test]
+    fn sampling_respects_probability() {
+        let eg = fig2_example();
+        let total = eg.contact_count();
+        let peg = ProbabilisticEg::new(eg, 0.5);
+        let mut kept = 0usize;
+        for s in 0..200 {
+            kept += peg.sample(s).contact_count();
+        }
+        let ratio = kept as f64 / (200 * total) as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "kept ratio {ratio}");
+    }
+
+    #[test]
+    fn certain_contacts_reduce_to_deterministic() {
+        let peg = ProbabilisticEg::new(fig2_example(), 1.0);
+        let none = HashSet::new();
+        // A reaches C with certainty.
+        assert_eq!(peg.delivery_prob(0, 2, 0, &none, 20, 3), 1.0);
+        // Starting past the horizon: certain failure.
+        assert_eq!(peg.delivery_prob(0, 2, 8, &none, 20, 3), 0.0);
+    }
+
+    #[test]
+    fn deterministic_redundancy_is_trimmed_at_epsilon_zero() {
+        let peg = ProbabilisticEg::new(fig2_example(), 1.0);
+        let report =
+            trim_arcs_probabilistic(&peg, &[40, 30, 20, 10], 0, 0.0, 16, 11);
+        assert!(
+            report.removed_arcs.contains(&(0, 3)),
+            "the paper's A->D arc is redundant even probabilistically: {:?}",
+            report.removed_arcs
+        );
+        assert_eq!(report.worst_accepted_drop, 0.0);
+    }
+
+    #[test]
+    fn lossy_contacts_make_redundancy_valuable() {
+        // With p = 0.6, the side path through D carries real probability
+        // mass; a strict epsilon keeps more arcs than the deterministic rule
+        // would.
+        let strict = trim_arcs_probabilistic(
+            &ProbabilisticEg::new(fig2_example(), 0.6),
+            &[40, 30, 20, 10],
+            0,
+            0.005,
+            200,
+            7,
+        );
+        let lenient = trim_arcs_probabilistic(
+            &ProbabilisticEg::new(fig2_example(), 0.6),
+            &[40, 30, 20, 10],
+            0,
+            0.25,
+            200,
+            7,
+        );
+        assert!(
+            strict.removed_arcs.len() <= lenient.removed_arcs.len(),
+            "stricter epsilon must trim no more: {:?} vs {:?}",
+            strict.removed_arcs,
+            lenient.removed_arcs
+        );
+        assert!(lenient.worst_accepted_drop <= 0.25 + 1e-9);
+    }
+
+    #[test]
+    fn bridge_arcs_are_rejected() {
+        // A path 0 -1- 1 -2- 2 with lossy contacts: the load-bearing arcs
+        // must be rejected at any reasonable epsilon.
+        let mut eg = TimeEvolvingGraph::new(3, 5);
+        eg.add_contact(0, 1, 1);
+        eg.add_contact(1, 2, 2);
+        let peg = ProbabilisticEg::new(eg, 0.8);
+        let report = trim_arcs_probabilistic(&peg, &[2, 1, 0], 0, 0.05, 100, 5);
+        // The only transit use is 0 -> 1 -> 2; that arc must be rejected.
+        // The final hop 1 -> 2 falls under the delivery exemption (2 is a
+        // dead end), so its removal is vacuous — matching the deterministic
+        // rule's behavior.
+        assert!(report.rejected_arcs.contains(&(0, 1)));
+        assert!(report.removed_arcs.contains(&(1, 2)));
+    }
+}

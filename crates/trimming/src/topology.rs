@@ -1,0 +1,249 @@
+//! Static trimming by localized topology control on unit disk graphs
+//! (§III-A: "various localized trimming processes for unit disk graphs with
+//! known locations … have been studied").
+//!
+//! All three constructions below are *localized*: each node decides which
+//! incident links to keep from 1-hop position information only.
+//!
+//! * [`gabriel_graph`] — keep `(u, v)` unless some witness sits inside the
+//!   disk with diameter `uv`.
+//! * [`relative_neighborhood_graph`] — keep `(u, v)` unless some witness is
+//!   closer to both endpoints (the lune test).
+//! * [`lmst`] — Li–Hou–Sha local MST: `u` keeps `(u, v)` iff `v` is `u`'s
+//!   neighbor in the MST of `u`'s 1-hop neighborhood; the symmetric variant
+//!   intersects both directions.
+//!
+//! All three contain the (Euclidean) MST of each connected component, hence
+//! preserve connectivity, and satisfy `LMST ⊆ RNG ⊆ Gabriel ⊆ UDG`.
+
+use csn_graph::graph::Graph;
+use csn_graph::mst::prim;
+use csn_graph::{NodeId, WeightedGraph};
+
+/// A point in the plane.
+pub type Point = (f64, f64);
+
+fn d2(a: Point, b: Point) -> f64 {
+    (a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)
+}
+
+/// The Gabriel graph restricted to the edges of `g`: edge `(u, v)` survives
+/// iff no other node `w` lies strictly inside the circle with diameter
+/// `uv` (equivalently `|uw|² + |wv|² < |uv|²` for no `w`).
+pub fn gabriel_graph(g: &Graph, points: &[Point]) -> Graph {
+    let mut out = Graph::new(g.node_count());
+    for (u, v) in g.edges() {
+        let duv = d2(points[u], points[v]);
+        let blocked = g.nodes().any(|w| {
+            w != u && w != v && d2(points[u], points[w]) + d2(points[w], points[v]) < duv
+        });
+        if !blocked {
+            out.add_edge(u, v);
+        }
+    }
+    out
+}
+
+/// The relative neighborhood graph restricted to the edges of `g`: edge
+/// `(u, v)` survives iff no witness `w` satisfies
+/// `max(|uw|, |wv|) < |uv|` (no node strictly inside the lune).
+pub fn relative_neighborhood_graph(g: &Graph, points: &[Point]) -> Graph {
+    let mut out = Graph::new(g.node_count());
+    for (u, v) in g.edges() {
+        let duv = d2(points[u], points[v]);
+        let blocked = g.nodes().any(|w| {
+            w != u && w != v && d2(points[u], points[w]) < duv && d2(points[w], points[v]) < duv
+        });
+        if !blocked {
+            out.add_edge(u, v);
+        }
+    }
+    out
+}
+
+/// Li–Hou–Sha LMST. Each node `u` builds the Euclidean MST of its closed
+/// 1-hop neighborhood (distances as weights) and keeps the links to its MST
+/// neighbors; with `symmetric` the final graph keeps `(u, v)` only when
+/// *both* endpoints keep it (`LMST∩`), otherwise when either does (`LMST∪`).
+pub fn lmst(g: &Graph, points: &[Point], symmetric: bool) -> Graph {
+    let n = g.node_count();
+    // keeps[u] = set of v that u wants to keep.
+    let mut keeps: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for u in 0..n {
+        // Closed neighborhood subgraph with Euclidean weights.
+        let mut members: Vec<NodeId> = vec![u];
+        members.extend_from_slice(g.neighbors(u));
+        let index_of = |x: NodeId| members.iter().position(|&m| m == x).expect("member");
+        let mut local = WeightedGraph::new(members.len());
+        for (i, &a) in members.iter().enumerate() {
+            for (j, &b) in members.iter().enumerate().skip(i + 1) {
+                if g.has_edge(a, b) || a == u || b == u {
+                    if g.has_edge(a, b) {
+                        local.add_edge(i, j, d2(points[a], points[b]).sqrt());
+                    }
+                }
+            }
+        }
+        let tree = prim(&local, index_of(u));
+        for (a, b, _) in tree {
+            let (ga, gb) = (members[a], members[b]);
+            if ga == u {
+                keeps[u].push(gb);
+            } else if gb == u {
+                keeps[u].push(ga);
+            }
+        }
+    }
+    let mut out = Graph::new(n);
+    for u in 0..n {
+        for &v in &keeps[u] {
+            let keep = if symmetric { keeps[v].contains(&u) } else { true };
+            if keep && !out.has_edge(u, v) {
+                out.add_edge(u, v);
+            }
+        }
+    }
+    out
+}
+
+/// Summary of a topology-control result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsificationStats {
+    /// Edges before.
+    pub edges_before: usize,
+    /// Edges after.
+    pub edges_after: usize,
+    /// Maximum degree after.
+    pub max_degree: usize,
+    /// Whether connectivity (per component) was preserved.
+    pub connectivity_preserved: bool,
+}
+
+/// Computes sparsification statistics of `trimmed` versus `original`.
+pub fn sparsification_stats(original: &Graph, trimmed: &Graph) -> SparsificationStats {
+    use csn_graph::traversal::connected_components;
+    let (co, ko) = connected_components(original);
+    let (ct, kt) = connected_components(trimmed);
+    // Same component structure: same count and same partition refinement.
+    let mut preserved = ko == kt;
+    if preserved {
+        // Two nodes in the same original component must share a trimmed one.
+        let mut seen = std::collections::HashMap::new();
+        for u in 0..original.node_count() {
+            match seen.entry(co[u]) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(ct[u]);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != ct[u] {
+                        preserved = false;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    SparsificationStats {
+        edges_before: original.edge_count(),
+        edges_after: trimmed.edge_count(),
+        max_degree: (0..trimmed.node_count()).map(|u| trimmed.degree(u)).max().unwrap_or(0),
+        connectivity_preserved: preserved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csn_graph::generators;
+
+    fn setup(seed: u64) -> (Graph, Vec<Point>) {
+        let gg = generators::random_geometric(150, 0.18, seed);
+        (gg.graph, gg.positions)
+    }
+
+    #[test]
+    fn hierarchy_lmst_rng_gabriel_udg() {
+        for seed in 0..4 {
+            let (g, pts) = setup(seed);
+            let gabriel = gabriel_graph(&g, &pts);
+            let rng_g = relative_neighborhood_graph(&g, &pts);
+            let lm = lmst(&g, &pts, true);
+            // RNG ⊆ Gabriel ⊆ UDG.
+            for (u, v) in rng_g.edges() {
+                assert!(gabriel.has_edge(u, v), "seed {seed}: RNG ⊄ Gabriel");
+            }
+            for (u, v) in gabriel.edges() {
+                assert!(g.has_edge(u, v));
+            }
+            // LMST∩ ⊆ RNG (generic position).
+            for (u, v) in lm.edges() {
+                assert!(rng_g.has_edge(u, v), "seed {seed}: LMST ⊄ RNG at ({u},{v})");
+            }
+            // Proper sparsification on dense graphs.
+            assert!(gabriel.edge_count() < g.edge_count());
+            assert!(rng_g.edge_count() <= gabriel.edge_count());
+            assert!(lm.edge_count() <= rng_g.edge_count());
+        }
+    }
+
+    #[test]
+    fn all_constructions_preserve_connectivity() {
+        for seed in 0..4 {
+            let (g, pts) = setup(seed);
+            for trimmed in [
+                gabriel_graph(&g, &pts),
+                relative_neighborhood_graph(&g, &pts),
+                lmst(&g, &pts, true),
+                lmst(&g, &pts, false),
+            ] {
+                let stats = sparsification_stats(&g, &trimmed);
+                assert!(stats.connectivity_preserved, "seed {seed}: {stats:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lmst_has_small_max_degree() {
+        // Theory: LMST degree <= 6. Allow equality margin for ties.
+        for seed in 0..4 {
+            let (g, pts) = setup(seed);
+            let lm = lmst(&g, &pts, true);
+            let stats = sparsification_stats(&g, &lm);
+            assert!(stats.max_degree <= 6, "seed {seed}: degree {}", stats.max_degree);
+        }
+    }
+
+    #[test]
+    fn square_with_center_blocks_diagonals() {
+        // 4 corners + center: Gabriel removes the diagonals (center inside
+        // their diameter circles) but keeps the sides.
+        let pts = vec![(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.5, 0.5)];
+        let g = generators::unit_disk_from_points(&pts, 2.0); // complete
+        let gabriel = gabriel_graph(&g, &pts);
+        assert!(!gabriel.has_edge(0, 2), "diagonal must be blocked by the center");
+        assert!(!gabriel.has_edge(1, 3));
+        assert!(gabriel.has_edge(0, 1));
+        assert!(gabriel.has_edge(0, 4));
+    }
+
+    #[test]
+    fn rng_on_triangle_keeps_short_edges() {
+        // Obtuse triangle: the longest edge has the opposite vertex in its
+        // lune and is trimmed.
+        let pts = vec![(0.0, 0.0), (1.0, 0.0), (0.5, 0.1)];
+        let g = generators::unit_disk_from_points(&pts, 2.0);
+        let rng_g = relative_neighborhood_graph(&g, &pts);
+        assert!(!rng_g.has_edge(0, 1), "long edge trimmed");
+        assert!(rng_g.has_edge(0, 2));
+        assert!(rng_g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn empty_graph_stays_empty() {
+        let g = Graph::new(3);
+        let pts = vec![(0.0, 0.0), (5.0, 5.0), (9.0, 9.0)];
+        assert_eq!(gabriel_graph(&g, &pts).edge_count(), 0);
+        assert_eq!(relative_neighborhood_graph(&g, &pts).edge_count(), 0);
+        assert_eq!(lmst(&g, &pts, true).edge_count(), 0);
+    }
+}

@@ -1,0 +1,1 @@
+//! Cross-crate integration tests for structura (see the `[[test]]` targets).

@@ -1,0 +1,228 @@
+//! Every concrete, checkable claim the paper makes about its worked
+//! examples, collected in one suite (the position paper's equivalent of an
+//! evaluation section).
+
+/// §II-A / Fig. 1: interval graphs of online social networks.
+mod fig1 {
+    use csn_core::intersection::chordal::{is_chordal, is_interval_graph};
+    use csn_core::intersection::hypergraph::IntervalHypergraph;
+    use csn_core::intersection::interval::{fig1_example, interval_graph};
+
+    #[test]
+    fn online_sessions_make_an_interval_graph_with_acd_hyperedge() {
+        let sessions = fig1_example();
+        let g = interval_graph(&sessions);
+        assert!(is_interval_graph(&g));
+        assert!(is_chordal(&g), "\"if G is an interval graph, it must be chordal\"");
+        // "three nodes A, C, and D are intersected at a particular time
+        // moment … an additional hyperedge among A, C, and D".
+        let hg = IntervalHypergraph::from_intervals(&sessions);
+        assert!(hg.hyperedges().contains(&vec![0, 2, 3]));
+    }
+
+    #[test]
+    fn c4_cannot_be_an_interval_graph() {
+        // "A cycle cannot be part of an interval graph because time is
+        // linear, not circular."
+        let c4 = csn_core::graph::generators::cycle(4);
+        assert!(!is_chordal(&c4));
+        assert!(!is_interval_graph(&c4));
+    }
+}
+
+/// §II-A: the unit-disk star counterexample.
+mod unit_disk {
+    use csn_core::graph::generators;
+    use csn_core::intersection::unit_disk::satisfies_udg_neighbor_bound;
+
+    #[test]
+    fn star_with_six_leaves_is_not_a_udg() {
+        assert!(!satisfies_udg_neighbor_bound(&generators::star(6)));
+        assert!(satisfies_udg_neighbor_bound(&generators::star(5)));
+    }
+}
+
+/// §II-B / Fig. 2: the VANET time-evolving graph.
+mod fig2 {
+    use csn_core::temporal::journey::{earliest_arrival, is_connected_at};
+    use csn_core::temporal::paper::{fig2_example, A, B, C, D};
+
+    #[test]
+    fn a_connected_to_c_at_start_times_0_through_4() {
+        let eg = fig2_example();
+        for t in 0..=4 {
+            assert!(is_connected_at(&eg, A, C, t));
+        }
+    }
+
+    #[test]
+    fn a_and_c_never_connected_at_a_single_time_unit() {
+        let eg = fig2_example();
+        for t in 0..eg.horizon() {
+            let g = eg.snapshot(t);
+            assert_eq!(
+                csn_core::graph::traversal::bfs_distances(&g, A)[C],
+                usize::MAX,
+                "instantaneous A-C path at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_label_cycles_match_the_figure() {
+        let eg = fig2_example();
+        let gap = |labels: &[csn_core::temporal::TimeUnit]| {
+            labels.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0)
+        };
+        assert_eq!(gap(eg.labels(A, B).unwrap()), 3);
+        assert_eq!(gap(eg.labels(B, C).unwrap()), 3);
+        assert_eq!(gap(eg.labels(A, D).unwrap()), 2);
+        assert_eq!(gap(eg.labels(B, D).unwrap()), 6);
+    }
+
+    #[test]
+    fn carry_store_forward_delivers_despite_no_instant_path() {
+        // "However, carry-store-forward routing can still deliver messages."
+        let eg = fig2_example();
+        let arr = earliest_arrival(&eg, A, 0);
+        for v in [B, C, D] {
+            assert!(arr[v].is_some(), "node {v} unreachable");
+        }
+    }
+}
+
+/// §III-A / Fig. 2(c): the trimming rule.
+mod trimming_rule {
+    use csn_core::temporal::paper::{fig2_example, A, D};
+    use csn_core::trimming::static_rule::arc_replaceable;
+    use csn_core::trimming::TrimOptions;
+    use std::collections::HashSet;
+
+    #[test]
+    fn a_can_ignore_neighbor_d_but_not_conversely() {
+        let eg = fig2_example();
+        let p = vec![40, 30, 20, 10];
+        let none = HashSet::new();
+        assert!(arc_replaceable(&eg, A, D, &p, &none, TrimOptions::default()));
+        assert!(!arc_replaceable(&eg, D, A, &p, &none, TrimOptions::default()));
+    }
+}
+
+/// §III-B / Fig. 4 and §IV-B: link reversal.
+mod link_reversal {
+    use csn_core::layering::link_reversal::{
+        adversarial_chain, BinaryLabelReversal, LabelInit,
+    };
+
+    #[test]
+    fn full_and_partial_both_reconverge_and_cost_quadratic() {
+        let (g, h, dest) = adversarial_chain(24);
+        let mut full = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Full);
+        let mut partial = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Partial);
+        let sf = full.run(1_000_000);
+        let sp = partial.run(1_000_000);
+        assert!(sf.converged && sp.converged);
+        assert!(full.is_destination_oriented());
+        assert!(partial.is_destination_oriented());
+        // Θ(n²) on the chain: 24² = 576; both within a small factor.
+        assert!(sf.link_reversals >= 24 * 24 / 4);
+        assert!(sp.link_reversals <= sf.link_reversals);
+    }
+}
+
+/// §IV-A / Fig. 8: static labels.
+mod fig8 {
+    use csn_core::labeling::cds::{marked_and_pruned_cds, marking};
+    use csn_core::labeling::mis::{mis_distributed, neighbor_designated_ds};
+    use csn_core::labeling::{paper_fig8, paper_fig8_priorities};
+
+    #[test]
+    fn all_three_label_processes_match_the_paper() {
+        let g = paper_fig8();
+        let p = paper_fig8_priorities();
+        assert_eq!(marking(&g), vec![false, true, true, true, true, true]);
+        assert_eq!(
+            marked_and_pruned_cds(&g, &p),
+            vec![false, true, true, true, false, false]
+        );
+        assert_eq!(
+            mis_distributed(&g, &p).mis,
+            vec![true, true, false, false, true, false]
+        );
+        assert_eq!(
+            neighbor_designated_ds(&g, &p),
+            vec![true, true, true, false, false, false]
+        );
+    }
+}
+
+/// §IV-C / Fig. 9: safety levels.
+mod fig9 {
+    use csn_core::labeling::safety::SafetyLevels;
+
+    #[test]
+    fn safety_levels_guide_optimal_routing() {
+        let mut faulty = vec![false; 16];
+        for f in [0b1000usize, 0b1011, 0b0011] {
+            faulty[f] = true;
+        }
+        let sl = SafetyLevels::compute(4, &faulty);
+        // "node 1101 selects 0101 … between two neighbors 1001 and 0101 on
+        // route to 0001."
+        assert!(sl.level(0b0101) > sl.level(0b1001));
+        let path = sl.route(0b1101, 0b0001).expect("route");
+        assert_eq!(path[1], 0b0101);
+        assert_eq!(path.len(), 3);
+        // "at most n−1 rounds are needed."
+        assert!(sl.rounds_used() <= 3);
+    }
+}
+
+/// §I: the Kleinberg small-world claim.
+mod small_world {
+    use csn_core::remapping::smallworld::exponent_sweep;
+
+    #[test]
+    fn inverse_square_networks_route_greedily_in_few_hops() {
+        let hops = exponent_sweep(60, 1, &[2.0], 200, 3);
+        // Mean Manhattan distance on a 60-grid is ~40; greedy with
+        // inverse-square contacts should cut it several-fold.
+        assert!(hops[0] < 20.0, "greedy hops {hops:?}");
+    }
+}
+
+/// §II-B: the mobility-model distribution claims.
+mod mobility_distributions {
+    use csn_core::mobility::rwp::RandomWaypoint;
+    use csn_core::mobility::stats::{coefficient_of_variation, fit_exponential};
+
+    #[test]
+    fn boundaryless_random_waypoint_inter_contacts_are_not_exponential() {
+        // "A random waypoint mobility without a boundary does not meet the
+        // exponential distribution for either contact duration or
+        // inter-contact time." Nodes diffuse apart, stretching the tail.
+        let mut model = RandomWaypoint::default_config(40);
+        model.range = 0.12;
+        let trace = model.simulate_unbounded(10_000.0, 0.1, 0.5, 11);
+        let gaps = trace.inter_contact_times();
+        assert!(gaps.len() > 100, "need a meaningful sample, got {}", gaps.len());
+        let fit = fit_exponential(&gaps).expect("positive gaps");
+        assert!(
+            fit.ks > 0.08 || coefficient_of_variation(&gaps) > 1.3,
+            "unbounded RWP inter-contacts looked exponential: KS {}, CV {}",
+            fit.ks,
+            coefficient_of_variation(&gaps)
+        );
+        // Control: the bounded variant with fast mixing looks far more
+        // exponential than the unbounded one.
+        let bounded = RandomWaypoint::default_config(40).simulate(6000.0, 11);
+        let bounded_gaps = bounded.inter_contact_times();
+        let bounded_fit = fit_exponential(&bounded_gaps).expect("positive gaps");
+        assert!(
+            bounded_fit.ks < fit.ks,
+            "bounded KS {} should be below unbounded KS {}",
+            bounded_fit.ks,
+            fit.ks
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Pipeline: graph generation → layering hierarchies → labeling backbones
+//! (crates: graph, layering, labeling).
+
+use csn_core::graph::generators;
+use csn_core::labeling::cds::{is_cds, marked_and_pruned_cds};
+use csn_core::labeling::mis::{is_maximal_independent, mis_distributed};
+use csn_core::layering::nsf::{nsf_levels, nsf_report};
+use csn_core::layering::pubsub::Hierarchy;
+
+#[test]
+fn scale_free_overlay_full_stack() {
+    let g = generators::gnutella_like(3000, 3, 0.05, 21).unwrap();
+    let mask = csn_core::graph::traversal::largest_component_mask(&g);
+    let (g, _) = g.induced_subgraph(&mask);
+    let priority: Vec<u64> = (0..g.node_count() as u64).collect();
+
+    // Layering: NSF verdict and hierarchy.
+    let report = nsf_report(&g, 200, 50);
+    assert!(report.fits.len() >= 2);
+    assert!(report.exponent_std_dev < 0.5, "{:?}", report.exponents);
+    let levels = nsf_levels(&g);
+    assert_eq!(levels.len(), g.node_count());
+
+    // Labeling: backbone and clusterheads coexist consistently.
+    let cds = marked_and_pruned_cds(&g, &priority);
+    assert!(is_cds(&g, &cds));
+    let mis = mis_distributed(&g, &priority);
+    assert!(is_maximal_independent(&g, &mis.mis));
+
+    // Every MIS clusterhead is dominated by the CDS backbone (the gateway
+    // construction of §IV-A's footnote).
+    for u in g.nodes() {
+        if mis.mis[u] {
+            let near_backbone = cds[u] || g.neighbors(u).iter().any(|&v| cds[v]);
+            assert!(near_backbone, "clusterhead {u} stranded off the backbone");
+        }
+    }
+}
+
+#[test]
+fn hierarchy_routing_reaches_everyone() {
+    let g = generators::barabasi_albert(800, 3, 31).unwrap();
+    let h = Hierarchy::new(&g);
+    // Route from every node to a fixed subscriber: finite cost always.
+    for u in (0..g.node_count()).step_by(37) {
+        let cost = csn_core::layering::pubsub::route(&h, u, 0);
+        assert!(cost.hops < g.node_count());
+    }
+}
+
+#[test]
+fn maxflow_agrees_with_mincut_on_layered_networks() {
+    // Height-based max-flow (§III-B) on a DAG shaped like an NSF hierarchy:
+    // flows climb the hierarchy to the apex.
+    use csn_core::graph::WeightedDigraph;
+    use csn_core::layering::maxflow::{dinic, mpm, push_relabel};
+    let g = generators::barabasi_albert(120, 2, 41).unwrap();
+    let levels = nsf_levels(&g);
+    let mut net = WeightedDigraph::new(g.node_count() + 1);
+    let sink = g.node_count();
+    // Orient edges upward in the hierarchy with capacity 1; apexes drain
+    // into a super-sink.
+    let key = |u: usize| (levels[u], u);
+    for (u, v) in g.edges() {
+        let (lo, hi) = if key(u) < key(v) { (u, v) } else { (v, u) };
+        net.add_arc(lo, hi, 1.0);
+    }
+    let top = levels.iter().max().copied().unwrap_or(0);
+    for u in g.nodes() {
+        if levels[u] == top {
+            net.add_arc(u, sink, f64::INFINITY);
+        }
+    }
+    // Pick a low-level source.
+    let source = (0..g.node_count()).min_by_key(|&u| key(u)).unwrap();
+    let d = dinic(&net, source, sink);
+    let p = push_relabel(&net, source, sink);
+    let m = mpm(&net, source, sink);
+    assert!((d - p).abs() < 1e-6 && (d - m).abs() < 1e-6, "d={d} p={p} m={m}");
+    assert!(d >= 1.0, "a path to the apex must exist");
+}
+
+#[test]
+fn link_reversal_maintains_routing_after_repeated_failures() {
+    use csn_core::layering::link_reversal::{BinaryLabelReversal, LabelInit};
+    use rand::{Rng, SeedableRng};
+    let g0 = generators::erdos_renyi(40, 0.12, 51).unwrap();
+    let mask = csn_core::graph::traversal::largest_component_mask(&g0);
+    let (g, _) = g0.induced_subgraph(&mask);
+    let heights: Vec<i64> = (0..g.node_count() as i64).collect();
+    let mut m = BinaryLabelReversal::from_heights(&g, &heights, 0, LabelInit::Partial);
+    assert!(m.run(1_000_000).converged);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut edges: Vec<(usize, usize)> = g.edges().collect();
+    for _ in 0..5 {
+        if edges.len() <= g.node_count() {
+            break; // keep it connected-ish
+        }
+        let idx = rng.gen_range(0..edges.len());
+        let (u, v) = edges.swap_remove(idx);
+        m.remove_link(u, v);
+        let stats = m.run(1_000_000);
+        // If the graph is still connected, the DAG must re-form.
+        let mut g2 = csn_core::graph::Graph::new(g.node_count());
+        for &(a, b) in &edges {
+            g2.add_edge(a, b);
+        }
+        if csn_core::graph::traversal::is_connected(&g2) {
+            assert!(stats.converged);
+            assert!(m.is_destination_oriented());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Pipeline: geometric/social networks → remapped coordinates and spaces
+//! (crates: graph, mobility, remapping).
+
+use csn_core::mobility::social::{Population, SocialContactModel};
+use csn_core::remapping::fspace::{evaluate_strategy, MSpaceStrategy};
+use csn_core::remapping::geo::{fig5_holes, greedy_delivery_stats, perforated_disk};
+use csn_core::remapping::hyperbolic::{delivery_ratio, TreeCoordinates};
+
+#[test]
+fn remapping_restores_delivery_on_perforated_disks() {
+    for seed in [5u64, 6, 7] {
+        let pd = perforated_disk(500, 0.08, &fig5_holes(), seed);
+        let euclid = greedy_delivery_stats(&pd.graph, &pd.positions, 300, seed);
+        let tc = TreeCoordinates::new(&pd.graph, 0);
+        let remapped = delivery_ratio(
+            &pd.graph,
+            |s, t| *tc.greedy_route(&pd.graph, s, t).last().expect("nonempty") == t,
+            300,
+            seed,
+        );
+        assert_eq!(remapped, 1.0, "seed {seed}");
+        assert!(remapped >= euclid.delivery_ratio, "seed {seed}");
+    }
+}
+
+#[test]
+fn fspace_beats_mspace_where_contacts_follow_features() {
+    // The Fig. 6 story end-to-end: a population whose contacts decay with
+    // feature distance; F-space routing converts the chaotic contact
+    // process into structured hypercube-style forwarding.
+    let radix = Population::fig6_radix();
+    let pop = Population::random(48, &radix, 9);
+    let model = SocialContactModel { base_rate: 1.0 / 60.0, beta: 1.2, mean_duration: 6.0 };
+    let trace = model.simulate(&pop, 30_000.0, 11);
+
+    let direct = evaluate_strategy(&trace, &pop, MSpaceStrategy::DirectWait, 150, 3);
+    let greedy = evaluate_strategy(&trace, &pop, MSpaceStrategy::FeatureGreedy, 150, 3);
+    let epidemic = evaluate_strategy(&trace, &pop, MSpaceStrategy::Epidemic, 150, 3);
+
+    // Latency: epidemic <= feature-greedy <= direct (the crossover shape).
+    assert!(greedy.mean_latency <= direct.mean_latency);
+    assert!(epidemic.mean_latency <= greedy.mean_latency);
+    // Cost: feature-greedy stays single-copy; epidemic floods.
+    assert!(greedy.mean_copies <= 1.0 + 1e-9);
+    assert!(epidemic.mean_copies > 3.0);
+}
+
+#[test]
+fn fspace_structure_matches_generalized_hypercube() {
+    // Communities (people grouped by profile) connected at feature distance
+    // one form a subgraph of the generalized hypercube of Fig. 6.
+    use csn_core::graph::generators::generalized_hypercube;
+    let radix = Population::fig6_radix();
+    let hc = generalized_hypercube(&radix);
+    assert_eq!(hc.node_count(), 12);
+    let pop = Population::random(100, &radix, 17);
+    let (_, communities) = pop.communities();
+    // With 100 people over 12 profiles, every community is populated whp.
+    assert_eq!(communities.len(), 12);
+    // Profile id -> hypercube node id must respect the mixed-radix encoding.
+    for (c, members) in communities.iter().enumerate() {
+        let profile = pop.profile(members[0]);
+        let mut id = 0usize;
+        let mut stride = 1usize;
+        for (v, r) in profile.values.iter().zip(&radix) {
+            id += v * stride;
+            stride *= r;
+        }
+        assert!(id < hc.node_count(), "community {c} encodes out of range");
+    }
+}
+
+#[test]
+fn disjoint_fspace_paths_survive_single_community_failure() {
+    use csn_core::remapping::fspace::node_disjoint_paths;
+    let a = vec![0usize, 0, 0];
+    let b = vec![1usize, 1, 2];
+    let paths = node_disjoint_paths(&a, &b);
+    // Knock out any single intermediate community: at least one path avoids
+    // it (that's the point of node-disjointness).
+    for victim in paths.iter().flat_map(|p| p[1..p.len() - 1].to_vec().into_iter()) {
+        let survivors = paths
+            .iter()
+            .filter(|p| !p[1..p.len() - 1].contains(&victim))
+            .count();
+        assert!(survivors >= paths.len() - 1, "victim {victim:?} hit too many paths");
+        assert!(survivors >= 1);
+    }
+}
