@@ -40,9 +40,7 @@ fn bench_centrality(c: &mut Criterion) {
     let g = generators::barabasi_albert(600, 3, 5).unwrap();
     let mut group = c.benchmark_group("centrality");
     group.sample_size(10);
-    group.bench_function("betweenness_600", |b| {
-        b.iter(|| centrality::betweenness_centrality(&g))
-    });
+    group.bench_function("betweenness_600", |b| b.iter(|| centrality::betweenness_centrality(&g)));
     group.bench_function("pagerank_600", |b| {
         let d = g.to_digraph();
         b.iter(|| centrality::pagerank(&d, 0.85, 100, 1e-10))
@@ -56,9 +54,7 @@ fn bench_structure_measures(c: &mut Criterion) {
     let degrees: Vec<usize> = g.degrees();
     let mut group = c.benchmark_group("structure");
     group.bench_function("core_numbers_4000", |b| b.iter(|| cores::core_numbers(&g)));
-    group.bench_function("powerlaw_fit_4000", |b| {
-        b.iter(|| powerlaw::fit_with_kmin(&degrees, 3))
-    });
+    group.bench_function("powerlaw_fit_4000", |b| b.iter(|| powerlaw::fit_with_kmin(&degrees, 3)));
     group.finish();
 }
 

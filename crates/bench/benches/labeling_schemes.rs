@@ -31,8 +31,11 @@ fn bench_dynamic_mis(c: &mut Criterion) {
             let mut rng = rand::rngs::StdRng::seed_from_u64(3);
             b.iter(|| {
                 let sz = dm.graph().node_count();
-                let nbrs: Vec<usize> =
-                    (0..4).map(|_| rng.gen_range(0..sz)).collect::<std::collections::HashSet<_>>().into_iter().collect();
+                let nbrs: Vec<usize> = (0..4)
+                    .map(|_| rng.gen_range(0..sz))
+                    .collect::<std::collections::HashSet<_>>()
+                    .into_iter()
+                    .collect();
                 dm.insert_node(&nbrs)
             })
         });

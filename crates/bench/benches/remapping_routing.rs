@@ -35,9 +35,8 @@ fn bench_geo_routing(c: &mut Criterion) {
 fn bench_smallworld(c: &mut Criterion) {
     let mut group = c.benchmark_group("smallworld");
     group.sample_size(10);
-    group.bench_function("greedy_sweep_side50", |b| {
-        b.iter(|| mean_greedy_hops(50, 1, 2.0, 100, 7))
-    });
+    group
+        .bench_function("greedy_sweep_side50", |b| b.iter(|| mean_greedy_hops(50, 1, 2.0, 100, 7)));
     group.finish();
 }
 
@@ -52,9 +51,7 @@ fn bench_fspace(c: &mut Criterion) {
         ("epidemic", MSpaceStrategy::Epidemic),
         ("feature_greedy", MSpaceStrategy::FeatureGreedy),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| evaluate_strategy(&trace, &pop, s, 20, 5))
-        });
+        group.bench_function(name, |b| b.iter(|| evaluate_strategy(&trace, &pop, s, 20, 5)));
     }
     group.finish();
 }

@@ -2,11 +2,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use csn_core::graph::generators;
+use csn_core::temporal::TimeEvolvingGraph;
 use csn_core::trimming::forwarding::{solve_forwarding_policy, LinearUtility, Relay};
 use csn_core::trimming::static_rule::trim_arcs;
 use csn_core::trimming::topology::{gabriel_graph, lmst, relative_neighborhood_graph};
 use csn_core::trimming::TrimOptions;
-use csn_core::temporal::TimeEvolvingGraph;
 use rand::{Rng, SeedableRng};
 
 fn bench_trim_arcs(c: &mut Criterion) {

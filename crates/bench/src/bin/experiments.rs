@@ -2,16 +2,75 @@
 //! checkable claims).
 //!
 //! Usage:
-//!   cargo run -p csn-bench --release --bin experiments           # all
-//!   cargo run -p csn-bench --release --bin experiments -- --exp e8
+//!
+//! ```text
+//! cargo run -p csn-bench --release --bin experiments                 # all, serial
+//! cargo run -p csn-bench --release --bin experiments -- --exp e8    # one experiment
+//! cargo run -p csn-bench --release --bin experiments -- \
+//!     --jobs 8 --json experiments_output/                           # parallel + JSON
+//! ```
+//!
+//! Flags:
+//!
+//! * `--exp <id>` — run only the experiment with this id (e1…e25)
+//! * `--jobs <n>` — worker threads for the work-stealing pool (default 1)
+//! * `--json <dir>` — write `<dir>/<id>.json` per experiment plus
+//!   `<dir>/experiments_summary.json` for the run
+//!
+//! Rendered text is byte-identical between serial and parallel runs;
+//! timing lines go to stderr and to the JSON summary only.
+
+use csn_bench::experiments::{run_reports, RunOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let filter = args
-        .iter()
-        .position(|a| a == "--exp")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_default();
-    csn_bench::experiments::run(&filter);
+    let flag_value =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let filter = flag_value("--exp").unwrap_or_default();
+    let jobs: usize = match flag_value("--jobs").map(|j| j.parse()) {
+        None => 1,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("error: --jobs expects a positive integer");
+            std::process::exit(2);
+        }
+    };
+    let json_dir = flag_value("--json");
+
+    let outcome = run_reports(&RunOptions { filter: filter.clone(), jobs });
+    if outcome.reports.is_empty() {
+        eprintln!("no experiment matches --exp {filter:?} (expected e1…e25)");
+        std::process::exit(2);
+    }
+
+    for report in &outcome.reports {
+        print!("{}", report.render());
+        eprintln!("  [{} took {:.1}s]", report.id, report.wall_time_secs);
+    }
+    let s = &outcome.summary;
+    eprintln!(
+        "\n{} experiments in {:.1}s wall ({:.1}s cpu) on {} worker(s), {} steal(s)",
+        s.experiments, s.total_wall_secs, s.cpu_secs, s.workers_used, s.pool_steals
+    );
+
+    if let Some(dir) = json_dir {
+        let dir = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        for report in &outcome.reports {
+            let path = dir.join(format!("{}.json", report.id));
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        let path = dir.join("experiments_summary.json");
+        if let Err(e) = std::fs::write(&path, serde::json::to_string_pretty(&outcome.summary)) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} report(s) + summary to {}", outcome.reports.len(), dir.display());
+    }
 }

@@ -1,68 +1,297 @@
-//! The per-figure / per-claim experiments (DESIGN.md §2).
+//! The per-figure / per-claim experiments (DESIGN.md §2) and their runner.
 //!
-//! Every function prints the series or table the paper's corresponding
-//! figure/claim describes; EXPERIMENTS.md records one captured run side by
-//! side with the paper's qualitative statement.
+//! Every experiment is a `fn(&mut Report)` registered in [`EXPERIMENTS`]
+//! with its id, title, and the paper figure/claim it regenerates. The
+//! runner executes any subset serially or on the work-stealing pool
+//! ([`crate::pool`]), producing one [`ExperimentReport`] per experiment and
+//! a [`RunSummary`] for the whole run. Rendered text is identical for
+//! serial and parallel runs — timing goes to stderr and JSON only.
+//! EXPERIMENTS.md records one captured run side by side with the paper's
+//! qualitative statements.
 
+use crate::pool;
+use crate::report::{ExperimentReport, Report, RunSummary, TimingEntry};
 use csn_core::graph::generators;
 use csn_core::prelude::*;
 
-/// Runs the experiments whose id contains `filter` (empty = all).
-pub fn run(filter: &str) {
-    let all: &[(&str, fn())] = &[
-        ("e1", e1_interval_graphs),
-        ("e2", e2_fig2_temporal_paths),
-        ("e3", e3_edge_markovian_diameter),
-        ("e4", e4_trimming_rule),
-        ("e5", e5_forwarding_sets),
-        ("e6", e6_nsf_gnutella),
-        ("e7", e7_level_labelings),
-        ("e8", e8_link_reversal),
-        ("e9", e9_maxflow),
-        ("e10", e10_greedy_remapping),
-        ("e11", e11_fspace_routing),
-        ("e12", e12_static_labels),
-        ("e13", e13_safety_levels),
-        ("e14", e14_dynamic_mis),
-        ("e15", e15_small_world),
-        ("e16", e16_centrality),
-        ("e17", e17_rwp_distributions),
-        ("e18", e18_bellman_ford),
-        ("e19", e19_safety_vectors),
-        ("e20", e20_view_inconsistency),
-        ("e21", e21_probabilistic_trimming),
-        ("e22", e22_spanners),
-        ("e23", e23_hybrid_control),
-        ("e24", e24_dtn_strategy_ladder),
-        ("e25", e25_temporal_smallworld),
-    ];
-    for (id, f) in all {
-        if filter.is_empty() || *id == filter {
-            println!("\n══════════════════ {} ══════════════════", id.to_uppercase());
-            let t0 = std::time::Instant::now();
-            f();
-            println!("  [{} took {:.1}s]", id, t0.elapsed().as_secs_f64());
-        }
+/// A registered experiment: identity, provenance, and entry point.
+pub struct Experiment {
+    /// Short id used by `--exp` and in file names (`e1`…`e25`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// The paper figure/claim the experiment regenerates.
+    pub paper_artifact: &'static str,
+    /// The experiment body; writes its output into the report sink.
+    pub run: fn(&mut Report),
+}
+
+/// The full experiment registry, in canonical (output) order.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "e1",
+        title: "Interval graphs and interval hypergraphs of online sessions",
+        paper_artifact: "Fig. 1",
+        run: e1_interval_graphs,
+    },
+    Experiment {
+        id: "e2",
+        title: "VANET time-evolving graph and temporal path problems",
+        paper_artifact: "Fig. 2",
+        run: e2_fig2_temporal_paths,
+    },
+    Experiment {
+        id: "e3",
+        title: "Edge-Markovian dynamic graphs: flooding time (dynamic diameter)",
+        paper_artifact: "§II-B dynamic diameter",
+        run: e3_edge_markovian_diameter,
+    },
+    Experiment {
+        id: "e4",
+        title: "Static trimming rule: trimmed fraction vs density",
+        paper_artifact: "Fig. 2c",
+        run: e4_trimming_rule,
+    },
+    Experiment {
+        id: "e5",
+        title: "Forwarding sets: optimal time-varying set shrinks; strategy utilities",
+        paper_artifact: "§II-B forwarding sets",
+        run: e5_forwarding_sets,
+    },
+    Experiment {
+        id: "e6",
+        title: "NSF in a Gnutella-like overlay",
+        paper_artifact: "Fig. 3",
+        run: e6_nsf_gnutella,
+    },
+    Experiment {
+        id: "e7",
+        title: "Degree vs nested-degree level labelings",
+        paper_artifact: "Fig. 7",
+        run: e7_level_labelings,
+    },
+    Experiment {
+        id: "e8",
+        title: "Link reversal: reversals vs n, full vs partial vs labels",
+        paper_artifact: "Fig. 4",
+        run: e8_link_reversal,
+    },
+    Experiment {
+        id: "e9",
+        title: "Height-based max-flow: agreement and throughput of MPM / Dinic / push-relabel",
+        paper_artifact: "§IV-A height functions",
+        run: e9_maxflow,
+    },
+    Experiment {
+        id: "e10",
+        title: "Greedy routing at holes: Euclidean vs remapped coordinates",
+        paper_artifact: "Fig. 5",
+        run: e10_greedy_remapping,
+    },
+    Experiment {
+        id: "e11",
+        title: "F-space vs M-space routing on a social contact trace",
+        paper_artifact: "Fig. 6",
+        run: e11_fspace_routing,
+    },
+    Experiment {
+        id: "e12",
+        title: "Static labels: DS / CDS / MIS",
+        paper_artifact: "Fig. 8",
+        run: e12_static_labels,
+    },
+    Experiment {
+        id: "e13",
+        title: "Hypercube safety levels",
+        paper_artifact: "Fig. 9",
+        run: e13_safety_levels,
+    },
+    Experiment {
+        id: "e14",
+        title: "Dynamic MIS: adjustments per update stay O(1)",
+        paper_artifact: "§IV-B dynamic labels",
+        run: e14_dynamic_mis,
+    },
+    Experiment {
+        id: "e15",
+        title: "Kleinberg small-world: greedy hops vs exponent and size",
+        paper_artifact: "§III-A small-world",
+        run: e15_small_world,
+    },
+    Experiment {
+        id: "e16",
+        title: "Centrality measures on reference graphs",
+        paper_artifact: "§III-A centrality",
+        run: e16_centrality,
+    },
+    Experiment {
+        id: "e17",
+        title: "RWP inter-contact distributions vs exponential",
+        paper_artifact: "§II-A mobility",
+        run: e17_rwp_distributions,
+    },
+    Experiment {
+        id: "e18",
+        title: "Distributed Bellman-Ford: convergence and count-to-infinity",
+        paper_artifact: "§IV-A distance labels",
+        run: e18_bellman_ford,
+    },
+    Experiment {
+        id: "e19",
+        title: "Binary safety vectors vs safety levels",
+        paper_artifact: "§IV-C extension",
+        run: e19_safety_vectors,
+    },
+    Experiment {
+        id: "e20",
+        title: "View inconsistency: lossy MIS elections and repair",
+        paper_artifact: "§IV-C",
+        run: e20_view_inconsistency,
+    },
+    Experiment {
+        id: "e21",
+        title: "Probabilistic trimming",
+        paper_artifact: "§III-A open question",
+        run: e21_probabilistic_trimming,
+    },
+    Experiment {
+        id: "e22",
+        title: "Greedy spanners: size vs stretch",
+        paper_artifact: "§III-A, [8]",
+        run: e22_spanners,
+    },
+    Experiment {
+        id: "e23",
+        title: "Central control over distributed routing",
+        paper_artifact: "§IV-C, [31]",
+        run: e23_hybrid_control,
+    },
+    Experiment {
+        id: "e24",
+        title: "Carry-store-forward strategy ladder on time-evolving graphs",
+        paper_artifact: "§II-B",
+        run: e24_dtn_strategy_ladder,
+    },
+    Experiment {
+        id: "e25",
+        title: "Temporal small-world metrics: structure in time-and-space",
+        paper_artifact: "§III-B question, [15]",
+        run: e25_temporal_smallworld,
+    },
+];
+
+/// Selects the experiments whose id equals `filter` (empty = all), in
+/// registry order.
+pub fn select(filter: &str) -> Vec<&'static Experiment> {
+    EXPERIMENTS.iter().filter(|e| filter.is_empty() || e.id == filter).collect()
+}
+
+/// Executes one experiment body into a fresh report sink, timing it.
+pub fn run_experiment(exp: &Experiment) -> ExperimentReport {
+    let mut body = Report::new();
+    let t0 = std::time::Instant::now();
+    (exp.run)(&mut body);
+    ExperimentReport::new(exp.id, exp.title, exp.paper_artifact, t0.elapsed().as_secs_f64(), body)
+}
+
+/// Options for a full runner invocation.
+pub struct RunOptions {
+    /// Experiment id filter (empty = all).
+    pub filter: String,
+    /// Worker threads (`1` = serial on the calling thread).
+    pub jobs: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { filter: String::new(), jobs: 1 }
     }
 }
 
+/// A completed run: per-experiment reports in registry order plus the
+/// run-level summary.
+pub struct RunOutcome {
+    /// One report per selected experiment, in registry order.
+    pub reports: Vec<ExperimentReport>,
+    /// Timings, scheduling counters, and provenance for the whole run.
+    pub summary: RunSummary,
+}
+
+/// Runs the selected experiments (serially or on the work-stealing pool)
+/// and assembles reports plus a [`RunSummary`]. Does no I/O; rendering and
+/// JSON writing are the caller's choice.
+pub fn run_reports(opts: &RunOptions) -> RunOutcome {
+    let selected = select(&opts.filter);
+    let t0 = std::time::Instant::now();
+    let (results, stats) = pool::run_indexed(selected.len(), opts.jobs, |i, worker| {
+        (run_experiment(selected[i]), worker)
+    });
+    let total_wall_secs = t0.elapsed().as_secs_f64();
+
+    let mut reports = Vec::with_capacity(results.len());
+    let mut timings = Vec::with_capacity(results.len());
+    for (report, worker) in results {
+        timings.push(TimingEntry {
+            id: report.id.clone(),
+            wall_time_secs: report.wall_time_secs,
+            worker,
+        });
+        reports.push(report);
+    }
+    let cpu_secs = timings.iter().map(|t| t.wall_time_secs).sum();
+    let summary = RunSummary {
+        schema: "structura-experiments-v1".to_string(),
+        git_rev: git_rev(),
+        jobs: opts.jobs,
+        workers_used: stats.workers,
+        rng: "vendored xoshiro256** (fixed per-experiment seeds)".to_string(),
+        experiments: reports.len(),
+        total_wall_secs,
+        cpu_secs,
+        pool_steals: stats.steals,
+        timings,
+    };
+    RunOutcome { reports, summary }
+}
+
+/// Serial text entry point (the classic CLI): renders each report to
+/// stdout, timing lines to stderr.
+pub fn run(filter: &str) {
+    let outcome = run_reports(&RunOptions { filter: filter.to_string(), jobs: 1 });
+    for report in &outcome.reports {
+        print!("{}", report.render());
+        eprintln!("  [{} took {:.1}s]", report.id, report.wall_time_secs);
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// E1 (Fig. 1): interval graphs and interval hypergraphs of online sessions.
-pub fn e1_interval_graphs() {
+pub fn e1_interval_graphs(out: &mut Report) {
     use csn_core::intersection::chordal::{is_chordal, is_interval_graph};
     use csn_core::intersection::hypergraph::IntervalHypergraph;
     use csn_core::intersection::interval::{fig1_example, interval_graph, max_overlap, Interval};
     use rand::{Rng, SeedableRng};
 
-    println!("Fig. 1 online social network (4 users):");
+    out.line("Fig. 1 online social network (4 users):");
     let sessions = fig1_example();
     let g = interval_graph(&sessions);
-    println!("  edges: {:?}", g.edges().collect::<Vec<_>>());
-    println!("  chordal: {}  interval: {}", is_chordal(&g), is_interval_graph(&g));
+    out.line(format!("  edges: {:?}", g.edges().collect::<Vec<_>>()));
+    out.line(format!("  chordal: {}  interval: {}", is_chordal(&g), is_interval_graph(&g)));
     let hg = IntervalHypergraph::from_intervals(&sessions);
-    println!("  hyperedges (maximal co-online groups): {:?}", hg.hyperedges());
+    out.line(format!("  hyperedges (maximal co-online groups): {:?}", hg.hyperedges()));
 
-    println!("hyperedge-cardinality distribution of random session logs:");
-    println!("  {:>6} {:>8} {:>28}", "users", "edges", "cardinality histogram 2..6+");
+    out.line("hyperedge-cardinality distribution of random session logs:");
+    out.line(format!("  {:>6} {:>8} {:>28}", "users", "edges", "cardinality histogram 2..6+"));
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     for &n in &[50usize, 200, 1000] {
         let sessions: Vec<Interval> = (0..n)
@@ -77,63 +306,71 @@ pub fn e1_interval_graphs() {
         for (k, &c) in hist.iter().enumerate().skip(2) {
             row[(k - 2).min(4)] += c;
         }
-        println!(
+        out.line(format!(
             "  {n:>6} {:>8} {:>28?}  (max overlap {})",
             hg.hyperedges().len(),
             row,
             max_overlap(&sessions)
-        );
+        ));
     }
 }
 
 /// E2 (Fig. 2): the VANET time-evolving graph and temporal path problems.
-pub fn e2_fig2_temporal_paths() {
+pub fn e2_fig2_temporal_paths(out: &mut Report) {
     use csn_core::temporal::journey::*;
     use csn_core::temporal::paper::*;
 
     let eg = fig2_example();
-    println!("Fig. 2(c) label sets:");
-    for (x, y, name) in [(A, B, "A-B"), (B, C, "B-C"), (A, D, "A-D"), (B, D, "B-D"), (C, D, "C-D")] {
-        println!("  {name}: {:?}", eg.labels(x, y).unwrap());
+    out.line("Fig. 2(c) label sets:");
+    for (x, y, name) in [(A, B, "A-B"), (B, C, "B-C"), (A, D, "A-D"), (B, D, "B-D"), (C, D, "C-D")]
+    {
+        out.line(format!("  {name}: {:?}", eg.labels(x, y).unwrap()));
     }
-    println!("A connected to C at starting times: {:?}",
-        (0..eg.horizon()).filter(|&t| is_connected_at(&eg, A, C, t)).collect::<Vec<_>>());
-    println!("instantaneous A-C path at any time unit: {}",
+    out.line(format!(
+        "A connected to C at starting times: {:?}",
+        (0..eg.horizon()).filter(|&t| is_connected_at(&eg, A, C, t)).collect::<Vec<_>>()
+    ));
+    out.line(format!(
+        "instantaneous A-C path at any time unit: {}",
         (0..eg.horizon()).any(|t| {
             csn_core::graph::traversal::bfs_distances(&eg.snapshot(t), A)[C] != usize::MAX
-        }));
-    println!("{:>8} {:>22} {:>12} {:>16}", "start", "earliest-completion", "min-hop", "fastest (span)");
+        })
+    ));
+    out.line(format!(
+        "{:>8} {:>22} {:>12} {:>16}",
+        "start", "earliest-completion", "min-hop", "fastest (span)"
+    ));
     for start in 0..6 {
         let fm = foremost_journey(&eg, A, C, start).map(|j| j.last_label());
         let mh = min_hop_journey(&eg, A, C, start).map(|j| j.hop_count());
         let fs = fastest_journey(&eg, A, C, start).map(|j| j.span());
-        println!("  {start:>6} {fm:>22?} {mh:>12?} {fs:>16?}");
+        out.line(format!("  {start:>6} {fm:>22?} {mh:>12?} {fs:>16?}"));
     }
 }
 
 /// E3: edge-Markovian dynamic graphs — flooding time (dynamic diameter).
-pub fn e3_edge_markovian_diameter() {
+pub fn e3_edge_markovian_diameter(out: &mut Report) {
     use csn_core::temporal::markovian::{mean_flooding_time, EdgeMarkovian};
 
-    println!("flooding time vs n (p=0.5, q chosen for expected degree ~ 3):");
-    println!("  {:>6} {:>10} {:>14}", "n", "density", "flooding time");
+    out.line("flooding time vs n (p=0.5, q chosen for expected degree ~ 3):");
+    out.line(format!("  {:>6} {:>10} {:>14}", "n", "density", "flooding time"));
     for &n in &[64usize, 128, 256, 512] {
         let q = 0.5 * 3.0 / (n as f64 - 3.0);
         let m = EdgeMarkovian::new(n, 0.5, q);
         let ft = mean_flooding_time(&m, 200, 5, 42).unwrap_or(f64::NAN);
-        println!("  {n:>6} {:>10.4} {ft:>14.1}", m.stationary_density());
+        out.line(format!("  {n:>6} {:>10.4} {ft:>14.1}", m.stationary_density()));
     }
-    println!("flooding time vs birth rate q (n=128, p=0.5):");
-    println!("  {:>8} {:>10} {:>14}", "q", "density", "flooding time");
+    out.line("flooding time vs birth rate q (n=128, p=0.5):");
+    out.line(format!("  {:>8} {:>10} {:>14}", "q", "density", "flooding time"));
     for &q in &[0.002f64, 0.005, 0.02, 0.1] {
         let m = EdgeMarkovian::new(128, 0.5, q);
         let ft = mean_flooding_time(&m, 400, 5, 43).unwrap_or(f64::NAN);
-        println!("  {q:>8.3} {:>10.4} {ft:>14.1}", m.stationary_density());
+        out.line(format!("  {q:>8.3} {:>10.4} {ft:>14.1}", m.stationary_density()));
     }
 }
 
 /// E4 (Fig. 2c): the static trimming rule — trimmed fraction vs density.
-pub fn e4_trimming_rule() {
+pub fn e4_trimming_rule(out: &mut Report) {
     use csn_core::temporal::journey::earliest_arrival;
     use csn_core::trimming::static_rule::{earliest_arrival_trimmed, trim_arcs};
     use rand::{Rng, SeedableRng};
@@ -141,11 +378,16 @@ pub fn e4_trimming_rule() {
     // The paper's worked example first.
     let eg = csn_core::temporal::paper::fig2_example();
     let report = trim_arcs(&eg, &[40, 30, 20, 10], csn_core::trimming::TrimOptions::default());
-    println!("Fig. 2(c): removed transit arcs {:?} (A ignores D, as the paper says)",
-        report.removed_arcs);
+    out.line(format!(
+        "Fig. 2(c): removed transit arcs {:?} (A ignores D, as the paper says)",
+        report.removed_arcs
+    ));
 
-    println!("random periodic EGs (n=12, horizon 16): trimmed arcs vs density");
-    println!("  {:>8} {:>8} {:>10} {:>14} {:>10}", "density", "arcs", "removed", "fraction", "ECT ok");
+    out.line("random periodic EGs (n=12, horizon 16): trimmed arcs vs density");
+    out.line(format!(
+        "  {:>8} {:>8} {:>10} {:>14} {:>10}",
+        "density", "arcs", "removed", "fraction", "ECT ok"
+    ));
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     for &density in &[0.2f64, 0.4, 0.6, 0.8] {
         let n = 12;
@@ -174,16 +416,16 @@ pub fn e4_trimming_rule() {
                 }
             }
         }
-        println!(
+        out.line(format!(
             "  {density:>8.1} {arcs:>8} {:>10} {:>14.2} {ok:>10}",
             report.removed_arcs.len(),
             report.removed_arcs.len() as f64 / arcs.max(1) as f64
-        );
+        ));
     }
 }
 
 /// E5: forwarding sets — optimal time-varying set shrinks; strategy utilities.
-pub fn e5_forwarding_sets() {
+pub fn e5_forwarding_sets(out: &mut Report) {
     use csn_core::trimming::forwarding::*;
 
     let utility = LinearUtility { u0: 100.0, c: 1.0 };
@@ -195,13 +437,18 @@ pub fn e5_forwarding_sets() {
     ];
     let cost = 10.0;
     let policy = solve_forwarding_policy(0.02, &relays, utility, cost, 0.1);
-    println!("optimal time-varying forwarding set (monotone: {}):",
-        policy.sets_shrink_monotonically());
+    out.line(format!(
+        "optimal time-varying forwarding set (monotone: {}):",
+        policy.sets_shrink_monotonically()
+    ));
     for t in [0.0, 20.0, 40.0, 60.0, 80.0, 95.0] {
-        println!("  t={t:>5.0}: set {:?}  V_s={:.1}", policy.set_at(t),
-            policy.value[((t / policy.dt) as usize).min(policy.value.len() - 1)]);
+        out.line(format!(
+            "  t={t:>5.0}: set {:?}  V_s={:.1}",
+            policy.set_at(t),
+            policy.value[((t / policy.dt) as usize).min(policy.value.len() - 1)]
+        ));
     }
-    println!("mean net utility by strategy (4000 trials):");
+    out.line("mean net utility by strategy (4000 trials):");
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     for (name, s) in [
         ("direct-only", Strategy::DirectOnly),
@@ -209,43 +456,54 @@ pub fn e5_forwarding_sets() {
         ("optimal-set", Strategy::OptimalSet),
     ] {
         let u = mean(&simulate_strategy(s, 0.02, &relays, utility, cost, 4000, 7));
-        println!("  {name:>14}: {u:>7.2}");
+        out.line(format!("  {name:>14}: {u:>7.2}"));
     }
-    println!("copy-varying spray sets: {:?}", copy_varying_sets(&relays, 4));
+    out.line(format!("copy-varying spray sets: {:?}", copy_varying_sets(&relays, 4)));
 }
 
 /// E6 (Fig. 3): NSF in a Gnutella-like overlay.
-pub fn e6_nsf_gnutella() {
+pub fn e6_nsf_gnutella(out: &mut Report) {
     use csn_core::layering::nsf::{nsf_report, top_fraction_mask};
 
     let g = generators::gnutella_like(8000, 3, 0.05, 17).expect("params");
     let report = nsf_report(&g, 400, 60);
-    println!("Gnutella-like overlay, n = {}:", g.node_count());
-    println!("  {:>6} {:>8} {:>8} {:>8}", "peel", "alpha", "tail", "KS");
+    out.line(format!("Gnutella-like overlay, n = {}:", g.node_count()));
+    out.line(format!("  {:>6} {:>8} {:>8} {:>8}", "peel", "alpha", "tail", "KS"));
     for (i, f) in report.fits.iter().enumerate() {
-        println!("  {i:>6} {:>8.2} {:>8} {:>8.3}", f.alpha, f.tail_len, f.ks);
+        out.line(format!("  {i:>6} {:>8.2} {:>8} {:>8.3}", f.alpha, f.tail_len, f.ks));
     }
-    println!("  exponent std-dev {:.3} (NSF condition (2): o(1))", report.exponent_std_dev);
+    out.line(format!(
+        "  exponent std-dev {:.3} (NSF condition (2): o(1))",
+        report.exponent_std_dev
+    ));
     let mask = top_fraction_mask(&g, 0.5);
     let (half, _) = g.induced_subgraph(&mask);
     let rep_half = nsf_report(&half, 400, 60);
     if let Some(f) = rep_half.fits.first() {
-        println!("  Fig. 3(b) top-50% subgraph: n = {}, alpha = {:.2}", half.node_count(), f.alpha);
+        out.line(format!(
+            "  Fig. 3(b) top-50% subgraph: n = {}, alpha = {:.2}",
+            half.node_count(),
+            f.alpha
+        ));
     }
     // Control: Erdős–Rényi fails the SF fit.
     let er = generators::erdos_renyi(8000, 3.0 / 4000.0, 13).expect("params");
     let er_rep = nsf_report(&er, 400, 60);
     let worst = er_rep.fits.first().map(|f| f.ks).unwrap_or(f64::NAN);
-    println!("  control (ER, same density): KS = {worst:.3} (vs SF {:.3})",
-        report.fits.first().map(|f| f.ks).unwrap_or(f64::NAN));
+    out.line(format!(
+        "  control (ER, same density): KS = {worst:.3} (vs SF {:.3})",
+        report.fits.first().map(|f| f.ks).unwrap_or(f64::NAN)
+    ));
 }
 
 /// E7 (Fig. 7): degree vs nested-degree level labelings.
-pub fn e7_level_labelings() {
+pub fn e7_level_labelings(out: &mut Report) {
     use csn_core::layering::nsf::{degree_levels, nsf_levels, top_level_count};
 
-    println!("{:>10} {:>16} {:>16} {:>14} {:>14}",
-        "graph", "plain top-count", "nested top-count", "plain levels", "nested levels");
+    out.line(format!(
+        "{:>10} {:>16} {:>16} {:>14} {:>14}",
+        "graph", "plain top-count", "nested top-count", "plain levels", "nested levels"
+    ));
     for (name, g) in [
         ("BA(2000,3)", generators::barabasi_albert(2000, 3, 5).unwrap()),
         ("WS(2000)", generators::watts_strogatz(2000, 3, 0.1, 5).unwrap()),
@@ -253,36 +511,36 @@ pub fn e7_level_labelings() {
     ] {
         let plain = degree_levels(&g);
         let nested = nsf_levels(&g);
-        println!(
+        out.line(format!(
             "{name:>10} {:>16} {:>16} {:>14} {:>14}",
             top_level_count(&plain),
             top_level_count(&nested),
             plain.iter().max().unwrap(),
             nested.iter().max().unwrap()
-        );
+        ));
     }
 }
 
 /// E8 (Fig. 4): link reversal — reversals vs n, full vs partial vs labels.
-pub fn e8_link_reversal() {
+pub fn e8_link_reversal(out: &mut Report) {
     use csn_core::layering::link_reversal::*;
 
-    println!("adversarial chain: total link reversals (the O(n²) of §IV-B)");
-    println!("  {:>6} {:>12} {:>12} {:>10}", "n", "full", "partial", "full/n²");
+    out.line("adversarial chain: total link reversals (the O(n²) of §IV-B)");
+    out.line(format!("  {:>6} {:>12} {:>12} {:>10}", "n", "full", "partial", "full/n²"));
     for &n in &[8usize, 16, 32, 64, 128] {
         let (g, h, dest) = adversarial_chain(n);
         let mut full = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Full);
         let mut part = BinaryLabelReversal::from_heights(&g, &h, dest, LabelInit::Partial);
         let sf = full.run(10_000_000);
         let sp = part.run(10_000_000);
-        println!(
+        out.line(format!(
             "  {n:>6} {:>12} {:>12} {:>10.3}",
             sf.link_reversals,
             sp.link_reversals,
             sf.link_reversals as f64 / (n * n) as f64
-        );
+        ));
     }
-    println!("random connected graphs, one failed link (20 trials, n=40):");
+    out.line("random connected graphs, one failed link (20 trials, n=40):");
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let mut totals = (0usize, 0usize);
@@ -314,19 +572,23 @@ pub fn e8_link_reversal() {
         }
         trials += 1;
     }
-    println!("  mean reversals after failure: full {:.1}, partial {:.1}",
-        totals.0 as f64 / trials as f64, totals.1 as f64 / trials as f64);
+    out.line(format!(
+        "  mean reversals after failure: full {:.1}, partial {:.1}",
+        totals.0 as f64 / trials as f64,
+        totals.1 as f64 / trials as f64
+    ));
 }
 
 /// E9: height-based max-flow — agreement and throughput of MPM / Dinic /
 /// push–relabel.
-pub fn e9_maxflow() {
+pub fn e9_maxflow(out: &mut Report) {
     use csn_core::layering::maxflow::{dinic, mpm, push_relabel};
     use rand::{Rng, SeedableRng};
     use std::time::Instant;
 
-    println!("{:>6} {:>10} {:>12} {:>12} {:>12} {:>8}",
-        "n", "arcs", "dinic (ms)", "mpm (ms)", "push-rel", "agree");
+    // Timings are nondeterministic, so they go to the metrics channel
+    // (JSON only); the rendered text stays byte-stable across runs.
+    out.line(format!("{:>6} {:>10} {:>12} {:>8}", "n", "arcs", "maxflow", "agree"));
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     for &n in &[50usize, 100, 200] {
         let mut g = WeightedDigraph::new(n);
@@ -346,31 +608,32 @@ pub fn e9_maxflow() {
         let t0 = Instant::now();
         let p = push_relabel(&g, 0, n - 1);
         let tp = t0.elapsed().as_secs_f64() * 1e3;
-        println!(
-            "  {n:>4} {:>10} {td:>12.2} {tm:>12.2} {tp:>12.2} {:>8}",
+        out.metric(format!("dinic_ms_n{n}"), td);
+        out.metric(format!("mpm_ms_n{n}"), tm);
+        out.metric(format!("push_relabel_ms_n{n}"), tp);
+        out.line(format!(
+            "  {n:>4} {:>10} {d:>12.1} {:>8}",
             g.arc_count(),
             (d - m).abs() < 1e-6 && (d - p).abs() < 1e-6
-        );
+        ));
     }
 }
 
 /// E10 (Fig. 5): greedy routing at holes — Euclidean vs remapped coordinates.
-pub fn e10_greedy_remapping() {
+pub fn e10_greedy_remapping(out: &mut Report) {
     use csn_core::remapping::geo::*;
     use csn_core::remapping::hyperbolic::{delivery_ratio, HyperbolicEmbedding, TreeCoordinates};
 
-    println!("{:>6} {:>12} {:>12} {:>14} {:>12}",
-        "seed", "nodes", "euclidean", "hyperbolic", "tree-remap");
+    out.line(format!(
+        "{:>6} {:>12} {:>12} {:>14} {:>12}",
+        "seed", "nodes", "euclidean", "hyperbolic", "tree-remap"
+    ));
     for seed in [5u64, 6, 7] {
         let pd = perforated_disk(700, 0.07, &fig5_holes(), seed);
         let euclid = greedy_delivery_stats(&pd.graph, &pd.positions, 400, 9);
         let emb = HyperbolicEmbedding::new(&pd.graph, 0, 1.0);
-        let hyper = delivery_ratio(
-            &pd.graph,
-            |s, t| emb.greedy_route(&pd.graph, s, t).is_some(),
-            400,
-            9,
-        );
+        let hyper =
+            delivery_ratio(&pd.graph, |s, t| emb.greedy_route(&pd.graph, s, t).is_some(), 400, 9);
         let tc = TreeCoordinates::new(&pd.graph, 0);
         let tree = delivery_ratio(
             &pd.graph,
@@ -378,22 +641,25 @@ pub fn e10_greedy_remapping() {
             400,
             9,
         );
-        println!(
+        out.line(format!(
             "  {seed:>4} {:>12} {:>12.3} {:>14.3} {:>12.3}",
             pd.graph.node_count(),
             euclid.delivery_ratio,
             hyper,
             tree
-        );
+        ));
     }
 }
 
 /// E11 (Fig. 6): F-space vs M-space routing on a social contact trace.
-pub fn e11_fspace_routing() {
+pub fn e11_fspace_routing(out: &mut Report) {
     use csn_core::mobility::social::{Population, SocialContactModel};
     use csn_core::remapping::fspace::*;
 
-    println!("{:>8} {:>15} {:>10} {:>12} {:>8}", "beta", "strategy", "delivery", "latency", "copies");
+    out.line(format!(
+        "{:>8} {:>15} {:>10} {:>12} {:>8}",
+        "beta", "strategy", "delivery", "latency", "copies"
+    ));
     for &beta in &[0.4f64, 1.0, 1.6] {
         let pop = Population::random(40, &Population::fig6_radix(), 11);
         let model = SocialContactModel { base_rate: 1.0 / 50.0, beta, mean_duration: 10.0 };
@@ -404,22 +670,24 @@ pub fn e11_fspace_routing() {
             ("feature-greedy", MSpaceStrategy::FeatureGreedy),
         ] {
             let st = evaluate_strategy(&trace, &pop, s, 60, 5);
-            println!(
+            out.line(format!(
                 "  {beta:>6.1} {name:>15} {:>9.1}% {:>12.0} {:>8.1}",
                 st.delivery_ratio * 100.0,
                 st.mean_latency,
                 st.mean_copies
-            );
+            ));
         }
     }
     let a = vec![0usize, 0, 0];
     let b = vec![1usize, 1, 2];
-    println!("node-disjoint F-space paths {a:?} -> {b:?}: {} (= feature distance)",
-        node_disjoint_paths(&a, &b).len());
+    out.line(format!(
+        "node-disjoint F-space paths {a:?} -> {b:?}: {} (= feature distance)",
+        node_disjoint_paths(&a, &b).len()
+    ));
 }
 
 /// E12 (Fig. 8): static labels — DS / CDS / MIS.
-pub fn e12_static_labels() {
+pub fn e12_static_labels(out: &mut Report) {
     use csn_core::labeling::cds::*;
     use csn_core::labeling::mis::*;
     use csn_core::labeling::{paper_fig8, paper_fig8_priorities};
@@ -430,19 +698,23 @@ pub fn e12_static_labels() {
     let show = |mask: &[bool]| {
         mask.iter()
             .enumerate()
-            .filter_map(|(i, &b)| b.then(|| names[i]))
+            .filter(|&(_i, &b)| b)
+            .map(|(i, &_b)| names[i])
             .collect::<Vec<_>>()
             .join(", ")
     };
-    println!("Fig. 8 example:");
-    println!("  marking (black):        {}", show(&marking(&g)));
-    println!("  pruned CDS:             {}", show(&marked_and_pruned_cds(&g, &p)));
+    out.line("Fig. 8 example:");
+    out.line(format!("  marking (black):        {}", show(&marking(&g))));
+    out.line(format!("  pruned CDS:             {}", show(&marked_and_pruned_cds(&g, &p))));
     let mis = mis_distributed(&g, &p);
-    println!("  MIS ({} rounds):         {}", mis.rounds, show(&mis.mis));
-    println!("  neighbor-designated DS: {}", show(&neighbor_designated_ds(&g, &p)));
+    out.line(format!("  MIS ({} rounds):         {}", mis.rounds, show(&mis.mis)));
+    out.line(format!("  neighbor-designated DS: {}", show(&neighbor_designated_ds(&g, &p))));
 
-    println!("random UDGs (largest component): sizes and MIS rounds");
-    println!("  {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}", "n", "marked", "pruned", "MIS", "rounds", "|MIS|<=5|CDS|");
+    out.line("random UDGs (largest component): sizes and MIS rounds");
+    out.line(format!(
+        "  {:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "n", "marked", "pruned", "MIS", "rounds", "|MIS|<=5|CDS|"
+    ));
     for seed in 0..4 {
         let gg = generators::random_geometric(250, 0.15, seed);
         let mask = csn_core::graph::traversal::largest_component_mask(&gg.graph);
@@ -454,17 +726,17 @@ pub fn e12_static_labels() {
         let nb = black.iter().filter(|&&b| b).count();
         let np = pruned.iter().filter(|&&b| b).count();
         let nm = mis.mis.iter().filter(|&&b| b).count();
-        println!(
+        out.line(format!(
             "  {:>6} {nb:>8} {np:>8} {nm:>8} {:>8} {:>8}",
             g.node_count(),
             mis.rounds,
             nm <= 5 * np.max(1)
-        );
+        ));
     }
 }
 
 /// E13 (Fig. 9): hypercube safety levels.
-pub fn e13_safety_levels() {
+pub fn e13_safety_levels(out: &mut Report) {
     use csn_core::labeling::safety::SafetyLevels;
     use rand::{Rng, SeedableRng};
 
@@ -473,20 +745,28 @@ pub fn e13_safety_levels() {
         faulty[f] = true;
     }
     let sl = SafetyLevels::compute(4, &faulty);
-    println!("Fig. 9 4-cube: levels (f = faulty):");
+    out.line("Fig. 9 4-cube: levels (f = faulty):");
+    let mut row = String::new();
     for u in 0..16usize {
         let l = if sl.is_faulty(u) { String::from("f") } else { sl.level(u).to_string() };
-        print!("  {u:04b}:{l:<3}");
+        row.push_str(&format!("  {u:04b}:{l:<3}"));
         if u % 8 == 7 {
-            println!();
+            out.line(std::mem::take(&mut row));
         }
     }
     let path = sl.route(0b1101, 0b0001).expect("route");
-    println!("  1101 -> 0001 via {:04b} (levels: 0101 = {}, 1001 = {})",
-        path[1], sl.level(0b0101), sl.level(0b1001));
+    out.line(format!(
+        "  1101 -> 0001 via {:04b} (levels: 0101 = {}, 1001 = {})",
+        path[1],
+        sl.level(0b0101),
+        sl.level(0b1001)
+    ));
 
-    println!("promised-route optimality & convergence rounds (6-cube):");
-    println!("  {:>8} {:>10} {:>12} {:>12}", "faults", "safe nodes", "rounds", "optimal %");
+    out.line("promised-route optimality & convergence rounds (6-cube):");
+    out.line(format!(
+        "  {:>8} {:>10} {:>12} {:>12}",
+        "faults", "safe nodes", "rounds", "optimal %"
+    ));
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let dims = 6u32;
     let n = 1usize << dims;
@@ -524,20 +804,20 @@ pub fn e13_safety_levels() {
                 }
             }
         }
-        println!(
+        out.line(format!(
             "  {faults:>8} {:>10.1} {rounds:>12} {:>11.1}%",
             safe as f64 / 10.0,
             100.0 * optimal as f64 / total.max(1) as f64
-        );
+        ));
     }
 }
 
 /// E14: dynamic MIS — adjustments per update stay O(1).
-pub fn e14_dynamic_mis() {
+pub fn e14_dynamic_mis(out: &mut Report) {
     use csn_core::labeling::dynamic_mis::DynamicMis;
     use rand::{Rng, SeedableRng};
 
-    println!("{:>8} {:>16} {:>14}", "n", "adjust/update", "touched/update");
+    out.line(format!("{:>8} {:>16} {:>14}", "n", "adjust/update", "touched/update"));
     for &n in &[100usize, 400, 1600, 6400] {
         let g = generators::erdos_renyi(n, 8.0 / n as f64, n as u64).unwrap();
         let mut dm = DynamicMis::new(g, 77);
@@ -565,32 +845,32 @@ pub fn e14_dynamic_mis() {
                 touched += s.touched;
             }
         }
-        println!(
+        out.line(format!(
             "  {n:>8} {:>16.2} {:>14.2}",
             adj as f64 / updates as f64,
             touched as f64 / updates as f64
-        );
+        ));
     }
 }
 
 /// E15: Kleinberg small-world — greedy hops vs exponent and size.
-pub fn e15_small_world() {
+pub fn e15_small_world(out: &mut Report) {
     use csn_core::remapping::smallworld::exponent_sweep;
 
     let alphas = [0.0, 1.0, 2.0, 3.0];
-    println!("mean greedy hops (q=1 long-range contact per node):");
-    println!("  {:>8} {:>8} {:>8} {:>8} {:>8}", "side", "α=0", "α=1", "α=2", "α=3");
+    out.line("mean greedy hops (q=1 long-range contact per node):");
+    out.line(format!("  {:>8} {:>8} {:>8} {:>8} {:>8}", "side", "α=0", "α=1", "α=2", "α=3"));
     for &side in &[25usize, 50, 100] {
         let hops = exponent_sweep(side, 1, &alphas, 300, 7);
-        println!(
+        out.line(format!(
             "  {side:>8} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
             hops[0], hops[1], hops[2], hops[3]
-        );
+        ));
     }
 }
 
 /// E16: centrality measures on reference graphs.
-pub fn e16_centrality() {
+pub fn e16_centrality(out: &mut Report) {
     use csn_core::graph::centrality::*;
 
     let g = generators::barabasi_albert(1000, 3, 3).unwrap();
@@ -605,34 +885,46 @@ pub fn e16_centrality() {
         idx.into_iter().take(10).collect::<std::collections::HashSet<_>>()
     };
     let td = top(&deg);
-    println!("BA(1000, 3): top-10 overlap with degree centrality:");
-    println!("  betweenness: {}/10", top(&bc).intersection(&td).count());
-    println!("  eigenvector: {}/10", top(&ec).intersection(&td).count());
-    println!("  pagerank:    {}/10 ({} iterations)", top(&pr).intersection(&td).count(), iters);
+    out.line("BA(1000, 3): top-10 overlap with degree centrality:");
+    out.line(format!("  betweenness: {}/10", top(&bc).intersection(&td).count()));
+    out.line(format!("  eigenvector: {}/10", top(&ec).intersection(&td).count()));
+    out.line(format!(
+        "  pagerank:    {}/10 ({} iterations)",
+        top(&pr).intersection(&td).count(),
+        iters
+    ));
 }
 
 /// E17: RWP inter-contact distributions vs exponential.
-pub fn e17_rwp_distributions() {
+pub fn e17_rwp_distributions(out: &mut Report) {
     use csn_core::mobility::rwp::RandomWaypoint;
     use csn_core::mobility::stats::*;
 
     let mut model = RandomWaypoint::default_config(40);
     model.range = 0.12;
-    println!("{:>22} {:>8} {:>10} {:>8} {:>8}", "model", "gaps", "mean (s)", "KS", "CV");
+    out.line(format!("{:>22} {:>8} {:>10} {:>8} {:>8}", "model", "gaps", "mean (s)", "KS", "CV"));
     let bounded = model.simulate(10_000.0, 11);
     let g1 = bounded.inter_contact_times();
     let f1 = fit_exponential(&g1).expect("positive");
-    println!(
+    out.line(format!(
         "  {:>20} {:>8} {:>10.1} {:>8.3} {:>8.2}",
-        "bounded RWP", g1.len(), mean(&g1), f1.ks, coefficient_of_variation(&g1)
-    );
+        "bounded RWP",
+        g1.len(),
+        mean(&g1),
+        f1.ks,
+        coefficient_of_variation(&g1)
+    ));
     let unbounded = model.simulate_unbounded(10_000.0, 0.1, 0.5, 11);
     let g2 = unbounded.inter_contact_times();
     let f2 = fit_exponential(&g2).expect("positive");
-    println!(
+    out.line(format!(
         "  {:>20} {:>8} {:>10.1} {:>8.3} {:>8.2}",
-        "boundaryless RWP", g2.len(), mean(&g2), f2.ks, coefficient_of_variation(&g2)
-    );
+        "boundaryless RWP",
+        g2.len(),
+        mean(&g2),
+        f2.ks,
+        coefficient_of_variation(&g2)
+    ));
     // Control: a homogeneous Poisson contact process IS exponential (a
     // uniform-profile population, so every pair shares one contact rate —
     // pooling heterogeneous rates would yield a non-exponential mixture).
@@ -643,43 +935,57 @@ pub fn e17_rwp_distributions() {
     let trace = sm.simulate(&pop, 60_000.0, 5);
     let g3 = trace.inter_contact_times();
     let f3 = fit_exponential(&g3).expect("positive");
-    println!(
+    out.line(format!(
         "  {:>20} {:>8} {:>10.1} {:>8.3} {:>8.2}",
-        "Poisson control", g3.len(), mean(&g3), f3.ks, coefficient_of_variation(&g3)
-    );
+        "Poisson control",
+        g3.len(),
+        mean(&g3),
+        f3.ks,
+        coefficient_of_variation(&g3)
+    ));
 }
 
 /// E18: distributed Bellman–Ford — convergence and count-to-infinity.
-pub fn e18_bellman_ford() {
+pub fn e18_bellman_ford(out: &mut Report) {
     use csn_core::labeling::bellman_ford::{run, run_with_failure};
 
-    println!("cold-start convergence (ER graphs, horizon 64):");
-    println!("  {:>6} {:>8} {:>10}", "n", "rounds", "messages");
+    out.line("cold-start convergence (ER graphs, horizon 64):");
+    out.line(format!("  {:>6} {:>8} {:>10}", "n", "rounds", "messages"));
     for &n in &[50usize, 100, 200] {
         let g0 = generators::erdos_renyi(n, 2.5 / n as f64 * 2.0, n as u64).unwrap();
         let mask = csn_core::graph::traversal::largest_component_mask(&g0);
         let (g, _) = g0.induced_subgraph(&mask);
-        let out = run(&g, 0, 64, 10_000);
-        println!("  {:>6} {:>8} {:>10}", g.node_count(), out.rounds, out.messages);
+        let bf = run(&g, 0, 64, 10_000);
+        out.metric(format!("rounds_n{n}"), bf.rounds as f64);
+        out.metric(format!("messages_n{n}"), bf.messages as f64);
+        out.line(format!("  {:>6} {:>8} {:>10}", g.node_count(), bf.rounds, bf.messages));
     }
-    println!("link-failure re-convergence:");
+    out.line("link-failure re-convergence:");
     let path = generators::path(3);
     let (_, after) = run_with_failure(&path, 0, 32, (0, 1), 10_000);
-    println!("  stranded path (count-to-infinity, horizon 32): {} rounds, {} messages",
-        after.rounds, after.messages);
+    out.line(format!(
+        "  stranded path (count-to-infinity, horizon 32): {} rounds, {} messages",
+        after.rounds, after.messages
+    ));
     let cyc = generators::cycle(12);
     let (_, after) = run_with_failure(&cyc, 0, 64, (0, 1), 10_000);
-    println!("  cycle with alternate route: {} rounds, {} messages", after.rounds, after.messages);
+    out.line(format!(
+        "  cycle with alternate route: {} rounds, {} messages",
+        after.rounds, after.messages
+    ));
 }
 
 /// E19 (extension, §IV-C): binary safety vectors vs safety levels.
-pub fn e19_safety_vectors() {
+pub fn e19_safety_vectors(out: &mut Report) {
     use csn_core::labeling::safety::SafetyLevels;
     use csn_core::labeling::safety_vector::SafetyVectors;
     use rand::{Rng, SeedableRng};
 
-    println!("extra routes certified by vectors over levels (5-cube, 20 trials/row):");
-    println!("  {:>8} {:>16} {:>18} {:>12}", "faults", "level promises", "vector promises", "gain");
+    out.line("extra routes certified by vectors over levels (5-cube, 20 trials/row):");
+    out.line(format!(
+        "  {:>8} {:>16} {:>18} {:>12}",
+        "faults", "level promises", "vector promises", "gain"
+    ));
     let dims = 5u32;
     let n = 1usize << dims;
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
@@ -716,48 +1022,54 @@ pub fn e19_safety_vectors() {
                 }
             }
         }
-        println!(
+        out.line(format!(
             "  {faults:>8} {lvl_promises:>16} {vec_promises:>18} {:>11.1}%",
             100.0 * (vec_promises as f64 - lvl_promises as f64) / lvl_promises.max(1) as f64
-        );
+        ));
     }
 }
 
 /// E20 (§IV-C): view inconsistency — lossy MIS elections and repair.
-pub fn e20_view_inconsistency() {
+pub fn e20_view_inconsistency(out: &mut Report) {
     use csn_core::labeling::inconsistency::inconsistency_sweep;
 
     let g = generators::erdos_renyi(100, 0.1, 5).expect("params");
     let priority: Vec<u64> = (0..100).map(|i| (i * 37) % 1009).collect();
     let sweep = inconsistency_sweep(&g, &priority, &[0.0, 0.1, 0.3, 0.5, 0.7], 25, 7);
-    println!("lossy MIS elections (ER n=100, 25 trials per row):");
-    println!("  {:>10} {:>18} {:>22}", "drop prob", "conflicts/run", "uncovered after repair");
+    out.line("lossy MIS elections (ER n=100, 25 trials per row):");
+    out.line(format!(
+        "  {:>10} {:>18} {:>22}",
+        "drop prob", "conflicts/run", "uncovered after repair"
+    ));
     for (p, conflicts, uncovered) in sweep {
-        println!("  {p:>10.1} {conflicts:>18.2} {uncovered:>22.2}");
+        out.line(format!("  {p:>10.1} {conflicts:>18.2} {uncovered:>22.2}"));
     }
 }
 
 /// E21 (§III-A open question): probabilistic trimming.
-pub fn e21_probabilistic_trimming() {
+pub fn e21_probabilistic_trimming(out: &mut Report) {
     use csn_core::trimming::probabilistic::{trim_arcs_probabilistic, ProbabilisticEg};
 
     let eg = csn_core::temporal::paper::fig2_example();
-    println!("Fig. 2(c) under probabilistic contacts (epsilon = tolerated delivery loss):");
-    println!("  {:>8} {:>8} {:>10} {:>10} {:>16}", "p", "eps", "removed", "rejected", "worst drop");
+    out.line("Fig. 2(c) under probabilistic contacts (epsilon = tolerated delivery loss):");
+    out.line(format!(
+        "  {:>8} {:>8} {:>10} {:>10} {:>16}",
+        "p", "eps", "removed", "rejected", "worst drop"
+    ));
     for &(p, eps) in &[(1.0f64, 0.0f64), (0.8, 0.01), (0.8, 0.1), (0.5, 0.01), (0.5, 0.2)] {
         let peg = ProbabilisticEg::new(eg.clone(), p);
         let r = trim_arcs_probabilistic(&peg, &[40, 30, 20, 10], 0, eps, 150, 11);
-        println!(
+        out.line(format!(
             "  {p:>8.1} {eps:>8.2} {:>10} {:>10} {:>16.3}",
             r.removed_arcs.len(),
             r.rejected_arcs.len(),
             r.worst_accepted_drop
-        );
+        ));
     }
 }
 
-/// E22 (§III-A, [8]): greedy spanners — size vs stretch.
-pub fn e22_spanners() {
+/// E22 (§III-A, ref. \[8\]): greedy spanners — size vs stretch.
+pub fn e22_spanners(out: &mut Report) {
     use csn_core::graph::spanner::{greedy_spanner, max_stretch};
     use csn_core::graph::WeightedGraph;
     use rand::{Rng, SeedableRng};
@@ -772,28 +1084,28 @@ pub fn e22_spanners() {
             }
         }
     }
-    println!("greedy t-spanner of a weighted ER graph (n=150, m={}):", g.edge_count());
-    println!("  {:>6} {:>10} {:>14} {:>16}", "t", "edges", "kept %", "observed stretch");
+    out.line(format!("greedy t-spanner of a weighted ER graph (n=150, m={}):", g.edge_count()));
+    out.line(format!("  {:>6} {:>10} {:>14} {:>16}", "t", "edges", "kept %", "observed stretch"));
     for &t in &[1.0f64, 1.5, 2.0, 3.0, 5.0] {
         let sp = greedy_spanner(&g, t);
-        println!(
+        out.line(format!(
             "  {t:>6.1} {:>10} {:>13.1}% {:>16.3}",
             sp.edge_count(),
             100.0 * sp.edge_count() as f64 / g.edge_count() as f64,
             max_stretch(&g, &sp)
-        );
+        ));
     }
 }
 
-/// E23 (§IV-C, [31]): central control over distributed routing.
-pub fn e23_hybrid_control() {
-    use csn_core::labeling::sdn::{distance_vector, steer, DesiredTree};
+/// E23 (§IV-C, ref. \[31\]): central control over distributed routing.
+pub fn e23_hybrid_control(out: &mut Report) {
     use csn_core::graph::WeightedGraph;
+    use csn_core::labeling::sdn::{distance_vector, steer, DesiredTree};
     use rand::{Rng, SeedableRng};
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    println!("controller steers distributed distance-vector routing onto BFS trees:");
-    println!("  {:>6} {:>10} {:>14} {:>10}", "n", "managed", "obeyed", "rounds");
+    out.line("controller steers distributed distance-vector routing onto BFS trees:");
+    out.line(format!("  {:>6} {:>10} {:>14} {:>10}", "n", "managed", "obeyed", "rounds"));
     for &n in &[30usize, 100, 300] {
         let mut g = WeightedGraph::new(n);
         for u in 0..n {
@@ -821,17 +1133,17 @@ pub fn e23_hybrid_control() {
             }
         }
         let managed = desired.iter().filter(|d| d.is_some()).count();
-        let (out, obeyed) = steer(&g, root, &desired, 10_000);
+        let (steered, obeyed) = steer(&g, root, &desired, 10_000);
         let natural = distance_vector(&g, root, 10_000);
-        println!(
+        out.line(format!(
             "  {n:>6} {managed:>10} {obeyed:>14} {:>10} (natural protocol: {} rounds)",
-            out.rounds, natural.rounds
-        );
+            steered.rounds, natural.rounds
+        ));
     }
 }
 
 /// E24 (§II-B): carry-store-forward strategy ladder on time-evolving graphs.
-pub fn e24_dtn_strategy_ladder() {
+pub fn e24_dtn_strategy_ladder(out: &mut Report) {
     use csn_core::temporal::routing::{direct_delivery, epidemic, spray_and_wait};
     use rand::{Rng, SeedableRng};
 
@@ -846,8 +1158,11 @@ pub fn e24_dtn_strategy_ladder() {
             }
         }
     }
-    println!("random periodic EG (n={n}, horizon {horizon}), 200 random pairs:");
-    println!("  {:>16} {:>10} {:>12} {:>10}", "strategy", "delivery", "mean delay", "copies");
+    out.line(format!("random periodic EG (n={n}, horizon {horizon}), 200 random pairs:"));
+    out.line(format!(
+        "  {:>16} {:>10} {:>12} {:>10}",
+        "strategy", "delivery", "mean delay", "copies"
+    ));
     let mut pairs = Vec::new();
     for _ in 0..200 {
         let s = rng.gen_range(0..n);
@@ -856,31 +1171,39 @@ pub fn e24_dtn_strategy_ladder() {
             pairs.push((s, d));
         }
     }
-    let report = |name: &str, outs: Vec<csn_core::temporal::routing::DtnOutcome>| {
+    let report = |out: &mut Report,
+                  name: &str,
+                  outs: Vec<csn_core::temporal::routing::DtnOutcome>| {
         let delivered: Vec<_> = outs.iter().filter_map(|o| o.delivered_at).collect();
-        let copies: f64 =
-            outs.iter().map(|o| o.copies as f64).sum::<f64>() / outs.len() as f64;
-        println!(
+        let copies: f64 = outs.iter().map(|o| o.copies as f64).sum::<f64>() / outs.len() as f64;
+        let delivery = 100.0 * delivered.len() as f64 / outs.len() as f64;
+        out.metric(format!("{name}_delivery_pct"), delivery);
+        out.line(format!(
             "  {:>16} {:>9.1}% {:>12.1} {:>10.1}",
             name,
-            100.0 * delivered.len() as f64 / outs.len() as f64,
+            delivery,
             delivered.iter().map(|&t| f64::from(t)).sum::<f64>() / delivered.len().max(1) as f64,
             copies
-        );
+        ));
     };
-    report("direct-wait", pairs.iter().map(|&(s, d)| direct_delivery(&eg, s, d, 0)).collect());
+    report(
+        &mut *out,
+        "direct-wait",
+        pairs.iter().map(|&(s, d)| direct_delivery(&eg, s, d, 0)).collect(),
+    );
     for &l in &[2usize, 4, 8] {
         report(
+            &mut *out,
             &format!("spray({l})"),
             pairs.iter().map(|&(s, d)| spray_and_wait(&eg, s, d, 0, l)).collect(),
         );
     }
-    report("epidemic", pairs.iter().map(|&(s, d)| epidemic(&eg, s, d, 0)).collect());
+    report(&mut *out, "epidemic", pairs.iter().map(|&(s, d)| epidemic(&eg, s, d, 0)).collect());
 }
 
-/// E25 (§III-B question, [15]): temporal small-world metrics — structure in
+/// E25 (§III-B question, ref. \[15\]): temporal small-world metrics — structure in
 /// time-and-space.
-pub fn e25_temporal_smallworld() {
+pub fn e25_temporal_smallworld(out: &mut Report) {
     use csn_core::mobility::social::{Population, SocialContactModel};
     use csn_core::temporal::centrality::{temporal_efficiency, temporal_reachability};
     use rand::{seq::SliceRandom, Rng, SeedableRng};
@@ -901,23 +1224,23 @@ pub fn e25_temporal_smallworld() {
         let _ = rng.gen::<u8>();
         shuffled.add_contact(c.u, c.v, t);
     }
-    println!("social trace vs time-shuffled null (same contacts):");
-    println!("  {:>14} {:>14} {:>16}", "model", "efficiency", "reachability");
-    println!(
+    out.line("social trace vs time-shuffled null (same contacts):");
+    out.line(format!("  {:>14} {:>14} {:>16}", "model", "efficiency", "reachability"));
+    out.line(format!(
         "  {:>14} {:>14.4} {:>16.3}",
         "social",
         temporal_efficiency(&eg, 0),
         temporal_reachability(&eg, 0)
-    );
-    println!(
+    ));
+    out.line(format!(
         "  {:>14} {:>14.4} {:>16.3}",
         "shuffled",
         temporal_efficiency(&shuffled, 0),
         temporal_reachability(&shuffled, 0)
-    );
-    println!("temporal closeness of the best/worst node (social trace):");
+    ));
+    out.line("temporal closeness of the best/worst node (social trace):");
     let c = csn_core::temporal::centrality::temporal_closeness_all(&eg, 0);
     let best = c.iter().cloned().fold(0.0f64, f64::max);
     let worst = c.iter().cloned().fold(1.0f64, f64::min);
-    println!("  best {best:.4}, worst {worst:.4}");
+    out.line(format!("  best {best:.4}, worst {worst:.4}"));
 }

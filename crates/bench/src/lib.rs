@@ -2,11 +2,27 @@
 //!
 //! The paper is a position paper: its "evaluation" is the set of worked
 //! figures and checkable claims. The [`experiments`] module regenerates
-//! each of them (experiment ids E1–E18, indexed in DESIGN.md) and prints
-//! the series the paper describes; the Criterion benches under `benches/`
-//! cover the performance-flavored questions (algorithm scaling).
+//! each of them (experiment ids `e1`–`e25`, indexed in DESIGN.md) through
+//! a registry of report-producing experiment functions; the Criterion
+//! benches under `benches/` cover the performance-flavored questions
+//! (algorithm scaling).
 //!
-//! Run everything with `cargo run -p csn-bench --bin experiments --release`,
-//! or one experiment with `--exp e8`.
+//! Architecture:
+//!
+//! * [`report`] — the structured sink ([`report::Report`]) experiments
+//!   write into, the finished [`report::ExperimentReport`] (renders the
+//!   classic text *and* serializes to JSON), and the run-level
+//!   [`report::RunSummary`].
+//! * [`pool`] — a hand-rolled work-stealing thread pool on
+//!   `std::thread::scope` (the workspace takes no scheduler dependency).
+//! * [`experiments`] — the 25 experiment bodies plus the
+//!   [`experiments::EXPERIMENTS`] registry and runner.
+//!
+//! Run everything with `cargo run -p csn-bench --bin experiments --release`;
+//! one experiment with `--exp e8`; in parallel with machine-readable
+//! reports via `--jobs 8 --json experiments_output/`. Per-experiment text
+//! is byte-identical between serial and parallel runs.
 
 pub mod experiments;
+pub mod pool;
+pub mod report;

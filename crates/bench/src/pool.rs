@@ -1,0 +1,159 @@
+//! A hand-rolled work-stealing thread pool on `std::thread::scope`.
+//!
+//! The workspace is dependency-restricted (no rayon/crossbeam), so this
+//! module implements the small scheduler the experiment runner needs:
+//! a fixed task set, one deque per worker, and stealing from the busiest
+//! victim when a worker runs dry. Tasks never spawn tasks, which keeps
+//! termination trivial — once every deque is empty the run is over.
+//!
+//! Results come back in task order regardless of which worker ran what, so
+//! callers (and the byte-identical text guarantee of the experiment
+//! runner) never observe scheduling.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Counters describing one pool run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads spawned.
+    pub workers: usize,
+    /// Tasks executed (equals the task count on success).
+    pub tasks_run: usize,
+    /// Tasks a worker stole from another worker's deque.
+    pub steals: usize,
+}
+
+/// Runs `task(i, worker)` for `i in 0..n_tasks` on `jobs` workers and
+/// returns the results in task order, plus scheduling counters. The second
+/// closure argument is the index of the worker that executed the task
+/// (always 0 on the serial path), for scheduling attribution.
+///
+/// `jobs == 1` (or a single task) degenerates to an inline serial loop on
+/// the calling thread — no threads, no locks, deterministic timing.
+///
+/// # Panics
+///
+/// If a task panics the panic is propagated to the caller after the scope
+/// joins; remaining queued tasks may or may not have run.
+pub fn run_indexed<T, F>(n_tasks: usize, jobs: usize, task: F) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let workers = jobs.clamp(1, n_tasks.max(1));
+    if workers <= 1 {
+        let results = (0..n_tasks).map(|i| task(i, 0)).collect();
+        return (results, PoolStats { workers: 1, tasks_run: n_tasks, steals: 0 });
+    }
+
+    // Deal tasks round-robin so every worker starts with local work.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((0..n_tasks).skip(w).step_by(workers).collect::<VecDeque<usize>>()))
+        .collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    let steals = AtomicUsize::new(0);
+    let tasks_run = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let steals = &steals;
+            let tasks_run = &tasks_run;
+            let task = &task;
+            scope.spawn(move || loop {
+                // Own work first: LIFO pop keeps the working set warm.
+                let mut next = deques[w].lock().expect("deque lock").pop_back();
+                if next.is_none() {
+                    // Steal from the victim with the most queued work,
+                    // FIFO end, to balance the tail of the run.
+                    let victim = (0..workers)
+                        .filter(|&v| v != w)
+                        .max_by_key(|&v| deques[v].lock().expect("deque lock").len());
+                    if let Some(v) = victim {
+                        next = deques[v].lock().expect("deque lock").pop_front();
+                        if next.is_some() {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                match next {
+                    Some(i) => {
+                        let out = task(i, w);
+                        *slots[i].lock().expect("slot lock") = Some(out);
+                        tasks_run.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Tasks never spawn tasks, so empty deques everywhere
+                    // means the run is complete.
+                    None => break,
+                }
+            });
+        }
+    });
+
+    let results = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot lock").expect("every task ran"))
+        .collect();
+    let stats =
+        PoolStats { workers, tasks_run: tasks_run.into_inner(), steals: steals.into_inner() };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_path_preserves_order() {
+        let (out, stats) = run_indexed(8, 1, |i, w| {
+            assert_eq!(w, 0);
+            i * i
+        });
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.tasks_run, 8);
+    }
+
+    #[test]
+    fn parallel_runs_every_task_exactly_once_in_order() {
+        let counter = AtomicUsize::new(0);
+        let (out, stats) = run_indexed(50, 4, |i, w| {
+            assert!(w < 4);
+            counter.fetch_add(1, Ordering::Relaxed);
+            i * 2
+        });
+        assert_eq!(counter.into_inner(), 50);
+        assert_eq!(stats.tasks_run, 50);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_capped_by_task_count() {
+        let (out, stats) = run_indexed(2, 16, |i, _| i);
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(stats.workers, 2);
+    }
+
+    #[test]
+    fn uneven_task_durations_still_complete() {
+        let (out, _) = run_indexed(12, 3, |i, _| {
+            if i % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i + 1
+        });
+        assert_eq!(out, (1..=12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let (out, stats) = run_indexed(0, 4, |i, _| i);
+        assert!(out.is_empty());
+        assert_eq!(stats.tasks_run, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Integration tests for the experiment runner: determinism of rendered
+//! text against a committed reference capture, and exactly-once execution
+//! with uncorrupted per-experiment output on the work-stealing pool.
+
+use csn_bench::experiments::{run_experiment, run_reports, RunOptions, EXPERIMENTS};
+
+/// Reference capture of a fast experiment (regenerate with
+/// `cargo run -p csn-bench --release --bin experiments -- --exp e4 2>/dev/null`).
+const E4_SNAPSHOT: &str = include_str!("snapshots/e4.txt");
+
+#[test]
+fn e4_render_matches_reference_capture_and_repeats() {
+    let e4 = EXPERIMENTS.iter().find(|e| e.id == "e4").expect("e4 registered");
+    let first = run_experiment(e4);
+    let second = run_experiment(e4);
+    assert_eq!(first.render(), E4_SNAPSHOT, "e4 text drifted from the committed capture");
+    assert_eq!(first.render(), second.render(), "e4 is not run-to-run deterministic");
+}
+
+#[test]
+fn registry_ids_are_unique_and_canonical() {
+    assert_eq!(EXPERIMENTS.len(), 25);
+    for (i, exp) in EXPERIMENTS.iter().enumerate() {
+        assert_eq!(exp.id, format!("e{}", i + 1));
+        assert!(!exp.title.is_empty());
+        assert!(!exp.paper_artifact.is_empty());
+    }
+}
+
+#[test]
+fn jobs4_runs_all_25_exactly_once_without_output_corruption() {
+    let outcome = run_reports(&RunOptions { filter: String::new(), jobs: 4 });
+    assert_eq!(outcome.reports.len(), 25);
+    assert_eq!(outcome.summary.experiments, 25);
+    assert_eq!(outcome.summary.workers_used, 4);
+    assert_eq!(outcome.summary.timings.len(), 25);
+
+    for (exp, report) in EXPERIMENTS.iter().zip(&outcome.reports) {
+        // Exactly once, in registry order.
+        assert_eq!(report.id, exp.id);
+        // Each report carries only its own banner — a corrupted sink would
+        // show another experiment's banner or an empty body.
+        let text = report.render();
+        let own_banner = format!("══════════════════ {} ══════════════════", exp.id.to_uppercase());
+        assert_eq!(text.matches("══════════════════").count(), 2, "{}: foreign banner", exp.id);
+        assert!(text.contains(&own_banner), "{}: missing own banner", exp.id);
+        assert!(!report.sections.is_empty(), "{}: empty body", exp.id);
+    }
+
+    // The e4 report rendered from a parallel run must equal the serial
+    // reference capture byte-for-byte.
+    let e4 = outcome.reports.iter().find(|r| r.id == "e4").expect("e4 ran");
+    assert_eq!(e4.render(), E4_SNAPSHOT, "parallel e4 text differs from serial capture");
+}

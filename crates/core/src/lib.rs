@@ -48,8 +48,8 @@ pub use csn_trimming as trimming;
 /// Convenient glob imports for applications.
 pub mod prelude {
     pub use csn_graph::{Digraph, Graph, NodeId, WeightedDigraph, WeightedGraph};
-    pub use csn_temporal::{Contact, TimeEvolvingGraph, TimeUnit};
     pub use csn_mobility::{ContactEvent, ContactTrace};
+    pub use csn_temporal::{Contact, TimeEvolvingGraph, TimeUnit};
 }
 
 pub mod uncover {
@@ -79,6 +79,13 @@ pub mod uncover {
 
     /// Runs the static pipeline: NSF layering, CDS trimming labels, and the
     /// MIS clusterhead election (node ids double as priorities).
+    ///
+    /// ```
+    /// let g = csn_core::graph::generators::barabasi_albert(200, 3, 7).unwrap();
+    /// let report = csn_core::uncover::static_structures(&g);
+    /// assert!(report.cds_size > 0 && report.cds_size < 200);
+    /// assert!(report.mis_size > 0 && report.degeneracy >= 3);
+    /// ```
     pub fn static_structures(g: &Graph) -> StaticStructureReport {
         let priority: Vec<u64> = (0..g.node_count() as u64).collect();
         let nsf = csn_layering::nsf::nsf_report(g, 50, 30);
@@ -112,6 +119,14 @@ pub mod uncover {
 
     /// Runs the temporal pipeline: dynamic diameter plus the static
     /// trimming rule (node ids as priorities).
+    ///
+    /// ```
+    /// // The paper's Fig. 2 time-evolving graph, A > B > C > D priorities.
+    /// let eg = csn_core::temporal::paper::fig2_example();
+    /// let r = csn_core::uncover::temporal_structures_with_priorities(&eg, &[40, 30, 20, 10]);
+    /// assert!(r.dynamic_diameter.is_some());
+    /// assert!(r.trimmable_arcs >= 1); // the (A, D) transit arc at least
+    /// ```
     pub fn temporal_structures(eg: &TimeEvolvingGraph) -> TemporalStructureReport {
         let priority: Vec<u64> = (0..eg.node_count() as u64).collect();
         temporal_structures_with_priorities(eg, &priority)
@@ -149,6 +164,14 @@ pub mod uncover {
     }
 
     /// Compares greedy routing before and after coordinate remapping.
+    ///
+    /// ```
+    /// let pd = csn_core::remapping::geo::perforated_disk(
+    ///     150, 0.14, &csn_core::remapping::geo::fig5_holes(), 3);
+    /// let r = csn_core::uncover::remapping_structures(&pd.graph, &pd.positions, 50, 1);
+    /// assert_eq!(r.remapped_delivery, 1.0); // tree coordinates always deliver
+    /// assert!(r.euclidean_delivery <= 1.0);
+    /// ```
     pub fn remapping_structures(
         g: &Graph,
         positions: &[(f64, f64)],
@@ -163,10 +186,7 @@ pub mod uncover {
             pairs,
             seed,
         );
-        RemappingReport {
-            euclidean_delivery: euclid.delivery_ratio,
-            remapped_delivery: remapped,
-        }
+        RemappingReport { euclidean_delivery: euclid.delivery_ratio, remapped_delivery: remapped }
     }
 }
 
@@ -201,12 +221,8 @@ mod tests {
 
     #[test]
     fn remapping_report_recovers_delivery() {
-        let pd = csn_remapping::geo::perforated_disk(
-            400,
-            0.09,
-            &csn_remapping::geo::fig5_holes(),
-            3,
-        );
+        let pd =
+            csn_remapping::geo::perforated_disk(400, 0.09, &csn_remapping::geo::fig5_holes(), 3);
         let r = uncover::remapping_structures(&pd.graph, &pd.positions, 200, 1);
         assert_eq!(r.remapped_delivery, 1.0);
         assert!(r.euclidean_delivery <= 1.0);

@@ -146,7 +146,17 @@ impl FaultPlan {
 }
 
 /// Execution statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Serializes (via the workspace `serde` facade) so round/message
+/// accounting can flow straight into experiment reports:
+///
+/// ```
+/// use csn_distsim::RunStats;
+/// let stats = RunStats { rounds: 3, messages: 12, dropped: 1, quiescent: true };
+/// let json = serde::json::to_string(&stats);
+/// assert!(json.contains("\"rounds\":3"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
 pub struct RunStats {
     /// Rounds executed.
     pub rounds: usize,
@@ -279,8 +289,8 @@ impl<'g, P: Protocol> Simulator<'g, P> {
     pub fn run_until_quiet(&mut self, max_rounds: usize) -> RunStats {
         for _ in 0..max_rounds {
             let sent = self.step();
-            let pending: usize =
-                self.inboxes.iter().map(Vec::len).sum::<usize>() + self.delayed.iter().map(Vec::len).sum::<usize>();
+            let pending: usize = self.inboxes.iter().map(Vec::len).sum::<usize>()
+                + self.delayed.iter().map(Vec::len).sum::<usize>();
             if sent == 0 && pending == 0 {
                 self.stats.quiescent = true;
                 break;

@@ -29,7 +29,9 @@ impl fmt::Display for GraphError {
             GraphError::NodeOutOfRange { node, node_count } => {
                 write!(f, "node {node} out of range for graph with {node_count} nodes")
             }
-            GraphError::SelfLoop(u) => write!(f, "self-loop on node {u} not allowed in a simple graph"),
+            GraphError::SelfLoop(u) => {
+                write!(f, "self-loop on node {u} not allowed in a simple graph")
+            }
             GraphError::NegativeCycle => write!(f, "graph contains a negative-weight cycle"),
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             GraphError::Parse(msg) => write!(f, "parse error: {msg}"),

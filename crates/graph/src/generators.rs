@@ -152,30 +152,35 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph,
         return Err(GraphError::InvalidParameter(format!("need 1 <= k < n/2, got k={k}, n={n}")));
     }
     let mut rng = StdRng::seed_from_u64(seed);
+    // Build the full ring lattice first, then rewire edge-by-edge. Rewiring
+    // an existing edge (remove + add) keeps the edge count invariant at
+    // `n * k`; drawing targets against the complete graph avoids the bug
+    // where a rewired edge collides with a lattice edge added later.
     let mut g = Graph::new(n);
     for u in 0..n {
         for j in 1..=k {
+            g.add_edge(u, (u + j) % n);
+        }
+    }
+    for u in 0..n {
+        for j in 1..=k {
             let v = (u + j) % n;
-            if rng.gen::<f64>() < beta {
-                // Rewire to a uniform random non-neighbor.
+            if rng.gen::<f64>() < beta && g.has_edge(u, v) {
+                // Rewire to a uniform random non-neighbor, if one exists.
                 let mut tries = 0;
                 loop {
                     let w = rng.gen_range(0..n);
                     if w != u && !g.has_edge(u, w) {
+                        g.remove_edge(u, v);
                         g.add_edge(u, w);
                         break;
                     }
                     tries += 1;
                     if tries > 10 * n {
-                        // Dense corner case: fall back to the lattice edge.
-                        if !g.has_edge(u, v) {
-                            g.add_edge(u, v);
-                        }
+                        // Dense corner case: keep the lattice edge.
                         break;
                     }
                 }
-            } else if !g.has_edge(u, v) {
-                g.add_edge(u, v);
             }
         }
     }
@@ -311,8 +316,8 @@ pub fn generalized_hypercube(radix: &[usize]) -> Graph {
             let digit = (u / stride) % r;
             for other in 0..r {
                 if other != digit {
-                    let v = (u as isize + (other as isize - digit as isize) * stride as isize)
-                        as usize;
+                    let v =
+                        (u as isize + (other as isize - digit as isize) * stride as isize) as usize;
                     if u < v {
                         g.add_edge(u, v);
                     }

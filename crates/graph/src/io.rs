@@ -42,12 +42,7 @@ pub fn write_arc_list<W: Write>(d: &Digraph, mut w: W) -> std::io::Result<()> {
 /// Returns [`GraphError::Parse`] on malformed lines.
 pub fn read_edge_list<R: BufRead>(r: R, min_nodes: usize) -> Result<Graph, GraphError> {
     let edges = parse_pairs(r)?;
-    let n = edges
-        .iter()
-        .map(|&(u, v)| u.max(v) + 1)
-        .max()
-        .unwrap_or(0)
-        .max(min_nodes);
+    let n = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0).max(min_nodes);
     Graph::from_edges(n, &edges)
 }
 
@@ -58,12 +53,7 @@ pub fn read_edge_list<R: BufRead>(r: R, min_nodes: usize) -> Result<Graph, Graph
 /// Returns [`GraphError::Parse`] on malformed lines.
 pub fn read_arc_list<R: BufRead>(r: R, min_nodes: usize) -> Result<Digraph, GraphError> {
     let arcs = parse_pairs(r)?;
-    let n = arcs
-        .iter()
-        .map(|&(u, v)| u.max(v) + 1)
-        .max()
-        .unwrap_or(0)
-        .max(min_nodes);
+    let n = arcs.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0).max(min_nodes);
     Digraph::from_arcs(n, &arcs)
 }
 

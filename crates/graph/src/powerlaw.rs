@@ -67,8 +67,7 @@ pub fn fit_with_kmin(values: &[usize], k_min: usize) -> Option<PowerLawFit> {
     if tail.len() < 2 || tail.iter().all(|&v| v == k_min) {
         return None;
     }
-    let mean_log: f64 =
-        tail.iter().map(|&v| (v as f64).ln()).sum::<f64>() / tail.len() as f64;
+    let mean_log: f64 = tail.iter().map(|&v| (v as f64).ln()).sum::<f64>() / tail.len() as f64;
     // Negative mean log-likelihood per sample; unimodal in alpha.
     let nll = |alpha: f64| hurwitz_zeta(alpha, k_min).ln() + alpha * mean_log;
     let alpha = golden_section_min(nll, 1.05, 12.0, 1e-7);
@@ -116,7 +115,7 @@ pub fn fit(values: &[usize], min_tail: usize) -> Option<PowerLawFit> {
         if f.tail_len < min_tail {
             break; // tails only shrink as k_min grows
         }
-        if best.map_or(true, |b| f.ks < b.ks) {
+        if best.is_none_or(|b| f.ks < b.ks) {
             best = Some(f);
         }
     }
@@ -226,11 +225,7 @@ mod tests {
         for &alpha in &[2.0f64, 2.5, 3.0] {
             let sample = sample_power_law(50_000, alpha, 1, 42);
             let fit = fit_with_kmin(&sample, 1).expect("fit");
-            assert!(
-                (fit.alpha - alpha).abs() < 0.05,
-                "alpha {alpha}: estimated {}",
-                fit.alpha
-            );
+            assert!((fit.alpha - alpha).abs() < 0.05, "alpha {alpha}: estimated {}", fit.alpha);
         }
     }
 

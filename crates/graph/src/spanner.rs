@@ -2,7 +2,7 @@
 //!
 //! §III-A: "a property is an approximate for a global measure. For example,
 //! subgraph distances closely resemble the distances in the original graph
-//! for designing approximation algorithms" (the paper's [8]). The greedy
+//! for designing approximation algorithms" (the paper's \[8\]). The greedy
 //! `t`-spanner is the classical structural-trimming realization of that
 //! idea: keep an edge only if the subgraph built so far cannot already
 //! connect its endpoints within `t` times the edge weight.

@@ -33,8 +33,7 @@ pub fn lex_bfs(g: &Graph) -> Vec<NodeId> {
         visited[u] = true;
         order.push(u);
         // Split every cell into (neighbors of u, non-neighbors), neighbors first.
-        let is_nbr: std::collections::HashSet<NodeId> =
-            g.neighbors(u).iter().copied().collect();
+        let is_nbr: std::collections::HashSet<NodeId> = g.neighbors(u).iter().copied().collect();
         let mut new_cells: Vec<Vec<NodeId>> = Vec::with_capacity(cells.len() * 2);
         for cell in cells.drain(..) {
             let (nbrs, rest): (Vec<NodeId>, Vec<NodeId>) =
@@ -62,8 +61,7 @@ pub fn is_perfect_elimination(g: &Graph, elimination: &[NodeId]) -> bool {
     }
     for (i, &v) in elimination.iter().enumerate() {
         // Later neighbors of v in elimination order.
-        let later: Vec<NodeId> =
-            g.neighbors(v).iter().copied().filter(|&w| pos[w] > i).collect();
+        let later: Vec<NodeId> = g.neighbors(v).iter().copied().filter(|&w| pos[w] > i).collect();
         // Parent: the earliest of them.
         let Some(&parent) = later.iter().min_by_key(|&&w| pos[w]) else { continue };
         for &w in &later {
@@ -111,8 +109,7 @@ pub fn chordal_max_cliques(g: &Graph) -> Option<Vec<Vec<NodeId>>> {
     }
     let mut cliques: Vec<Vec<NodeId>> = Vec::new();
     for (i, &v) in elim.iter().enumerate() {
-        let mut c: Vec<NodeId> =
-            g.neighbors(v).iter().copied().filter(|&w| pos[w] > i).collect();
+        let mut c: Vec<NodeId> = g.neighbors(v).iter().copied().filter(|&w| pos[w] > i).collect();
         c.push(v);
         c.sort_unstable();
         cliques.push(c);
@@ -132,13 +129,7 @@ pub fn chordal_max_cliques(g: &Graph) -> Option<Vec<Vec<NodeId>>> {
             }
         }
     }
-    Some(
-        cliques
-            .into_iter()
-            .zip(keep)
-            .filter_map(|(c, k)| k.then_some(c))
-            .collect(),
-    )
+    Some(cliques.into_iter().zip(keep).filter_map(|(c, k)| k.then_some(c)).collect())
 }
 
 /// Whether `{a, b, c}` is an asteroidal triple: pairwise non-adjacent, and
@@ -148,7 +139,9 @@ fn is_asteroidal_triple(g: &Graph, a: NodeId, b: NodeId, c: NodeId) -> bool {
     if g.has_edge(a, b) || g.has_edge(b, c) || g.has_edge(a, c) {
         return false;
     }
-    connected_avoiding(g, a, b, c) && connected_avoiding(g, b, c, a) && connected_avoiding(g, a, c, b)
+    connected_avoiding(g, a, b, c)
+        && connected_avoiding(g, b, c, a)
+        && connected_avoiding(g, a, c, b)
 }
 
 /// BFS from `s` to `t` avoiding the closed neighborhood of `x`.

@@ -27,16 +27,12 @@ impl IntervalHypergraph {
         let n = intervals.len();
         // Event coordinates; evaluate active sets at every event point
         // (closed intervals: touching counts).
-        let mut points: Vec<f64> = intervals
-            .iter()
-            .flat_map(|iv| [iv.start, iv.end])
-            .collect();
+        let mut points: Vec<f64> = intervals.iter().flat_map(|iv| [iv.start, iv.end]).collect();
         points.sort_by(|a, b| a.partial_cmp(b).unwrap());
         points.dedup();
         let mut sets: Vec<Vec<NodeId>> = Vec::new();
         for &p in &points {
-            let active: Vec<NodeId> =
-                (0..n).filter(|&i| intervals[i].contains(p)).collect();
+            let active: Vec<NodeId> = (0..n).filter(|&i| intervals[i].contains(p)).collect();
             if active.len() >= 2 {
                 sets.push(active);
             }
@@ -47,16 +43,16 @@ impl IntervalHypergraph {
         let mut keep = vec![true; sets.len()];
         for i in 0..sets.len() {
             for j in 0..sets.len() {
-                if i != j && keep[i] && is_subset(&sets[i], &sets[j]) && (sets[i].len() < sets[j].len()) {
+                if i != j
+                    && keep[i]
+                    && is_subset(&sets[i], &sets[j])
+                    && (sets[i].len() < sets[j].len())
+                {
                     keep[i] = false;
                 }
             }
         }
-        let hyperedges = sets
-            .into_iter()
-            .zip(keep)
-            .filter_map(|(s, k)| k.then_some(s))
-            .collect();
+        let hyperedges = sets.into_iter().zip(keep).filter_map(|(s, k)| k.then_some(s)).collect();
         IntervalHypergraph { n, hyperedges }
     }
 
@@ -149,11 +145,7 @@ mod tests {
 
     #[test]
     fn nested_intervals_yield_single_maximal_edge() {
-        let ivs = vec![
-            Interval::new(0.0, 10.0),
-            Interval::new(1.0, 9.0),
-            Interval::new(2.0, 8.0),
-        ];
+        let ivs = vec![Interval::new(0.0, 10.0), Interval::new(1.0, 9.0), Interval::new(2.0, 8.0)];
         let hg = IntervalHypergraph::from_intervals(&ivs);
         assert_eq!(hg.hyperedges(), &[vec![0, 1, 2]]);
     }

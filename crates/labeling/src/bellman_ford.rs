@@ -7,7 +7,7 @@
 //! convergence as the canonical weakness of distributed solutions; the
 //! count-to-infinity behavior after a failure is reproduced here.
 
-use csn_distsim::{Envelope, Protocol, Neighborhood, Simulator};
+use csn_distsim::{Envelope, Neighborhood, Protocol, Simulator};
 use csn_graph::{Graph, NodeId};
 
 /// Distance label: hop count to the destination, capped at `horizon`
@@ -59,11 +59,8 @@ impl Protocol for BellmanFord {
         }
         if u != self.dest {
             // Relax over the neighbor table.
-            let best = state
-                .table
-                .iter()
-                .map(|(&v, &d)| (d.saturating_add(1).min(self.horizon), v))
-                .min();
+            let best =
+                state.table.iter().map(|(&v, &d)| (d.saturating_add(1).min(self.horizon), v)).min();
             match best {
                 Some((d, v)) if d < self.horizon => {
                     state.label = DistanceLabel { dist: d, next_hop: Some(v) };

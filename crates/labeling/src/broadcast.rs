@@ -1,4 +1,4 @@
-//! Broadcasting over a CDS backbone (§IV-A's application; the paper's [22],
+//! Broadcasting over a CDS backbone (§IV-A's application; the paper's \[22\],
 //! "a generic distributed broadcast scheme in ad hoc wireless networks").
 //!
 //! The point of the virtual backbone: during a network-wide broadcast only
@@ -47,11 +47,7 @@ pub fn broadcast(g: &Graph, source: NodeId, forwarders: &[bool]) -> BroadcastRes
             }
         }
     }
-    BroadcastResult {
-        rounds,
-        transmissions,
-        covered: received.iter().filter(|&&r| r).count(),
-    }
+    BroadcastResult { rounds, transmissions, covered: received.iter().filter(|&&r| r).count() }
 }
 
 /// Blind flooding: every node forwards.
@@ -122,7 +118,7 @@ mod tests {
     #[test]
     fn non_forwarding_network_strands_the_message() {
         let g = generators::path(4);
-        let r = broadcast(&g, 0, &vec![false; 4]);
+        let r = broadcast(&g, 0, &[false; 4]);
         assert_eq!(r.transmissions, 1, "only the source fires");
         assert_eq!(r.covered, 2, "source and its neighbor");
     }

@@ -18,9 +18,9 @@ pub fn marking(g: &Graph) -> Vec<bool> {
     g.nodes()
         .map(|u| {
             let nbrs = g.neighbors(u);
-            nbrs.iter().enumerate().any(|(i, &a)| {
-                nbrs.iter().skip(i + 1).any(|&b| !g.has_edge(a, b))
-            })
+            nbrs.iter()
+                .enumerate()
+                .any(|(i, &a)| nbrs.iter().skip(i + 1).any(|&b| !g.has_edge(a, b)))
         })
         .collect()
 }
@@ -39,9 +39,8 @@ pub fn prune(g: &Graph, black: &[bool], priority: &[u64]) -> Vec<bool> {
             continue;
         }
         // Higher-priority black nodes.
-        let eligible: Vec<bool> = (0..n)
-            .map(|v| v != u && black[v] && priority[v] > priority[u])
-            .collect();
+        let eligible: Vec<bool> =
+            (0..n).map(|v| v != u && black[v] && priority[v] > priority[u]).collect();
         if covered_by_component(g, u, &eligible) {
             result[u] = false;
         }

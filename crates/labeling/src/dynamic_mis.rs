@@ -1,6 +1,6 @@
 //! Dynamic maintenance of a maximal independent set (§IV-C).
 //!
-//! "[30] shows that although constructing an MIS requires log n rounds, if
+//! "\[30\] shows that although constructing an MIS requires log n rounds, if
 //! MIS is built based on a graph with random priority nodes, an
 //! adding/deleting operation requires one round of adjustment in
 //! expectation." (Censor-Hillel, Haramaty, Karnin, PODC'16.)
@@ -121,11 +121,8 @@ impl DynamicMis {
             debug_assert_eq!((p, v), self.key(v));
             queued.remove(&v);
             stats.touched += 1;
-            let should = !self
-                .g
-                .neighbors(v)
-                .iter()
-                .any(|&w| self.in_mis[w] && self.key(w) > self.key(v));
+            let should =
+                !self.g.neighbors(v).iter().any(|&w| self.in_mis[w] && self.key(w) > self.key(v));
             if should != self.in_mis[v] {
                 self.in_mis[v] = should;
                 stats.adjustments += 1;
@@ -223,10 +220,7 @@ mod tests {
             assert!(avg < 3.0, "average adjustments {avg} should be O(1)");
         }
         // No systematic growth with n (allowing noise).
-        assert!(
-            totals[2] < totals[0] + 2.0,
-            "adjustments should not grow with n: {totals:?}"
-        );
+        assert!(totals[2] < totals[0] + 2.0, "adjustments should not grow with n: {totals:?}");
     }
 
     #[test]

@@ -34,12 +34,7 @@ pub struct LossyElection {
 /// Runs the §IV-A clusterhead election where every hello/declare message is
 /// dropped independently with probability `drop_prob`, then one repair
 /// round. Each node's *view* of its neighborhood is whatever survived.
-pub fn lossy_mis_election(
-    g: &Graph,
-    priority: &[u64],
-    drop_prob: f64,
-    seed: u64,
-) -> LossyElection {
+pub fn lossy_mis_election(g: &Graph, priority: &[u64], drop_prob: f64, seed: u64) -> LossyElection {
     let n = g.node_count();
     let mut rng = StdRng::seed_from_u64(seed);
     // Hello phase: node u knows neighbor v only if v's hello got through.
@@ -69,10 +64,8 @@ pub fn lossy_mis_election(
         }
         let mut new_black = Vec::new();
         for &u in &whites {
-            let is_max = known[u]
-                .iter()
-                .filter(|&&v| color[v] == C::White)
-                .all(|&v| key(u) > key(v));
+            let is_max =
+                known[u].iter().filter(|&&v| color[v] == C::White).all(|&v| key(u) > key(v));
             if is_max {
                 new_black.push(u);
             }
@@ -118,9 +111,8 @@ pub fn lossy_mis_election(
             }
         }
     }
-    let uncovered = (0..n)
-        .filter(|&u| !repaired[u] && !g.neighbors(u).iter().any(|&v| repaired[v]))
-        .count();
+    let uncovered =
+        (0..n).filter(|&u| !repaired[u] && !g.neighbors(u).iter().any(|&v| repaired[v])).count();
     LossyElection { elected, conflicts, repaired, uncovered }
 }
 
@@ -140,7 +132,12 @@ pub fn inconsistency_sweep(
             let mut conflicts = 0usize;
             let mut uncovered = 0usize;
             for t in 0..trials {
-                let r = lossy_mis_election(g, priority, p, seed ^ (t as u64 * 0x9e37) ^ ((p * 1e6) as u64));
+                let r = lossy_mis_election(
+                    g,
+                    priority,
+                    p,
+                    seed ^ (t as u64 * 0x9e37) ^ ((p * 1e6) as u64),
+                );
                 conflicts += r.conflicts.len();
                 uncovered += r.uncovered;
             }
@@ -195,9 +192,6 @@ mod tests {
         let priority: Vec<u64> = (0..60).collect();
         let sweep = inconsistency_sweep(&g, &priority, &[0.0, 0.3, 0.6], 15, 3);
         assert_eq!(sweep[0].1, 0.0, "no drops, no conflicts");
-        assert!(
-            sweep[2].1 > sweep[0].1,
-            "heavy loss must create conflicts: {sweep:?}"
-        );
+        assert!(sweep[2].1 > sweep[0].1, "heavy loss must create conflicts: {sweep:?}");
     }
 }

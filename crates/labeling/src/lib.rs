@@ -15,22 +15,22 @@
 //!   behavior); link reversal lives in `csn-layering`; PageRank/HITS in
 //!   `csn-graph`.
 //! * **Hybrids** (§IV-C) — [`safety`]: hypercube *safety levels* (the
-//!   paper's [32]), a distributed labeling that converges in at most `n−1`
+//!   paper's \[32\]), a distributed labeling that converges in at most `n−1`
 //!   rounds, each label decided exactly once, and then guides optimal
 //!   fault-tolerant routing with no routing table; [`dynamic_mis`]:
 //!   maintaining an MIS under node insertions/deletions with `O(1)`
-//!   expected adjustments per update (the paper's [30]).
+//!   expected adjustments per update (the paper's \[30\]).
 
 pub mod bellman_ford;
+pub mod broadcast;
 pub mod cds;
 pub mod dynamic_mis;
 pub mod inconsistency;
-pub mod broadcast;
 pub mod mis;
 pub mod protocols;
 pub mod safety;
-pub mod sdn;
 pub mod safety_vector;
+pub mod sdn;
 
 use csn_graph::Graph;
 

@@ -66,8 +66,7 @@ pub fn mis_distributed(g: &Graph, priority: &[u64]) -> MisResult {
         }
         // Whites with a black neighbor turn gray.
         for &u in &whites {
-            if color[u] == Color::White
-                && g.neighbors(u).iter().any(|&v| color[v] == Color::Black)
+            if color[u] == Color::White && g.neighbors(u).iter().any(|&v| color[v] == Color::Black)
             {
                 color[u] = Color::Gray;
             }
@@ -103,8 +102,7 @@ pub fn is_independent(g: &Graph, set: &[bool]) -> bool {
 /// Whether `set` is a *maximal* independent set (independent and every
 /// outside node has a neighbor inside).
 pub fn is_maximal_independent(g: &Graph, set: &[bool]) -> bool {
-    is_independent(g, set)
-        && g.nodes().all(|u| set[u] || g.neighbors(u).iter().any(|&v| set[v]))
+    is_independent(g, set) && g.nodes().all(|u| set[u] || g.neighbors(u).iter().any(|&v| set[v]))
 }
 
 #[cfg(test)]

@@ -73,7 +73,7 @@ impl Protocol for MisProtocol {
                 MisMsg::Declare => heard_declare = true,
                 MisMsg::StillWhite(p) => {
                     let k = (p, from);
-                    if best.map_or(true, |b| k > b) {
+                    if best.is_none_or(|b| k > b) {
                         best = Some(k);
                     }
                 }
@@ -88,7 +88,7 @@ impl Protocol for MisProtocol {
                 }
                 if state.announced {
                     let me = (self.priority[u], u);
-                    let is_max = state.best_white_heard.map_or(true, |b| me > b);
+                    let is_max = state.best_white_heard.is_none_or(|b| me > b);
                     if is_max {
                         state.color = MisState::Black;
                         return vec![Envelope::Broadcast(MisMsg::Declare)];

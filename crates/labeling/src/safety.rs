@@ -1,4 +1,4 @@
-//! Hypercube safety levels (§IV-C; the paper's [32], Wu '95).
+//! Hypercube safety levels (§IV-C; the paper's \[32\], Wu '95).
 //!
 //! A hybrid distributed-and-localized labeling for fault-tolerant routing in
 //! an `n`-dimensional binary hypercube: "if a node is labeled `i`, then it
@@ -14,7 +14,7 @@
 //! `n − 1` rounds are needed."
 //!
 //! Routing is table-free: "the next hop is the highest safety-level
-//! neighbor selected from [the] neighbors that are on the shortest paths…
+//! neighbor selected from \[the\] neighbors that are on the shortest paths…
 //! to the given destination" (Fig. 9's `1101 → 0101 → … → 0001` walk).
 
 /// A hypercube node address (bit string packed in a `usize`).
@@ -39,8 +39,7 @@ impl SafetyLevels {
     pub fn compute(dims: u32, faulty: &[bool]) -> Self {
         let n = 1usize << dims;
         assert_eq!(faulty.len(), n, "one fault flag per node");
-        let mut levels: Vec<u32> =
-            (0..n).map(|u| if faulty[u] { 0 } else { dims }).collect();
+        let mut levels: Vec<u32> = (0..n).map(|u| if faulty[u] { 0 } else { dims }).collect();
         let mut rounds_used = 0;
         loop {
             let mut next = levels.clone();

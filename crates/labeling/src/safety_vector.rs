@@ -57,9 +57,7 @@ impl SafetyVectors {
                 if faulty[u] {
                     continue;
                 }
-                let good = (0..dims)
-                    .filter(|&b| snapshot[u ^ (1 << b)] & prev_bit != 0)
-                    .count();
+                let good = (0..dims).filter(|&b| snapshot[u ^ (1 << b)] & prev_bit != 0).count();
                 if good >= need {
                     vectors[u] |= this_bit;
                 }
@@ -121,7 +119,7 @@ mod tests {
 
     #[test]
     fn fault_free_cube_has_all_bits_set() {
-        let sv = SafetyVectors::compute(4, &vec![false; 16]);
+        let sv = SafetyVectors::compute(4, &[false; 16]);
         for u in 0..16 {
             assert_eq!(sv.vector(u), 0b1111, "node {u:04b}");
         }

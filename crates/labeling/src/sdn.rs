@@ -1,11 +1,11 @@
 //! Hybrid centralized-and-distributed routing (§IV-C).
 //!
-//! "The first [front] is designing a hybrid centralized-and-distributed
+//! "The first \[front\] is designing a hybrid centralized-and-distributed
 //! method… The key issue is how a centralized solution can offer some
 //! 'guidance' to a distributed one. … A recent work on central SDN control
 //! over distributed routing offers some interesting insights: … it inserts
 //! fake nodes and links to create an augmented topology for a distributed
-//! solution." (the paper's [31], Fissure-style central control.)
+//! solution." (the paper's \[31\], Fissure-style central control.)
 //!
 //! Here the distributed substrate is weighted distance-vector routing
 //! (synchronous Bellman–Ford labels); the central controller *programs the
@@ -29,7 +29,11 @@ pub struct DistanceVectorOutcome {
 
 /// Runs synchronous distributed Bellman–Ford on a weighted graph: each
 /// round every node re-relaxes from its neighbors' previous-round labels.
-pub fn distance_vector(g: &WeightedGraph, dest: NodeId, max_rounds: usize) -> DistanceVectorOutcome {
+pub fn distance_vector(
+    g: &WeightedGraph,
+    dest: NodeId,
+    max_rounds: usize,
+) -> DistanceVectorOutcome {
     let n = g.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut next_hop: Vec<Option<NodeId>> = vec![None; n];
@@ -122,10 +126,8 @@ pub fn steer(
 ) -> (DistanceVectorOutcome, bool) {
     let programmed = program_weights(g, dest, desired);
     let out = distance_vector(&programmed, dest, max_rounds);
-    let obeyed = desired
-        .iter()
-        .enumerate()
-        .all(|(u, want)| want.is_none() || out.next_hop[u] == *want);
+    let obeyed =
+        desired.iter().enumerate().all(|(u, want)| want.is_none() || out.next_hop[u] == *want);
     (out, obeyed)
 }
 

@@ -11,11 +11,11 @@
 //!   publish–subscribe over the resulting hierarchy.
 //! * **Man-made layering** — [`link_reversal`]: destination-oriented DAGs
 //!   maintained by link reversal. The binary-link-label machine of the
-//!   paper's [24] is the core; full reversal (all labels 1, Rule 1 only)
+//!   paper's \[24\] is the core; full reversal (all labels 1, Rule 1 only)
 //!   and partial reversal (all labels 0, Rules 1 and 2) are its two
 //!   initializations, exactly as §IV-B describes. [`maxflow`]: the
 //!   height-based max-flow algorithms the paper points to — the cited
-//!   `O(|V|³)` MPM algorithm [17], Dinic, and push–relabel (heights
+//!   `O(|V|³)` MPM algorithm \[17\], Dinic, and push–relabel (heights
 //!   steering flow toward the sink).
 
 pub mod link_reversal;

@@ -1,7 +1,7 @@
 //! Man-made layering: destination-oriented DAGs by link reversal
 //! (§III-B Fig. 4 and §IV-B).
 //!
-//! The binary-link-label machine of the paper's [24] (Charron-Bost, Függer,
+//! The binary-link-label machine of the paper's \[24\] (Charron-Bost, Függer,
 //! Welch, Widder) is implemented as the core routine; the classical
 //! Gafni–Bertsekas algorithms fall out as initializations:
 //!
@@ -82,14 +82,7 @@ impl BinaryLabelReversal {
             adj[v].push(e);
         }
         let label = vec![matches!(init, LabelInit::Full); edges.len()];
-        BinaryLabelReversal {
-            dest,
-            dir,
-            label,
-            adj,
-            activations: vec![0; g.node_count()],
-            edges,
-        }
+        BinaryLabelReversal { dest, dir, label, adj, activations: vec![0; g.node_count()], edges }
     }
 
     /// The current orientation as a digraph.
@@ -203,10 +196,7 @@ impl BinaryLabelReversal {
     /// Removes the link `(u, v)` (e.g. a broken radio link). Returns whether
     /// it existed.
     pub fn remove_link(&mut self, u: NodeId, v: NodeId) -> bool {
-        let Some(pos) = self
-            .edges
-            .iter()
-            .position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
+        let Some(pos) = self.edges.iter().position(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u))
         else {
             return false;
         };
@@ -359,11 +349,8 @@ mod tests {
     /// broken (A, D) link turning A into a sink.
     fn fig4_like() -> (Graph, Vec<i64>, NodeId, NodeId) {
         // Nodes: A=1, B=2, C=3, D=0 (dest), E=4.
-        let g = Graph::from_edges(
-            5,
-            &[(1, 0), (1, 2), (2, 3), (3, 0), (1, 4), (4, 3), (2, 0)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(5, &[(1, 0), (1, 2), (2, 3), (3, 0), (1, 4), (4, 3), (2, 0)])
+            .unwrap();
         // Heights: D lowest; A just above D; others higher.
         let heights = vec![0, 1, 2, 3, 4];
         (g, heights, 0, 1)

@@ -9,7 +9,7 @@
 //! Three algorithms, cross-validated against each other:
 //!
 //! * [`mpm`] — the paper's cited `O(|V|³)` algorithm of
-//!   Malhotra–Kumar–Maheshwari [17], pushing through minimum-throughput
+//!   Malhotra–Kumar–Maheshwari \[17\], pushing through minimum-throughput
 //!   nodes of the level graph;
 //! * [`dinic`] — blocking flows on the level graph;
 //! * [`push_relabel`] — Goldberg–Tarjan, the literal "heights steer flow to
@@ -126,7 +126,7 @@ fn dinic_dfs(
     0.0
 }
 
-/// Malhotra–Kumar–Maheshwari `O(|V|³)` max-flow (the paper's [17]): on each
+/// Malhotra–Kumar–Maheshwari `O(|V|³)` max-flow (the paper's \[17\]): on each
 /// level graph, repeatedly saturate the minimum-throughput node by pushing
 /// its potential forward to the sink and pulling it back from the source.
 ///
@@ -182,14 +182,9 @@ pub fn mpm(g: &WeightedDigraph, s: NodeId, t: NodeId) -> f64 {
                 }
             };
             // Pick the alive node with minimum potential.
-            let Some(r) = (0..n)
-                .filter(|&u| alive[u])
-                .min_by(|&a, &b| {
-                    pot(a, &pot_in, &pot_out)
-                        .partial_cmp(&pot(b, &pot_in, &pot_out))
-                        .expect("finite")
-                })
-            else {
+            let Some(r) = (0..n).filter(|&u| alive[u]).min_by(|&a, &b| {
+                pot(a, &pot_in, &pot_out).partial_cmp(&pot(b, &pot_in, &pot_out)).expect("finite")
+            }) else {
                 break;
             };
             let p = pot(r, &pot_in, &pot_out);
@@ -469,11 +464,8 @@ mod tests {
             assert!(mask[0]);
             assert!(!mask[n - 1] || flow == 0.0);
             // Cut capacity: arcs from S side to T side.
-            let cut: f64 = g
-                .arcs()
-                .filter(|&(u, v, _)| mask[u] && !mask[v])
-                .map(|(_, _, c)| c)
-                .sum();
+            let cut: f64 =
+                g.arcs().filter(|&(u, v, _)| mask[u] && !mask[v]).map(|(_, _, c)| c).sum();
             assert!((flow - cut).abs() < 1e-6, "trial {trial}: flow {flow} vs cut {cut}");
         }
     }

@@ -28,11 +28,7 @@ impl Hierarchy {
         let parent = g
             .nodes()
             .map(|u| {
-                g.neighbors(u)
-                    .iter()
-                    .copied()
-                    .filter(|&v| key(v) > key(u))
-                    .max_by_key(|&v| key(v))
+                g.neighbors(u).iter().copied().filter(|&v| key(v) > key(u)).max_by_key(|&v| key(v))
             })
             .collect();
         Hierarchy { levels, parent }
@@ -171,10 +167,7 @@ mod tests {
             assert!(chain.len() <= g.node_count());
             // Keys strictly increase along the chain.
             for w in chain.windows(2) {
-                assert!(
-                    (h.level(w[1]), w[1]) > (h.level(w[0]), w[0]),
-                    "chain must climb"
-                );
+                assert!((h.level(w[1]), w[1]) > (h.level(w[0]), w[0]), "chain must climb");
             }
         }
     }

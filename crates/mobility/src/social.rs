@@ -142,7 +142,11 @@ impl SocialContactModel {
     /// each feature difference halves the rate (`beta = ln 2`), contacts
     /// last 30 s on average.
     pub fn default_config() -> Self {
-        SocialContactModel { base_rate: 1.0 / 200.0, beta: std::f64::consts::LN_2, mean_duration: 30.0 }
+        SocialContactModel {
+            base_rate: 1.0 / 200.0,
+            beta: std::f64::consts::LN_2,
+            mean_duration: 30.0,
+        }
     }
 
     /// Contact rate between people at feature distance `d`.
@@ -245,10 +249,7 @@ mod tests {
         let counts = trace.contact_counts();
         let close = counts.get(&(0, 1)).copied().unwrap_or(0);
         let far = counts.get(&(0, 2)).copied().unwrap_or(0);
-        assert!(
-            close > 2 * far,
-            "identical profiles must meet much more often: {close} vs {far}"
-        );
+        assert!(close > 2 * far, "identical profiles must meet much more often: {close} vs {far}");
         // Rate ratio should be ~ exp(beta * 3) = 8.
         let ratio = close as f64 / far.max(1) as f64;
         assert!((4.0..16.0).contains(&ratio), "ratio {ratio}");
@@ -272,11 +273,7 @@ mod tests {
     #[test]
     fn contacts_do_not_overlap_per_pair() {
         let pop = Population::random(6, &[2, 3], 3);
-        let m = SocialContactModel {
-            base_rate: 0.01,
-            beta: 0.5,
-            mean_duration: 50.0,
-        };
+        let m = SocialContactModel { base_rate: 0.01, beta: 0.5, mean_duration: 50.0 };
         let trace = m.simulate(&pop, 50_000.0, 8);
         for u in 0..6 {
             for v in (u + 1)..6 {

@@ -33,7 +33,7 @@ pub struct ExponentialFit {
 /// assert!(fit.ks < 0.05, "true exponential sample fits well");
 /// ```
 pub fn fit_exponential(sample: &[f64]) -> Option<ExponentialFit> {
-    if sample.is_empty() || sample.iter().any(|&x| !(x > 0.0)) {
+    if sample.is_empty() || sample.iter().any(|&x| x.is_nan() || x <= 0.0) {
         return None;
     }
     let mean = sample.iter().sum::<f64>() / sample.len() as f64;
@@ -88,7 +88,7 @@ pub fn median(sample: &[f64]) -> f64 {
     let mut s = sample.to_vec();
     s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
     let mid = s.len() / 2;
-    if s.len() % 2 == 0 {
+    if s.len().is_multiple_of(2) {
         (s[mid - 1] + s[mid]) / 2.0
     } else {
         s[mid]
@@ -131,9 +131,8 @@ mod tests {
     fn non_exponential_sample_has_large_ks() {
         // Pareto-ish heavy tail.
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let s: Vec<f64> = (0..20_000)
-            .map(|_| (1.0 - rng.gen::<f64>()).powf(-1.0 / 1.5) - 0.9)
-            .collect();
+        let s: Vec<f64> =
+            (0..20_000).map(|_| (1.0 - rng.gen::<f64>()).powf(-1.0 / 1.5) - 0.9).collect();
         let fit = fit_exponential(&s).unwrap();
         assert!(fit.ks > 0.1, "heavy tail should not fit exponential: ks {}", fit.ks);
         assert!(coefficient_of_variation(&s) > 1.2);

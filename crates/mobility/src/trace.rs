@@ -169,12 +169,7 @@ mod tests {
         let t = ContactTrace::new(
             3,
             20.0,
-            vec![
-                ev(0, 1, 1.0, 2.0),
-                ev(0, 1, 5.0, 6.0),
-                ev(0, 1, 10.0, 11.0),
-                ev(1, 2, 3.0, 4.0),
-            ],
+            vec![ev(0, 1, 1.0, 2.0), ev(0, 1, 5.0, 6.0), ev(0, 1, 10.0, 11.0), ev(1, 2, 3.0, 4.0)],
         );
         let mut gaps = t.inter_contact_times();
         gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());

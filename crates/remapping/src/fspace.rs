@@ -8,9 +8,9 @@
 //! hypercube can easily support shortest-path routing as well as
 //! node-disjoint multiple-path routing."
 
+use csn_graph::NodeId;
 use csn_mobility::social::Population;
 use csn_mobility::ContactTrace;
-use csn_graph::NodeId;
 
 /// A feature-space coordinate (one value per feature dimension).
 pub type Profile = Vec<usize>;

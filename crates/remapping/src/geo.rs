@@ -39,12 +39,7 @@ impl GreedyOutcome {
 
 /// Euclidean greedy routing: always move to the neighbor strictly closer to
 /// the destination; stop when none exists.
-pub fn greedy_route(
-    g: &Graph,
-    positions: &[Point],
-    source: NodeId,
-    dest: NodeId,
-) -> GreedyOutcome {
+pub fn greedy_route(g: &Graph, positions: &[Point], source: NodeId, dest: NodeId) -> GreedyOutcome {
     let mut path = vec![source];
     let mut cur = source;
     while cur != dest {
@@ -143,11 +138,8 @@ pub fn perforated_disk(n: usize, radius: f64, holes: &[CHole], seed: u64) -> Per
     let g = csn_graph::generators::unit_disk_from_points(&positions, radius);
     let mask = csn_graph::traversal::largest_component_mask(&g);
     let (graph, map) = g.induced_subgraph(&mask);
-    let kept: Vec<Point> = positions
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &p)| map[i].map(|_| p))
-        .collect();
+    let kept: Vec<Point> =
+        positions.iter().enumerate().filter_map(|(i, &p)| map[i].map(|_| p)).collect();
     PerforatedDisk { graph, positions: kept, radius }
 }
 
@@ -198,12 +190,8 @@ mod tests {
         let gg = generators::random_geometric(300, 0.15, 3);
         let mask = csn_graph::traversal::largest_component_mask(&gg.graph);
         let (g, map) = gg.graph.induced_subgraph(&mask);
-        let pts: Vec<Point> = gg
-            .positions
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &p)| map[i].map(|_| p))
-            .collect();
+        let pts: Vec<Point> =
+            gg.positions.iter().enumerate().filter_map(|(i, &p)| map[i].map(|_| p)).collect();
         let stats = greedy_delivery_stats(&g, &pts, 300, 7);
         assert!(
             stats.delivery_ratio > 0.95,

@@ -1,7 +1,7 @@
-//! Greedy virtual-coordinate remapping (§III-C; the paper's [19], R.
-//! Kleinberg, INFOCOM'07, and [20], Ricci-flow conformal mapping).
+//! Greedy virtual-coordinate remapping (§III-C; the paper's \[19\], R.
+//! Kleinberg, INFOCOM'07, and \[20\], Ricci-flow conformal mapping).
 //!
-//! "By mapping the Euclidean space to the hyperbolic space, [19] shows that
+//! "By mapping the Euclidean space to the hyperbolic space, \[19\] shows that
 //! carefully assigning each node a virtual coordinate in the hyperbolic
 //! plane allows the greedy algorithm to succeed in finding a route to the
 //! destination."
@@ -293,12 +293,8 @@ mod tests {
         for &(x, y) in &emb.coords {
             assert!(x * x + y * y < 1.0);
         }
-        let ratio = delivery_ratio(
-            &pd.graph,
-            |s, t| emb.greedy_route(&pd.graph, s, t).is_some(),
-            200,
-            3,
-        );
+        let ratio =
+            delivery_ratio(&pd.graph, |s, t| emb.greedy_route(&pd.graph, s, t).is_some(), 200, 3);
         assert!(ratio > 0.3, "approximate embedding should route a fair share, got {ratio}");
     }
 

@@ -7,7 +7,7 @@
 //! * **Remapping representation** — [`geo`]: greedy geographic routing and
 //!   its local-minimum failure at non-convex holes (Fig. 5(a));
 //!   [`hyperbolic`]: spanning-tree greedy embedding into the Poincaré disk
-//!   (the paper's [19]) restoring guaranteed delivery — the substitution
+//!   (the paper's \[19\]) restoring guaranteed delivery — the substitution
 //!   for Ricci-flow conformal mapping documented in DESIGN.md §3.
 //! * **Remapping domain** — [`fspace`]: the social-feature space of Fig. 6:
 //!   people grouped by feature profile form a generalized hypercube

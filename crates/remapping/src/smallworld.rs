@@ -26,11 +26,7 @@ pub fn greedy_hops(g: &Graph, side: usize, source: NodeId, dest: NodeId) -> Opti
     let mut hops = 0;
     while cur != dest {
         let here = manhattan(cur, dest);
-        let next = g
-            .neighbors(cur)
-            .iter()
-            .copied()
-            .min_by_key(|&v| manhattan(v, dest))?;
+        let next = g.neighbors(cur).iter().copied().min_by_key(|&v| manhattan(v, dest))?;
         if manhattan(next, dest) >= here {
             return None; // grid edges always allow progress, so unreachable
         }
@@ -77,10 +73,7 @@ mod tests {
         let side = 30;
         let plain = mean_greedy_hops(side, 0, 2.0, 150, 3);
         let augmented = mean_greedy_hops(side, 2, 2.0, 150, 3);
-        assert!(
-            augmented < plain,
-            "long-range contacts must help: {augmented} vs {plain}"
-        );
+        assert!(augmented < plain, "long-range contacts must help: {augmented} vs {plain}");
     }
 
     #[test]
@@ -98,10 +91,7 @@ mod tests {
             growth[1] < growth[0],
             "α=2 must scale better than uniform links: {growth:?} (hops {small:?} -> {large:?})"
         );
-        assert!(
-            growth[1] < growth[2],
-            "α=2 must scale better than near-local links: {growth:?}"
-        );
+        assert!(growth[1] < growth[2], "α=2 must scale better than near-local links: {growth:?}");
         // And at the large size, α=2 should be the outright winner.
         let best = large
             .iter()

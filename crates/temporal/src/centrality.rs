@@ -5,7 +5,7 @@
 //! diameter to *dynamic diameter*." This module extends §III's centrality
 //! inventory the same way, supporting the paper's question about layered
 //! structures "not only in the space dimension, but also in
-//! time-and-space" (the small-world-in-time-varying-graphs work of [15]).
+//! time-and-space" (the small-world-in-time-varying-graphs work of \[15\]).
 
 use crate::graph::{TimeEvolvingGraph, TimeUnit};
 use crate::journey::earliest_arrival;
@@ -35,7 +35,7 @@ pub fn temporal_closeness_all(eg: &TimeEvolvingGraph, start: TimeUnit) -> Vec<f6
 
 /// Global temporal efficiency at `start`: mean over ordered pairs of
 /// `1 / (temporal distance + 1)` — the time-and-space analogue of network
-/// efficiency used by [15] to detect temporal small worlds.
+/// efficiency used by \[15\] to detect temporal small worlds.
 pub fn temporal_efficiency(eg: &TimeEvolvingGraph, start: TimeUnit) -> f64 {
     let n = eg.node_count();
     if n <= 1 {

@@ -147,7 +147,13 @@ impl TimeEvolvingGraph {
     /// # Panics
     ///
     /// Panics if `period == 0` or `first >= horizon`.
-    pub fn add_periodic(&mut self, u: NodeId, v: NodeId, first: TimeUnit, period: TimeUnit) -> usize {
+    pub fn add_periodic(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        first: TimeUnit,
+        period: TimeUnit,
+    ) -> usize {
         assert!(period > 0, "period must be positive");
         assert!(first < self.horizon, "first label outside horizon");
         let mut added = 0;
@@ -162,13 +168,10 @@ impl TimeEvolvingGraph {
     }
 
     fn edge_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
-        self.adj[u]
-            .iter()
-            .copied()
-            .find(|&ei| {
-                let e = &self.edges[ei];
-                (e.u == u && e.v == v) || (e.u == v && e.v == u)
-            })
+        self.adj[u].iter().copied().find(|&ei| {
+            let e = &self.edges[ei];
+            (e.u == u && e.v == v) || (e.u == v && e.v == u)
+        })
     }
 
     /// Label set of edge `(u, v)`, if the temporal edge exists.
@@ -195,7 +198,9 @@ impl TimeEvolvingGraph {
         let mut out: Vec<Contact> = self
             .edges
             .iter()
-            .flat_map(|e| e.labels.iter().map(move |&t| Contact { u: e.u.min(e.v), v: e.u.max(e.v), t }))
+            .flat_map(|e| {
+                e.labels.iter().map(move |&t| Contact { u: e.u.min(e.v), v: e.u.max(e.v), t })
+            })
             .collect();
         out.sort_by_key(|c| (c.t, c.u, c.v));
         out

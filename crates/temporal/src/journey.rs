@@ -85,7 +85,11 @@ impl Journey {
 /// source itself; `None` if unreachable within the horizon).
 ///
 /// Dijkstra-style: arrival times only grow along journeys.
-pub fn earliest_arrival(eg: &TimeEvolvingGraph, source: NodeId, start: TimeUnit) -> Vec<Option<TimeUnit>> {
+pub fn earliest_arrival(
+    eg: &TimeEvolvingGraph,
+    source: NodeId,
+    start: TimeUnit,
+) -> Vec<Option<TimeUnit>> {
     earliest_arrival_masked(eg, source, start, None)
 }
 
@@ -118,7 +122,7 @@ pub fn earliest_arrival_masked(
         for (v, labels) in eg.neighbors(u) {
             let i = labels.partition_point(|&l| l < t);
             if let Some(&next) = labels.get(i) {
-                if arr[v].map_or(true, |cur| next < cur) {
+                if arr[v].is_none_or(|cur| next < cur) {
                     arr[v] = Some(next);
                     heap.push(Reverse((next, v)));
                 }
@@ -149,7 +153,7 @@ pub fn foremost_journey(
         for (v, labels) in eg.neighbors(u) {
             let i = labels.partition_point(|&l| l < t);
             if let Some(&next) = labels.get(i) {
-                if arr[v].map_or(true, |cur| next < cur) {
+                if arr[v].is_none_or(|cur| next < cur) {
                     arr[v] = Some(next);
                     parent[v] = Some((u, next));
                     heap.push(Reverse((next, v)));
@@ -209,7 +213,7 @@ pub fn min_hop_journey(
             for (v, labels) in eg.neighbors(u) {
                 let i = labels.partition_point(|&l| l < t);
                 if let Some(&lab) = labels.get(i) {
-                    if next[v].map_or(true, |cur| lab < cur) {
+                    if next[v].is_none_or(|cur| lab < cur) {
                         next[v] = Some(lab);
                         parent[v] = Some((u, lab));
                         improved = true;
@@ -272,7 +276,7 @@ pub fn fastest_journey(
         if let Some(j) = foremost_journey(eg, source, target, dep) {
             // The journey's real first label may exceed `dep`; recompute span.
             let span = j.span();
-            if best.as_ref().map_or(true, |(s, _)| span < *s) {
+            if best.as_ref().is_none_or(|(s, _)| span < *s) {
                 best = Some((span, j));
             }
         }
@@ -297,9 +301,9 @@ pub fn flooding_time(eg: &TimeEvolvingGraph, source: NodeId, start: TimeUnit) ->
 /// sources, or `None` if the graph is not temporally connected from some
 /// source at `start`.
 pub fn dynamic_diameter(eg: &TimeEvolvingGraph, start: TimeUnit) -> Option<TimeUnit> {
-    (0..eg.node_count()).map(|s| flooding_time(eg, s, start)).try_fold(0, |acc, ft| {
-        ft.map(|f| acc.max(f))
-    })
+    (0..eg.node_count())
+        .map(|s| flooding_time(eg, s, start))
+        .try_fold(0, |acc, ft| ft.map(|f| acc.max(f)))
 }
 
 /// Exhaustive journey enumeration for cross-validation on small graphs.

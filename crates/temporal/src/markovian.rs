@@ -107,10 +107,7 @@ mod tests {
         let pairs = 40 * 39 / 2;
         let observed = eg.contact_count() as f64 / (pairs as f64 * 50.0);
         let expected = m.stationary_density();
-        assert!(
-            (observed - expected).abs() < 0.05,
-            "observed {observed}, expected {expected}"
-        );
+        assert!((observed - expected).abs() < 0.05, "observed {observed}, expected {expected}");
     }
 
     #[test]

@@ -93,11 +93,7 @@ pub fn epidemic(
             i += 1;
         }
     }
-    DtnOutcome {
-        delivered_at: None,
-        copies: infected.iter().filter(|&&x| x).count(),
-        hops: 0,
-    }
+    DtnOutcome { delivered_at: None, copies: infected.iter().filter(|&&x| x).count(), hops: 0 }
 }
 
 /// Binary spray-and-wait with copy budget `L >= 1`.
@@ -127,7 +123,11 @@ pub fn spray_and_wait(
             }
             if b == dest {
                 let holders = budget.iter().filter(|&&x| x > 0).count();
-                return DtnOutcome { delivered_at: Some(c.t), copies: holders + 1, hops: hops[a] + 1 };
+                return DtnOutcome {
+                    delivered_at: Some(c.t),
+                    copies: holders + 1,
+                    hops: hops[a] + 1,
+                };
             }
             if budget[a] > 1 && budget[b] == 0 {
                 let give = budget[a] / 2;
@@ -137,11 +137,7 @@ pub fn spray_and_wait(
             }
         }
     }
-    DtnOutcome {
-        delivered_at: None,
-        copies: budget.iter().filter(|&&x| x > 0).count(),
-        hops: 0,
-    }
+    DtnOutcome { delivered_at: None, copies: budget.iter().filter(|&&x| x > 0).count(), hops: 0 }
 }
 
 #[cfg(test)]

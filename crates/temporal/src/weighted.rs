@@ -1,5 +1,5 @@
 //! Weighted time-evolving graphs (§II-B): "each edge at time unit `i` is
-//! associated with a weight `w_i`, which [has] different interpretations
+//! associated with a weight `w_i`, which \[has\] different interpretations
 //! based on the application — bandwidth, transmission delay, or reliability."
 //!
 //! Journeys then trade off completion time against accumulated weight; this

@@ -4,7 +4,7 @@
 //! at a new contact (which may lead to a less favorable path) or at a future
 //! contact? … This is analogous to multi-bus riding."
 //!
-//! Following the paper's [13] (TOUR): inter-contact times are exponential,
+//! Following the paper's \[13\] (TOUR): inter-contact times are exponential,
 //! message utility decays linearly over time, and the *optimal time-varying
 //! forwarding set* is derived by an optimal-stopping dynamic program. The
 //! paper's claim, reproduced by experiment E5: **the forwarding set at the
@@ -102,7 +102,7 @@ impl ForwardingPolicy {
 /// relay's net direct-delivery value exceeds the source's continuation
 /// value: `E_r(t) − cost > V_s(t⁺)` — those relays form the forwarding set
 /// at `t`. As the utility decays, fewer and fewer relays clear the bar, so
-/// the set *shrinks over time* (the paper's claim about [13]).
+/// the set *shrinks over time* (the paper's claim about \[13\]).
 ///
 /// # Panics
 ///
@@ -235,10 +235,7 @@ fn sample_exp(rng: &mut StdRng, rate: f64) -> f64 {
 pub fn copy_varying_sets(relays: &[Relay], max_copies: usize) -> Vec<Vec<usize>> {
     let mut order: Vec<usize> = (0..relays.len()).collect();
     order.sort_by(|&a, &b| {
-        relays[b]
-            .rate_to_dest
-            .partial_cmp(&relays[a].rate_to_dest)
-            .expect("finite rates")
+        relays[b].rate_to_dest.partial_cmp(&relays[a].rate_to_dest).expect("finite rates")
     });
     (1..=max_copies).map(|k| order.iter().copied().take(k).collect()).collect()
 }
@@ -299,8 +296,8 @@ mod tests {
 
     fn mixed_relays() -> Vec<Relay> {
         vec![
-            Relay { rate_from_source: 0.05, rate_to_dest: 0.5 },  // great
-            Relay { rate_from_source: 0.05, rate_to_dest: 0.1 },  // good
+            Relay { rate_from_source: 0.05, rate_to_dest: 0.5 }, // great
+            Relay { rate_from_source: 0.05, rate_to_dest: 0.1 }, // good
             Relay { rate_from_source: 0.05, rate_to_dest: 0.03 }, // mediocre
             Relay { rate_from_source: 0.05, rate_to_dest: 0.01 }, // poor
         ]
@@ -352,14 +349,8 @@ mod tests {
             mean(&simulate_strategy(Strategy::FirstContact, 0.02, &relays, U, COST, trials, 2));
         let u_opt =
             mean(&simulate_strategy(Strategy::OptimalSet, 0.02, &relays, U, COST, trials, 3));
-        assert!(
-            u_opt > u_first,
-            "optimal set must beat first-contact: {u_opt} vs {u_first}"
-        );
-        assert!(
-            u_opt > u_direct,
-            "optimal set must beat direct-only: {u_opt} vs {u_direct}"
-        );
+        assert!(u_opt > u_first, "optimal set must beat first-contact: {u_opt} vs {u_first}");
+        assert!(u_opt > u_direct, "optimal set must beat direct-only: {u_opt} vs {u_direct}");
     }
 
     #[test]
@@ -400,4 +391,3 @@ mod tests {
         assert_eq!(*policy.value.last().unwrap(), 0.0);
     }
 }
-

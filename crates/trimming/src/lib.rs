@@ -15,7 +15,7 @@
 //! * [`forwarding`] — dynamic trimming: *forwarding sets* for opportunistic
 //!   routing, including the TOUR-style optimal time-varying forwarding set
 //!   under exponential inter-contact times and linearly decaying utility
-//!   (the paper's [13]: "the forwarding set at the same intermediate node
+//!   (the paper's \[13\]: "the forwarding set at the same intermediate node
 //!   shrinks over time"), and copy-varying sets for multi-copy delivery.
 
 pub mod forwarding;

@@ -186,8 +186,7 @@ mod tests {
     #[test]
     fn deterministic_redundancy_is_trimmed_at_epsilon_zero() {
         let peg = ProbabilisticEg::new(fig2_example(), 1.0);
-        let report =
-            trim_arcs_probabilistic(&peg, &[40, 30, 20, 10], 0, 0.0, 16, 11);
+        let report = trim_arcs_probabilistic(&peg, &[40, 30, 20, 10], 0, 0.0, 16, 11);
         assert!(
             report.removed_arcs.contains(&(0, 3)),
             "the paper's A->D arc is redundant even probabilistically: {:?}",

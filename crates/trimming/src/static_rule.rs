@@ -84,25 +84,28 @@ fn has_replacement(
     }
     match opts.max_intermediates {
         Some(cap) => bounded_search(
-            eg, w, v, depart, arrive_by, forbidden_nodes, banned_arcs, floor_priority, priority,
+            eg,
+            w,
+            v,
+            depart,
+            arrive_by,
+            forbidden_nodes,
+            banned_arcs,
+            floor_priority,
+            priority,
             cap,
         ),
         None => {
             if banned_arcs.is_empty() {
-                let ok =
-                    |x: NodeId| !forbidden_nodes.contains(&x) && priority[x] > floor_priority;
+                let ok = |x: NodeId| !forbidden_nodes.contains(&x) && priority[x] > floor_priority;
                 let arr = earliest_arrival_masked(eg, w, depart, Some(&ok));
                 arr[v].is_some_and(|t| t <= arrive_by)
             } else {
                 // Arc-aware Dijkstra.
-                arc_aware_earliest(
-                    eg,
-                    w,
-                    depart,
-                    banned_arcs,
-                    &|x| !forbidden_nodes.contains(&x) && priority[x] > floor_priority,
-                )[v]
-                .is_some_and(|t| t <= arrive_by)
+                arc_aware_earliest(eg, w, depart, banned_arcs, &|x| {
+                    !forbidden_nodes.contains(&x) && priority[x] > floor_priority
+                })[v]
+                    .is_some_and(|t| t <= arrive_by)
             }
         }
     }
@@ -196,7 +199,7 @@ fn arc_aware_earliest(
             }
             let i = labels.partition_point(|&l| l < t);
             if let Some(&next) = labels.get(i) {
-                if arr[v].map_or(true, |cur| next < cur) {
+                if arr[v].is_none_or(|cur| next < cur) {
                     arr[v] = Some(next);
                     heap.push(Reverse((next, v)));
                 }
@@ -233,7 +236,7 @@ pub fn earliest_arrival_trimmed(
             }
             let i = labels.partition_point(|&l| l < t);
             if let Some(&next) = labels.get(i) {
-                if arr[v].map_or(true, |cur| next < cur) {
+                if arr[v].is_none_or(|cur| next < cur) {
                     arr[v] = Some(next);
                     heap.push(Reverse((next, v)));
                 }
@@ -268,11 +271,8 @@ pub fn arc_replaceable(
     let mut banned = already_removed.clone();
     banned.insert((x, y));
     // Context 1: arc as second hop.
-    let in_nbrs: Vec<(NodeId, Vec<TimeUnit>)> = eg
-        .neighbors(x)
-        .filter(|&(w, _)| w != y)
-        .map(|(w, ls)| (w, ls.to_vec()))
-        .collect();
+    let in_nbrs: Vec<(NodeId, Vec<TimeUnit>)> =
+        eg.neighbors(x).filter(|&(w, _)| w != y).map(|(w, ls)| (w, ls.to_vec())).collect();
     for (w, labels_wx) in &in_nbrs {
         for &i in labels_wx {
             let jpos = labels_xy.partition_point(|&l| l < i);
@@ -283,11 +283,8 @@ pub fn arc_replaceable(
         }
     }
     // Context 2: arc as first hop.
-    let out_nbrs: Vec<(NodeId, Vec<TimeUnit>)> = eg
-        .neighbors(y)
-        .filter(|&(v, _)| v != x)
-        .map(|(v, ls)| (v, ls.to_vec()))
-        .collect();
+    let out_nbrs: Vec<(NodeId, Vec<TimeUnit>)> =
+        eg.neighbors(y).filter(|&(v, _)| v != x).map(|(v, ls)| (v, ls.to_vec())).collect();
     for &i in &labels_xy {
         for (v, labels_yv) in &out_nbrs {
             let jpos = labels_yv.partition_point(|&l| l < i);
@@ -320,8 +317,7 @@ pub fn node_replaceable(
             for &i in labels_wu {
                 let jpos = labels_uv.partition_point(|&l| l < i);
                 let Some(&j) = labels_uv.get(jpos) else { continue };
-                if !has_replacement(eg, *w, *v, i, j, &[u], &banned, priority[u], priority, opts)
-                {
+                if !has_replacement(eg, *w, *v, i, j, &[u], &banned, priority[u], priority, opts) {
                     return false;
                 }
             }

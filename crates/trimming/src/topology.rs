@@ -34,9 +34,9 @@ pub fn gabriel_graph(g: &Graph, points: &[Point]) -> Graph {
     let mut out = Graph::new(g.node_count());
     for (u, v) in g.edges() {
         let duv = d2(points[u], points[v]);
-        let blocked = g.nodes().any(|w| {
-            w != u && w != v && d2(points[u], points[w]) + d2(points[w], points[v]) < duv
-        });
+        let blocked = g
+            .nodes()
+            .any(|w| w != u && w != v && d2(points[u], points[w]) + d2(points[w], points[v]) < duv);
         if !blocked {
             out.add_edge(u, v);
         }
@@ -77,10 +77,8 @@ pub fn lmst(g: &Graph, points: &[Point], symmetric: bool) -> Graph {
         let mut local = WeightedGraph::new(members.len());
         for (i, &a) in members.iter().enumerate() {
             for (j, &b) in members.iter().enumerate().skip(i + 1) {
-                if g.has_edge(a, b) || a == u || b == u {
-                    if g.has_edge(a, b) {
-                        local.add_edge(i, j, d2(points[a], points[b]).sqrt());
-                    }
+                if (g.has_edge(a, b) || a == u || b == u) && g.has_edge(a, b) {
+                    local.add_edge(i, j, d2(points[a], points[b]).sqrt());
                 }
             }
         }

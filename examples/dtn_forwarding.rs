@@ -14,9 +14,7 @@
 
 use csn_core::mobility::social::{Population, SocialContactModel};
 use csn_core::remapping::fspace::{evaluate_strategy, MSpaceStrategy};
-use csn_core::trimming::forwarding::{
-    solve_forwarding_policy, LinearUtility, Relay,
-};
+use csn_core::trimming::forwarding::{solve_forwarding_policy, LinearUtility, Relay};
 
 fn main() {
     // ── Fig. 6 population and contact trace ────────────────────────────

@@ -56,12 +56,6 @@ fn main() {
         "  push/pull rendezvous: {avg_hops:.1} hops avg, {:.1}% via server",
         server_frac * 100.0
     );
-    println!(
-        "  flooding baseline: {} transmissions per publication",
-        flooding_cost(&g)
-    );
-    println!(
-        "  saving: {:.0}x fewer transmissions",
-        flooding_cost(&g) as f64 / avg_hops.max(1e-9)
-    );
+    println!("  flooding baseline: {} transmissions per publication", flooding_cost(&g));
+    println!("  saving: {:.0}x fewer transmissions", flooding_cost(&g) as f64 / avg_hops.max(1e-9));
 }

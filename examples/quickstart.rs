@@ -27,7 +27,8 @@ fn main() {
         report.nsf.exponent_std_dev,
         if report.nsf.is_nsf(0.1, 0.4) { "nested scale-free (NSF)" } else { "not NSF" }
     );
-    println!("  hierarchy: {} levels, {} apex node(s), degeneracy {}",
+    println!(
+        "  hierarchy: {} levels, {} apex node(s), degeneracy {}",
         report.levels.iter().max().copied().unwrap_or(0),
         report.top_level_nodes,
         report.degeneracy,

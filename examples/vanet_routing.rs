@@ -52,11 +52,7 @@ fn main() {
     let (src, dst, t0) = (10, 0, 2);
     println!("── journeys {src} -> {dst} starting at t = {t0} ──");
     match foremost_journey(&eg, src, dst, t0) {
-        Some(j) => println!(
-            "  earliest completion: arrives {} via {:?}",
-            j.last_label(),
-            j.hops
-        ),
+        Some(j) => println!("  earliest completion: arrives {} via {:?}", j.last_label(), j.hops),
         None => println!("  earliest completion: unreachable"),
     }
     match min_hop_journey(&eg, src, dst, t0) {

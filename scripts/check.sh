@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, docs, tests.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "OK: fmt, clippy, doc, test all clean"

@@ -110,9 +110,7 @@ mod trimming_rule {
 
 /// §III-B / Fig. 4 and §IV-B: link reversal.
 mod link_reversal {
-    use csn_core::layering::link_reversal::{
-        adversarial_chain, BinaryLabelReversal, LabelInit,
-    };
+    use csn_core::layering::link_reversal::{adversarial_chain, BinaryLabelReversal, LabelInit};
 
     #[test]
     fn full_and_partial_both_reconverge_and_cost_quadratic() {
@@ -141,18 +139,9 @@ mod fig8 {
         let g = paper_fig8();
         let p = paper_fig8_priorities();
         assert_eq!(marking(&g), vec![false, true, true, true, true, true]);
-        assert_eq!(
-            marked_and_pruned_cds(&g, &p),
-            vec![false, true, true, true, false, false]
-        );
-        assert_eq!(
-            mis_distributed(&g, &p).mis,
-            vec![true, true, false, false, true, false]
-        );
-        assert_eq!(
-            neighbor_designated_ds(&g, &p),
-            vec![true, true, true, false, false, false]
-        );
+        assert_eq!(marked_and_pruned_cds(&g, &p), vec![false, true, true, true, false, false]);
+        assert_eq!(mis_distributed(&g, &p).mis, vec![true, true, false, false, true, false]);
+        assert_eq!(neighbor_designated_ds(&g, &p), vec![true, true, true, false, false, false]);
     }
 }
 

@@ -73,8 +73,5 @@ fn edge_markovian_flooding_beats_static_snapshot_reachability() {
         }
     }
     assert!(some_snapshot_disconnected, "density 0.028 snapshots are sparse");
-    assert!(
-        flooding_time(&eg, 0, 0).is_some(),
-        "yet the time-evolving graph floods"
-    );
+    assert!(flooding_time(&eg, 0, 0).is_some(), "yet the time-evolving graph floods");
 }

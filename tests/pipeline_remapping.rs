@@ -78,11 +78,8 @@ fn disjoint_fspace_paths_survive_single_community_failure() {
     let paths = node_disjoint_paths(&a, &b);
     // Knock out any single intermediate community: at least one path avoids
     // it (that's the point of node-disjointness).
-    for victim in paths.iter().flat_map(|p| p[1..p.len() - 1].to_vec().into_iter()) {
-        let survivors = paths
-            .iter()
-            .filter(|p| !p[1..p.len() - 1].contains(&victim))
-            .count();
+    for victim in paths.iter().flat_map(|p| p[1..p.len() - 1].iter().cloned()) {
+        let survivors = paths.iter().filter(|p| !p[1..p.len() - 1].contains(&victim)).count();
         assert!(survivors >= paths.len() - 1, "victim {victim:?} hit too many paths");
         assert!(survivors >= 1);
     }

@@ -22,17 +22,15 @@ fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
 /// Strategy: a random time-evolving graph.
 fn arb_eg(max_n: usize, horizon: u32) -> impl Strategy<Value = TimeEvolvingGraph> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, 0..horizon), 0..(n * 4)).prop_map(
-            move |contacts| {
-                let mut eg = TimeEvolvingGraph::new(n, horizon);
-                for (u, v, t) in contacts {
-                    if u != v {
-                        eg.add_contact(u, v, t);
-                    }
+        proptest::collection::vec((0..n, 0..n, 0..horizon), 0..(n * 4)).prop_map(move |contacts| {
+            let mut eg = TimeEvolvingGraph::new(n, horizon);
+            for (u, v, t) in contacts {
+                if u != v {
+                    eg.add_contact(u, v, t);
                 }
-                eg
-            },
-        )
+            }
+            eg
+        })
     })
 }
 

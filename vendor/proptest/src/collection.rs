@@ -1,0 +1,24 @@
+//! Collection strategies ([`vec()`]).
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for a `Vec` whose length is drawn from `len` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// See [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rand::Rng::gen_range(rng, self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

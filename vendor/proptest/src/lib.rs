@@ -1,0 +1,251 @@
+//! # proptest (offline stand-in)
+//!
+//! This workspace builds in a network-isolated environment, so the real
+//! `proptest` crate cannot be fetched. This crate implements the subset
+//! structura's property tests use: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`collection::vec`], the
+//! [`proptest!`] macro (including `#![proptest_config(..)]`), and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via the
+//!   panic message (every case runs under a fixed, printed seed), but it is
+//!   not minimized.
+//! * **Deterministic seeding.** Cases derive from a fixed seed so CI is
+//!   reproducible; set `PROPTEST_SEED` to explore a different stream.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+
+/// Re-exports matching `proptest::prelude::*` as structura uses it.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration (`cases` is the only knob the stand-in honors).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// The RNG handed to strategies. Public because the [`proptest!`] macro
+/// expansion constructs it in the test body.
+pub type TestRng = StdRng;
+
+/// Builds the RNG for one test, honoring `PROPTEST_SEED`.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let base: u64 =
+        std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0x5EED_CAFE);
+    // Mix the test name in so different tests see different streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(base ^ h)
+}
+
+/// A generator of values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` and samples the
+    /// result (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: rand::SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: rand::SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_strategy_tuple!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+/// Asserts a property inside a [`proptest!`] body (plain `assert!` with the
+/// case context attached by the runner's panic hook).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ..)`
+/// becomes a standard `#[test]` running `cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(stringify!($name));
+            for case in 0..config.cases {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest stand-in: case {case}/{} of `{}` failed \
+                         (set PROPTEST_SEED to vary the stream)",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_even(limit: usize) -> impl Strategy<Value = usize> {
+        (0..limit).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5usize..10) {
+            prop_assert!((5..10).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0usize..4, 0.0f64..1.0)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 1.0);
+        }
+
+        #[test]
+        fn flat_map_feeds_dependent_strategies(v in (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0..n, 1..4).prop_map(move |xs| (n, xs))
+        })) {
+            let (n, xs) = v;
+            prop_assert!(!xs.is_empty() && xs.len() < 4);
+            prop_assert!(xs.iter().all(|&x| x < n));
+        }
+
+        #[test]
+        fn mapped_strategies_apply(x in arb_even(10)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

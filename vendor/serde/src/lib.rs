@@ -1,0 +1,184 @@
+//! # serde (offline stand-in)
+//!
+//! This workspace builds in a network-isolated environment, so the real
+//! `serde` crate cannot be fetched. This crate provides the data-model
+//! subset structura actually needs: a [`Serialize`] trait rendering any
+//! value into a self-describing [`Value`] tree, a [`Deserialize`] marker,
+//! and `#[derive(Serialize, Deserialize)]` for plain structs with named
+//! fields (via the companion `serde_derive` proc-macro, enabled by the
+//! `derive` feature exactly like upstream).
+//!
+//! The deliberate simplification: instead of upstream's
+//! `serialize<S: Serializer>` visitor plumbing, [`Serialize`] produces a
+//! [`Value`], and [`json`] renders a `Value` as JSON text. Every type that
+//! derives `Serialize` here would also derive it upstream, so migrating to
+//! the real crate is only a `Cargo.toml` change plus swapping
+//! `serde::json::to_string` call sites for `serde_json`.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// A self-describing tree of serialized data (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point. Non-finite values render as JSON `null`.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered map (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Conversion into the serialized data model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker for types that opt into deserialization.
+///
+/// The offline stand-in does not implement parsing; the derive exists so
+/// upstream-compatible `#[derive(Serialize, Deserialize)]` attributes
+/// compile unchanged.
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+    )+};
+}
+impl_serialize_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers_map_to_expected_values() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-2i64).to_value(), Value::Int(-2));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(
+            vec![(1usize, 2.5f64)].to_value(),
+            Value::Seq(vec![Value::Seq(vec![Value::UInt(1), Value::Float(2.5)])])
+        );
+    }
+}

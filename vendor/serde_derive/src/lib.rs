@@ -1,0 +1,164 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Supports the shapes structura actually derives on: plain (non-generic)
+//! structs with named fields, plus fieldless enums. Anything else fails
+//! with a compile error naming this crate, so a future reader immediately
+//! knows the stand-in (not upstream serde) is the limitation.
+//!
+//! Written against `proc_macro` directly — no `syn`/`quote`, because the
+//! build environment is offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the stand-in's `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::FieldlessEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{}::{v} => serde::Value::Str(\"{v}\".to_string())", item.name))
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {} {{\n\
+         \tfn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}",
+        item.name
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated impl parses")
+}
+
+enum Shape {
+    /// Field names of a braced struct.
+    NamedStruct(Vec<String>),
+    /// Variant names of a fieldless enum.
+    FieldlessEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`).
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    tokens.next(); // pub(crate) / pub(super)
+                }
+            }
+            Some(TokenTree::Ident(i)) => {
+                let s = i.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                panic!("serde stand-in derive: unexpected token `{s}` before struct/enum");
+            }
+            other => panic!("serde stand-in derive: unexpected input {other:?}"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stand-in derive: expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde stand-in derive does not support generic type `{name}`")
+            }
+            Some(_) => continue,
+            None => panic!(
+                "serde stand-in derive: `{name}` has no braced body (tuple/unit types unsupported)"
+            ),
+        }
+    };
+    let shape = if kind == "struct" {
+        Shape::NamedStruct(parse_named_fields(body.stream()))
+    } else {
+        Shape::FieldlessEnum(parse_fieldless_variants(body.stream(), &name))
+    };
+    Item { name, shape }
+}
+
+/// Extracts field names from a named-struct body: for each top-level
+/// (angle-bracket-aware) comma-separated chunk, the name is the identifier
+/// immediately before the first top-level `:`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut seen_colon = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {} // field attribute marker
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ':' if angle_depth == 0 && !seen_colon => {
+                    let name =
+                        last_ident.take().expect("serde stand-in derive: field without a name");
+                    fields.push(name);
+                    seen_colon = true;
+                }
+                ',' if angle_depth == 0 => seen_colon = false,
+                _ => {}
+            },
+            TokenTree::Ident(i) if !seen_colon => last_ident = Some(i.to_string()),
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from an enum body, rejecting any variant that
+/// carries data (a following group).
+fn parse_fieldless_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // variant attribute group
+            }
+            TokenTree::Ident(i) => {
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    panic!(
+                        "serde stand-in derive: enum `{enum_name}` variant `{i}` carries data; \
+                         implement Serialize by hand"
+                    );
+                }
+                variants.push(i.to_string());
+            }
+            _ => {}
+        }
+    }
+    variants
+}
