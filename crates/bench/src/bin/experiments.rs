@@ -13,7 +13,8 @@
 //! Flags:
 //!
 //! * `--exp <id>` — run only the experiment with this id (e1…e25)
-//! * `--jobs <n>` — worker threads for the work-stealing pool (default 1)
+//! * `--jobs <n>` — worker threads for the work-stealing pool; defaults to
+//!   the detected hardware thread count
 //! * `--json <dir>` — write `<dir>/<id>.json` per experiment plus
 //!   `<dir>/experiments_summary.json` for the run
 //!
@@ -28,7 +29,7 @@ fn main() {
         |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
     let filter = flag_value("--exp").unwrap_or_default();
     let jobs: usize = match flag_value("--jobs").map(|j| j.parse()) {
-        None => 1,
+        None => csn_bench::pool::available_parallelism(),
         Some(Ok(n)) if n >= 1 => n,
         Some(_) => {
             eprintln!("error: --jobs expects a positive integer");

@@ -1,0 +1,152 @@
+//! Criterion-free performance smoke: correctness gate plus a coarse timing
+//! snapshot, cheap enough for `scripts/check.sh`.
+//!
+//! Two jobs in one binary:
+//!
+//! 1. **Gate (exit code)** — on a seeded BA graph, Brandes betweenness must
+//!    be *bit-identical* across the adjacency-list graph, its frozen CSR
+//!    form, and the source-parallel variant at several worker counts. Any
+//!    mismatch exits non-zero and fails CI.
+//! 2. **Snapshot (JSON)** — wall-clock for all-pairs BFS and Brandes on
+//!    adjacency vs CSR, written to `BENCH_csr.json` (or `--out <path>`).
+//!    Timings are informational only: the CI box may be single-core and
+//!    noisy, so no speedup is asserted — the trajectory lives in the
+//!    committed JSON, not in a pass/fail threshold.
+//!
+//! Usage: `cargo run -p csn-bench --release --bin perf_smoke [-- --out BENCH_csr.json]`
+
+use csn_core::graph::centrality::betweenness_centrality;
+use csn_core::graph::generators;
+use csn_core::graph::parallel::betweenness_par;
+use csn_core::graph::traversal::all_pairs_bfs;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Timing {
+    kernel: String,
+    representation: String,
+    wall_secs: f64,
+}
+
+#[derive(Serialize)]
+struct BenchCsr {
+    schema: String,
+    git_rev: String,
+    graph: String,
+    nodes: usize,
+    edges: usize,
+    detected_cores: usize,
+    parallel_jobs_checked: Vec<usize>,
+    parallel_matches_serial: bool,
+    timings: Vec<Timing>,
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_csr.json".to_string());
+
+    let (n, m, seed) = (1500usize, 3usize, 42u64);
+    let g = generators::barabasi_albert(n, m, seed).expect("BA params");
+    let csr = g.freeze();
+    let cores = csn_bench::pool::available_parallelism();
+
+    // Gate: serial adjacency == serial CSR == parallel CSR, bit-for-bit.
+    let (bc_adj, t_brandes_adj) = timed(|| betweenness_centrality(&g));
+    let (bc_csr, t_brandes_csr) = timed(|| betweenness_centrality(&csr));
+    let jobs_checked = vec![1, 2, cores.max(2)];
+    let mut all_match = bc_adj == bc_csr;
+    if !all_match {
+        eprintln!("FAIL: betweenness differs between adjacency and CSR");
+    }
+    let mut t_brandes_par = 0.0;
+    for &jobs in &jobs_checked {
+        let (bc_par, t) = timed(|| betweenness_par(&csr, jobs));
+        if jobs == *jobs_checked.last().expect("nonempty") {
+            t_brandes_par = t;
+        }
+        if bc_par != bc_adj {
+            eprintln!("FAIL: betweenness_par(jobs={jobs}) differs from serial");
+            all_match = false;
+        }
+    }
+
+    let (bfs_adj, t_bfs_adj) = timed(|| all_pairs_bfs(&g));
+    let (bfs_csr, t_bfs_csr) = timed(|| all_pairs_bfs(&csr));
+    if bfs_adj != bfs_csr {
+        eprintln!("FAIL: all-pairs BFS differs between adjacency and CSR");
+        all_match = false;
+    }
+
+    let doc = BenchCsr {
+        schema: "structura-bench-csr-v1".to_string(),
+        git_rev: git_rev(),
+        graph: format!("barabasi_albert({n}, {m}, seed={seed})"),
+        nodes: n,
+        edges: g.edge_count(),
+        detected_cores: cores,
+        parallel_jobs_checked: jobs_checked.clone(),
+        parallel_matches_serial: all_match,
+        timings: vec![
+            Timing {
+                kernel: "all_pairs_bfs".into(),
+                representation: "adjacency".into(),
+                wall_secs: t_bfs_adj,
+            },
+            Timing {
+                kernel: "all_pairs_bfs".into(),
+                representation: "csr".into(),
+                wall_secs: t_bfs_csr,
+            },
+            Timing {
+                kernel: "betweenness".into(),
+                representation: "adjacency".into(),
+                wall_secs: t_brandes_adj,
+            },
+            Timing {
+                kernel: "betweenness".into(),
+                representation: "csr".into(),
+                wall_secs: t_brandes_csr,
+            },
+            Timing {
+                kernel: format!("betweenness_par(jobs={})", jobs_checked.last().expect("nonempty")),
+                representation: "csr".into(),
+                wall_secs: t_brandes_par,
+            },
+        ],
+    };
+    if let Err(e) = std::fs::write(&out_path, serde::json::to_string_pretty(&doc)) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+
+    eprintln!(
+        "perf smoke on BA({n},{m}): bfs adj {t_bfs_adj:.3}s / csr {t_bfs_csr:.3}s; \
+         brandes adj {t_brandes_adj:.3}s / csr {t_brandes_csr:.3}s / par {t_brandes_par:.3}s \
+         ({cores} core(s)); wrote {out_path}"
+    );
+    if !all_match {
+        std::process::exit(1);
+    }
+    println!("perf smoke OK: parallel and CSR kernels bit-identical to serial");
+}

@@ -244,6 +244,7 @@ pub fn run_reports(opts: &RunOptions) -> RunOutcome {
         git_rev: git_rev(),
         jobs: opts.jobs,
         workers_used: stats.workers,
+        detected_cores: pool::available_parallelism(),
         rng: "vendored xoshiro256** (fixed per-experiment seeds)".to_string(),
         experiments: reports.len(),
         total_wall_secs,
@@ -509,6 +510,9 @@ pub fn e7_level_labelings(out: &mut Report) {
         ("WS(2000)", generators::watts_strogatz(2000, 3, 0.1, 5).unwrap()),
         ("grid 45x45", generators::grid(45, 45)),
     ] {
+        // Freeze once per graph: the labelings are read-only passes, and the
+        // CSR form preserves neighbor order, so the output text is unchanged.
+        let g = g.freeze();
         let plain = degree_levels(&g);
         let nested = nsf_levels(&g);
         out.line(format!(
@@ -874,10 +878,13 @@ pub fn e16_centrality(out: &mut Report) {
     use csn_core::graph::centrality::*;
 
     let g = generators::barabasi_albert(1000, 3, 3).unwrap();
-    let deg = degree_centrality(&g);
-    let bc = betweenness_centrality(&g);
-    let ec = eigenvector_centrality(&g, 2000, 1e-10).expect("converges");
-    let (pr, iters) = pagerank(&g.to_digraph(), 0.85, 200, 1e-10);
+    // All four measures are read-only: freeze once and run on the CSR form
+    // (identical results — freezing preserves neighbor order).
+    let csr = g.freeze();
+    let deg = degree_centrality(&csr);
+    let bc = betweenness_centrality(&csr);
+    let ec = eigenvector_centrality(&csr, 2000, 1e-10).expect("converges");
+    let (pr, iters) = pagerank(&g.to_digraph().freeze(), 0.85, 200, 1e-10);
     // Rank correlation proxy: top-10 overlap between measures.
     let top = |v: &[f64]| {
         let mut idx: Vec<usize> = (0..v.len()).collect();

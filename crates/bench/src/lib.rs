@@ -13,8 +13,10 @@
 //!   write into, the finished [`report::ExperimentReport`] (renders the
 //!   classic text *and* serializes to JSON), and the run-level
 //!   [`report::RunSummary`].
-//! * [`pool`] — a hand-rolled work-stealing thread pool on
-//!   `std::thread::scope` (the workspace takes no scheduler dependency).
+//! * [`pool`] — re-export of [`csn_parallel`], the workspace's hand-rolled
+//!   work-stealing thread pool on `std::thread::scope` (shared with the
+//!   parallel algorithm kernels in `csn-graph`; the workspace takes no
+//!   scheduler dependency).
 //! * [`experiments`] — the 25 experiment bodies plus the
 //!   [`experiments::EXPERIMENTS`] registry and runner.
 //!
@@ -24,5 +26,6 @@
 //! is byte-identical between serial and parallel runs.
 
 pub mod experiments;
-pub mod pool;
 pub mod report;
+
+pub use csn_parallel as pool;

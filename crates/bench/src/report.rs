@@ -174,6 +174,9 @@ pub struct RunSummary {
     pub jobs: usize,
     /// Worker threads actually used (capped at the experiment count).
     pub workers_used: usize,
+    /// Hardware threads the runtime detected on the machine that ran the
+    /// experiments (what `--jobs` defaults to when omitted).
+    pub detected_cores: usize,
     /// RNG provenance. Experiments use fixed per-experiment seeds on the
     /// vendored xoshiro256** generator, so output is deterministic per
     /// binary, independent of thread schedule.

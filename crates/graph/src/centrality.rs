@@ -6,12 +6,19 @@
 //! contrasting them with the *global* structures the rest of the workspace
 //! uncovers; PageRank and HITS also reappear in §IV-B as examples of
 //! "dynamic labeling" processes.
+//!
+//! All kernels are generic over [`GraphView`] / [`DigraphView`]. The
+//! per-source pieces ([`brandes_delta`], [`closeness_one`]) are public so
+//! the source-parallel variants in [`crate::parallel`] run the *same* code
+//! per source and merely reorder the scheduling — which is what makes their
+//! results bit-identical to the serial functions here.
 
-use crate::graph::{Digraph, Graph, NodeId};
+use crate::graph::NodeId;
+use crate::view::{DigraphView, GraphView};
 use std::collections::VecDeque;
 
 /// Degree centrality: `degree(u) / (n - 1)`.
-pub fn degree_centrality(g: &Graph) -> Vec<f64> {
+pub fn degree_centrality<G: GraphView>(g: &G) -> Vec<f64> {
     let n = g.node_count();
     if n <= 1 {
         return vec![0.0; n];
@@ -20,28 +27,73 @@ pub fn degree_centrality(g: &Graph) -> Vec<f64> {
     g.nodes().map(|u| g.degree(u) as f64 / denom).collect()
 }
 
+/// The closeness score of a single node: one BFS plus the Wasserman–Faust
+/// reachable-fraction scaling. [`closeness_centrality`] and
+/// [`crate::parallel::closeness_par`] both delegate here.
+pub fn closeness_one<G: GraphView>(g: &G, u: NodeId) -> f64 {
+    let n = g.node_count();
+    let dist = crate::traversal::bfs_distances(g, u);
+    let mut sum = 0usize;
+    let mut reachable = 0usize;
+    for &d in &dist {
+        if d != usize::MAX && d > 0 {
+            sum += d;
+            reachable += 1;
+        }
+    }
+    if sum > 0 {
+        let r = reachable as f64;
+        (r / (n - 1) as f64) * (r / sum as f64)
+    } else {
+        0.0
+    }
+}
+
 /// Closeness centrality: `(reachable - 1) / sum_of_distances`, scaled by the
 /// reachable fraction (the Wasserman–Faust improvement, robust to
 /// disconnected graphs). Isolated nodes score 0.
-pub fn closeness_centrality(g: &Graph) -> Vec<f64> {
+pub fn closeness_centrality<G: GraphView>(g: &G) -> Vec<f64> {
+    g.nodes().map(|u| closeness_one(g, u)).collect()
+}
+
+/// One source's Brandes dependency vector: `delta[w]` is the contribution of
+/// source `s` to the (un-halved) betweenness of `w`, with `delta[s]` forced
+/// to `0.0` so callers can fold the whole vector unconditionally.
+///
+/// [`betweenness_centrality`] and [`crate::parallel::betweenness_par`] both
+/// accumulate exactly these vectors in source order, so their outputs agree
+/// bit-for-bit.
+pub fn brandes_delta<G: GraphView>(g: &G, s: NodeId) -> Vec<f64> {
     let n = g.node_count();
-    let mut out = vec![0.0; n];
-    for u in g.nodes() {
-        let dist = crate::traversal::bfs_distances(g, u);
-        let mut sum = 0usize;
-        let mut reachable = 0usize;
-        for &d in &dist {
-            if d != usize::MAX && d > 0 {
-                sum += d;
-                reachable += 1;
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut pred: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![usize::MAX; n];
+    sigma[s] = 1.0;
+    dist[s] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        stack.push(u);
+        for v in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+            if dist[v] == dist[u] + 1 {
+                sigma[v] += sigma[u];
+                pred[v].push(u);
             }
         }
-        if sum > 0 {
-            let r = reachable as f64;
-            out[u] = (r / (n - 1) as f64) * (r / sum as f64);
+    }
+    let mut delta = vec![0.0f64; n];
+    while let Some(w) = stack.pop() {
+        for &v in &pred[w] {
+            delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
         }
     }
-    out
+    delta[s] = 0.0;
+    delta
 }
 
 /// Betweenness centrality via Brandes' algorithm (unweighted).
@@ -59,40 +111,14 @@ pub fn closeness_centrality(g: &Graph) -> Vec<f64> {
 /// let b = betweenness_centrality(&g);
 /// assert_eq!(b, vec![0.0, 1.0, 0.0]);
 /// ```
-pub fn betweenness_centrality(g: &Graph) -> Vec<f64> {
+pub fn betweenness_centrality<G: GraphView>(g: &G) -> Vec<f64> {
     let n = g.node_count();
     let mut bc = vec![0.0f64; n];
     // Brandes: one BFS per source with dependency accumulation.
     for s in g.nodes() {
-        let mut stack: Vec<NodeId> = Vec::new();
-        let mut pred: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut sigma = vec![0.0f64; n];
-        let mut dist = vec![usize::MAX; n];
-        sigma[s] = 1.0;
-        dist[s] = 0;
-        let mut queue = VecDeque::new();
-        queue.push_back(s);
-        while let Some(u) = queue.pop_front() {
-            stack.push(u);
-            for &v in g.neighbors(u) {
-                if dist[v] == usize::MAX {
-                    dist[v] = dist[u] + 1;
-                    queue.push_back(v);
-                }
-                if dist[v] == dist[u] + 1 {
-                    sigma[v] += sigma[u];
-                    pred[v].push(u);
-                }
-            }
-        }
-        let mut delta = vec![0.0f64; n];
-        while let Some(w) = stack.pop() {
-            for &v in &pred[w] {
-                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
-            }
-            if w != s {
-                bc[w] += delta[w];
-            }
+        let delta = brandes_delta(g, s);
+        for (b, d) in bc.iter_mut().zip(&delta) {
+            *b += d;
         }
     }
     // Each undirected pair was counted from both endpoints.
@@ -104,7 +130,7 @@ pub fn betweenness_centrality(g: &Graph) -> Vec<f64> {
 
 /// Naive betweenness via all-pairs BFS path counting; `O(n² · m)`.
 /// Reference implementation used to validate [`betweenness_centrality`].
-pub fn betweenness_naive(g: &Graph) -> Vec<f64> {
+pub fn betweenness_naive<G: GraphView>(g: &G) -> Vec<f64> {
     let n = g.node_count();
     let mut bc = vec![0.0f64; n];
     for s in 0..n {
@@ -128,7 +154,7 @@ pub fn betweenness_naive(g: &Graph) -> Vec<f64> {
     bc
 }
 
-fn count_paths(g: &Graph, s: NodeId, t: NodeId, dist_s: &[usize]) -> (f64, Vec<f64>) {
+fn count_paths<G: GraphView>(g: &G, s: NodeId, t: NodeId, dist_s: &[usize]) -> (f64, Vec<f64>) {
     let n = g.node_count();
     let dist_t = crate::traversal::bfs_distances(g, t);
     let d = dist_s[t];
@@ -138,7 +164,7 @@ fn count_paths(g: &Graph, s: NodeId, t: NodeId, dist_s: &[usize]) -> (f64, Vec<f
     let mut from_s = vec![0.0f64; n];
     from_s[s] = 1.0;
     for &v in &order {
-        for &w in g.neighbors(v) {
+        for w in g.neighbors(v) {
             if dist_s[w] == dist_s[v] + 1 {
                 from_s[w] += from_s[v];
             }
@@ -149,7 +175,7 @@ fn count_paths(g: &Graph, s: NodeId, t: NodeId, dist_s: &[usize]) -> (f64, Vec<f
     let mut to_t = vec![0.0f64; n];
     to_t[t] = 1.0;
     for &v in &order_t {
-        for &w in g.neighbors(v) {
+        for w in g.neighbors(v) {
             if dist_t[w] == dist_t[v] + 1 {
                 to_t[w] += to_t[v];
             }
@@ -168,7 +194,7 @@ fn count_paths(g: &Graph, s: NodeId, t: NodeId, dist_s: &[usize]) -> (f64, Vec<f
 /// Eigenvector centrality by power iteration on the adjacency matrix;
 /// L2-normalized. Returns `None` if the iteration fails to converge in
 /// `max_iter` steps (e.g. bipartite oscillation without damping).
-pub fn eigenvector_centrality(g: &Graph, max_iter: usize, tol: f64) -> Option<Vec<f64>> {
+pub fn eigenvector_centrality<G: GraphView>(g: &G, max_iter: usize, tol: f64) -> Option<Vec<f64>> {
     let n = g.node_count();
     if n == 0 {
         return Some(Vec::new());
@@ -177,7 +203,7 @@ pub fn eigenvector_centrality(g: &Graph, max_iter: usize, tol: f64) -> Option<Ve
     for _ in 0..max_iter {
         let mut next = vec![0.0f64; n];
         for u in g.nodes() {
-            for &v in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 next[u] += x[v];
             }
             // Shifted iteration (A + I): same eigenvectors, breaks the
@@ -206,7 +232,7 @@ pub fn eigenvector_centrality(g: &Graph, max_iter: usize, tol: f64) -> Option<Ve
 /// The paper lists PageRank as an eigenvector-centrality variant (§III) and
 /// as a "dynamic labeling" process (§IV-B). Returns the score vector and the
 /// number of iterations performed.
-pub fn pagerank(g: &Digraph, d: f64, max_iter: usize, tol: f64) -> (Vec<f64>, usize) {
+pub fn pagerank<D: DigraphView>(g: &D, d: f64, max_iter: usize, tol: f64) -> (Vec<f64>, usize) {
     let n = g.node_count();
     if n == 0 {
         return (Vec::new(), 0);
@@ -222,7 +248,7 @@ pub fn pagerank(g: &Digraph, d: f64, max_iter: usize, tol: f64) -> (Vec<f64>, us
                 dangling += rank[u];
             } else {
                 let share = d * rank[u] / deg as f64;
-                for &v in g.out_neighbors(u) {
+                for v in g.out_neighbors(u) {
                     next[v] += share;
                 }
             }
@@ -242,21 +268,21 @@ pub fn pagerank(g: &Digraph, d: f64, max_iter: usize, tol: f64) -> (Vec<f64>, us
 
 /// HITS hubs-and-authorities scores `(hubs, authorities)`, L2-normalized
 /// (Kleinberg; the paper's other §IV-B dynamic-labeling example).
-pub fn hits(g: &Digraph, max_iter: usize, tol: f64) -> (Vec<f64>, Vec<f64>) {
+pub fn hits<D: DigraphView>(g: &D, max_iter: usize, tol: f64) -> (Vec<f64>, Vec<f64>) {
     let n = g.node_count();
     let mut hub = vec![1.0f64; n];
     let mut auth = vec![1.0f64; n];
     for _ in 0..max_iter {
         let mut new_auth = vec![0.0f64; n];
         for v in g.nodes() {
-            for &u in g.in_neighbors(v) {
+            for u in g.in_neighbors(v) {
                 new_auth[v] += hub[u];
             }
         }
         normalize(&mut new_auth);
         let mut new_hub = vec![0.0f64; n];
         for u in g.nodes() {
-            for &v in g.out_neighbors(u) {
+            for v in g.out_neighbors(u) {
                 new_hub[u] += new_auth[v];
             }
         }
@@ -285,6 +311,7 @@ fn normalize(v: &mut [f64]) {
 mod tests {
     use super::*;
     use crate::generators;
+    use crate::graph::{Digraph, Graph};
 
     #[test]
     fn degree_centrality_of_star_center_is_one() {
@@ -340,6 +367,17 @@ mod tests {
     }
 
     #[test]
+    fn centrality_bitwise_identical_on_frozen_graph() {
+        // CSR preserves neighbor order, so even the f64 accumulation order
+        // is the same — exact equality, not tolerance.
+        let g = generators::erdos_renyi(40, 0.15, 7).unwrap();
+        let csr = g.freeze();
+        assert_eq!(betweenness_centrality(&g), betweenness_centrality(&csr));
+        assert_eq!(closeness_centrality(&g), closeness_centrality(&csr));
+        assert_eq!(degree_centrality(&g), degree_centrality(&csr));
+    }
+
+    #[test]
     fn eigenvector_centrality_ranks_hub_highest() {
         let g = generators::star(5);
         let ec = eigenvector_centrality(&g, 1000, 1e-10).expect("converges");
@@ -371,6 +409,13 @@ mod tests {
         for &p in &pr {
             assert!((p - 0.25).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn pagerank_identical_on_frozen_digraph() {
+        let g = generators::erdos_renyi(30, 0.2, 3).unwrap();
+        let d = g.to_digraph();
+        assert_eq!(pagerank(&d, 0.85, 200, 1e-12), pagerank(&d.freeze(), 0.85, 200, 1e-12));
     }
 
     #[test]

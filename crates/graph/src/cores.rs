@@ -4,9 +4,11 @@
 //! the classical global analogue is the k-core (iteratively delete nodes of
 //! degree `< k`). We provide the standard `O(n + m)` bucket algorithm, used
 //! both as a baseline hierarchy in the layering experiments and as a utility
-//! for trimming.
+//! for trimming. Generic over [`GraphView`], so it runs on frozen CSR graphs
+//! as well as adjacency lists.
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::NodeId;
+use crate::view::GraphView;
 
 /// Core number of each node: the largest `k` such that the node belongs to a
 /// subgraph with minimum degree `k` (Batagelj–Zaveršnik bucket algorithm).
@@ -20,7 +22,7 @@ use crate::graph::{Graph, NodeId};
 /// let g = generators::complete(5);
 /// assert_eq!(core_numbers(&g), vec![4; 5]);
 /// ```
-pub fn core_numbers(g: &Graph) -> Vec<usize> {
+pub fn core_numbers<G: GraphView>(g: &G) -> Vec<usize> {
     let n = g.node_count();
     if n == 0 {
         return Vec::new();
@@ -49,14 +51,13 @@ pub fn core_numbers(g: &Graph) -> Vec<usize> {
     for i in 0..n {
         let u = order[i];
         core[u] = degree[u];
-        for vi in 0..g.degree(u) {
-            let v: NodeId = g.neighbors(u)[vi];
+        for v in g.neighbors(u) {
             if degree[v] > degree[u] {
                 // Move v one bucket down: swap it to the front of its bucket.
                 let dv = degree[v];
                 let pv = pos[v];
                 let pw = bin[dv];
-                let w = order[pw];
+                let w: NodeId = order[pw];
                 if v != w {
                     order[pv] = w;
                     order[pw] = v;
@@ -72,12 +73,12 @@ pub fn core_numbers(g: &Graph) -> Vec<usize> {
 }
 
 /// The `k`-core subgraph as a keep-mask over nodes.
-pub fn k_core_mask(g: &Graph, k: usize) -> Vec<bool> {
+pub fn k_core_mask<G: GraphView>(g: &G, k: usize) -> Vec<bool> {
     core_numbers(g).into_iter().map(|c| c >= k).collect()
 }
 
 /// Degeneracy of the graph: the maximum core number.
-pub fn degeneracy(g: &Graph) -> usize {
+pub fn degeneracy<G: GraphView>(g: &G) -> usize {
     core_numbers(g).into_iter().max().unwrap_or(0)
 }
 
@@ -85,6 +86,7 @@ pub fn degeneracy(g: &Graph) -> usize {
 mod tests {
     use super::*;
     use crate::generators;
+    use crate::graph::Graph;
 
     #[test]
     fn path_is_1_core() {
@@ -133,5 +135,11 @@ mod tests {
                 assert!(sub.degree(u) >= kk, "k={kk}: node degree {}", sub.degree(u));
             }
         }
+    }
+
+    #[test]
+    fn core_numbers_identical_on_frozen_graph() {
+        let g = generators::erdos_renyi(120, 0.06, 11).unwrap();
+        assert_eq!(core_numbers(&g), core_numbers(&g.freeze()));
     }
 }

@@ -10,6 +10,15 @@
 //! scratch:
 //!
 //! * [`Graph`] — simple undirected graphs; [`Digraph`] — directed graphs.
+//! * [`view`] — the [`GraphView`] / [`DigraphView`] / [`WeightedGraphView`]
+//!   traits every read-only kernel is generic over.
+//! * [`csr`] — frozen CSR representations ([`CsrGraph`], [`CsrDigraph`],
+//!   [`WeightedCsrGraph`]) built with [`Graph::freeze`] and friends;
+//!   cache-friendly for traversal-heavy analysis, convertible back with
+//!   [`CsrGraph::thaw`].
+//! * [`parallel`] — source-parallel kernels ([`parallel::betweenness_par`],
+//!   [`parallel::closeness_par`], [`parallel::all_pairs_bfs_par`]) whose
+//!   results are bit-identical to the serial functions.
 //! * [`generators`] — Erdős–Rényi, Barabási–Albert, Watts–Strogatz,
 //!   Kleinberg grids, random geometric (unit-disk), hypercubes, generalized
 //!   hypercubes, and a Gnutella-like peer-to-peer topology.
@@ -23,8 +32,11 @@
 //!
 //! # Examples
 //!
+//! Mutable graphs freeze into an immutable CSR form that every kernel
+//! accepts interchangeably:
+//!
 //! ```
-//! use csn_graph::Graph;
+//! use csn_graph::{Graph, GraphView};
 //!
 //! let mut g = Graph::new(4);
 //! g.add_edge(0, 1);
@@ -32,19 +44,32 @@
 //! g.add_edge(2, 3);
 //! assert_eq!(g.edge_count(), 3);
 //! assert!(csn_graph::traversal::is_connected(&g));
+//!
+//! let csr = g.freeze();
+//! assert!(csn_graph::traversal::is_connected(&csr));
+//! assert_eq!(
+//!     csn_graph::centrality::betweenness_centrality(&g),
+//!     csn_graph::centrality::betweenness_centrality(&csr),
+//! );
+//! assert_eq!(csr.thaw(), g);
 //! ```
 
 pub mod centrality;
 pub mod cores;
+pub mod csr;
 pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod mst;
+pub mod parallel;
 pub mod powerlaw;
 pub mod shortest_path;
 pub mod spanner;
 pub mod traversal;
+pub mod view;
 
+pub use csr::{CsrDigraph, CsrGraph, WeightedCsrGraph};
 pub use error::GraphError;
 pub use graph::{Digraph, Graph, NodeId, WeightedDigraph, WeightedGraph};
+pub use view::{DigraphView, GraphView, WeightedGraphView};

@@ -1,0 +1,127 @@
+//! Source-parallel variants of the embarrassingly-parallel kernels.
+//!
+//! Brandes betweenness, closeness, and all-pairs BFS all decompose into one
+//! independent single-source computation per node; these variants fan the
+//! sources out over the [`csn_parallel`] work-stealing pool. Every function
+//! takes an explicit `jobs` worker count (`1` degenerates to an inline
+//! serial loop — no threads spawned).
+//!
+//! # Determinism
+//!
+//! The results are **bit-identical** to the serial kernels for any `jobs`,
+//! not merely numerically close. Each task returns its source's full
+//! per-node vector (the same [`crate::centrality::brandes_delta`] /
+//! [`crate::centrality::closeness_one`] the serial code uses), the pool
+//! hands vectors back in task order regardless of which worker ran what,
+//! and the single merge loop folds them in strict source order — exactly
+//! the f64 additions the serial loop performs, in exactly the same order.
+//! The property tests in `tests/csr_props.rs` and the perf smoke in
+//! `csn-bench` assert this equality.
+//!
+//! # Examples
+//!
+//! ```
+//! use csn_graph::{generators, centrality, parallel};
+//!
+//! let g = generators::barabasi_albert(120, 3, 42).unwrap();
+//! let serial = centrality::betweenness_centrality(&g);
+//! let par = parallel::betweenness_par(&g, 4);
+//! assert_eq!(serial, par);
+//! ```
+
+use crate::centrality::{brandes_delta, closeness_one};
+use crate::traversal::bfs_distances;
+use crate::view::GraphView;
+
+/// Sources processed per scheduling wave: enough tasks to keep `jobs`
+/// workers busy, while bounding live memory to `O(wave · n)` delta vectors.
+fn wave_size(jobs: usize) -> usize {
+    jobs.max(1) * 4
+}
+
+/// Betweenness centrality with sources fanned out over `jobs` workers.
+/// Bit-identical to [`crate::centrality::betweenness_centrality`].
+pub fn betweenness_par<G: GraphView + Sync>(g: &G, jobs: usize) -> Vec<f64> {
+    let n = g.node_count();
+    let mut bc = vec![0.0f64; n];
+    let wave = wave_size(jobs);
+    let mut start = 0;
+    while start < n {
+        let end = (start + wave).min(n);
+        let (deltas, _) =
+            csn_parallel::run_indexed(end - start, jobs, |i, _| brandes_delta(g, start + i));
+        // Fold in source order: the same additions as the serial loop.
+        for delta in &deltas {
+            for (b, d) in bc.iter_mut().zip(delta) {
+                *b += d;
+            }
+        }
+        start = end;
+    }
+    for b in &mut bc {
+        *b /= 2.0;
+    }
+    bc
+}
+
+/// Closeness centrality with sources fanned out over `jobs` workers.
+/// Bit-identical to [`crate::centrality::closeness_centrality`].
+pub fn closeness_par<G: GraphView + Sync>(g: &G, jobs: usize) -> Vec<f64> {
+    let (scores, _) = csn_parallel::run_indexed(g.node_count(), jobs, |u, _| closeness_one(g, u));
+    scores
+}
+
+/// All-pairs BFS distance vectors with sources fanned out over `jobs`
+/// workers. Identical to [`crate::traversal::all_pairs_bfs`].
+pub fn all_pairs_bfs_par<G: GraphView + Sync>(g: &G, jobs: usize) -> Vec<Vec<usize>> {
+    let (rows, _) = csn_parallel::run_indexed(g.node_count(), jobs, |s, _| bfs_distances(g, s));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centrality::{betweenness_centrality, closeness_centrality};
+    use crate::generators;
+    use crate::traversal::all_pairs_bfs;
+
+    #[test]
+    fn betweenness_par_bitwise_matches_serial() {
+        let g = generators::erdos_renyi(80, 0.08, 21).unwrap();
+        let serial = betweenness_centrality(&g);
+        for jobs in [1, 2, 4, 7] {
+            assert_eq!(serial, betweenness_par(&g, jobs), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn closeness_par_bitwise_matches_serial() {
+        let g = generators::barabasi_albert(90, 2, 5).unwrap();
+        let serial = closeness_centrality(&g);
+        for jobs in [1, 3, 4] {
+            assert_eq!(serial, closeness_par(&g, jobs), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn all_pairs_bfs_par_matches_serial() {
+        let g = generators::watts_strogatz(60, 4, 0.1, 9).unwrap();
+        assert_eq!(all_pairs_bfs(&g), all_pairs_bfs_par(&g, 4));
+    }
+
+    #[test]
+    fn parallel_kernels_accept_frozen_graphs() {
+        let g = generators::erdos_renyi(50, 0.1, 33).unwrap();
+        let csr = g.freeze();
+        assert_eq!(betweenness_par(&csr, 4), betweenness_centrality(&g));
+        assert_eq!(closeness_par(&csr, 4), closeness_centrality(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = crate::Graph::new(0);
+        assert!(betweenness_par(&g, 4).is_empty());
+        assert!(closeness_par(&g, 4).is_empty());
+        assert!(all_pairs_bfs_par(&g, 4).is_empty());
+    }
+}

@@ -5,9 +5,17 @@
 //! distributed, round-based Bellman–Ford lives in `csn-labeling` — this module
 //! provides the centralized reference implementations used for
 //! cross-validation.
+//!
+//! Dijkstra is generic over [`WeightedGraphView`] — the weighted
+//! out-adjacency abstraction — so one implementation serves
+//! [`crate::WeightedGraph`], [`WeightedDigraph`], and the frozen
+//! [`crate::WeightedCsrGraph`]. Bellman–Ford stays on the concrete digraph
+//! (it iterates raw arcs and handles negative weights, which the frozen
+//! representations don't need).
 
 use crate::error::GraphError;
-use crate::graph::{NodeId, WeightedDigraph, WeightedGraph};
+use crate::graph::{NodeId, WeightedDigraph};
+use crate::view::WeightedGraphView;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -62,11 +70,12 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-/// Dijkstra on an undirected weighted graph.
+/// Dijkstra over any weighted out-adjacency view (undirected graphs expose
+/// each edge at both endpoints, so direction handling is uniform).
 ///
 /// # Panics
 ///
-/// Panics if any edge weight is negative (Dijkstra's precondition).
+/// Panics if any traversed weight is negative (Dijkstra's precondition).
 ///
 /// # Examples
 ///
@@ -81,7 +90,7 @@ impl PartialOrd for HeapEntry {
 /// assert_eq!(sp.dist[2], 3.0);
 /// assert_eq!(sp.path_to(2), Some(vec![0, 1, 2]));
 /// ```
-pub fn dijkstra(g: &WeightedGraph, source: NodeId) -> ShortestPaths {
+pub fn dijkstra<G: WeightedGraphView>(g: &G, source: NodeId) -> ShortestPaths {
     let n = g.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut parent = vec![usize::MAX; n];
@@ -92,7 +101,7 @@ pub fn dijkstra(g: &WeightedGraph, source: NodeId) -> ShortestPaths {
         if d > dist[u] {
             continue;
         }
-        for &(v, w) in g.neighbors(u) {
+        for (v, w) in g.weighted_neighbors(u) {
             assert!(w >= 0.0, "dijkstra requires non-negative weights");
             let nd = d + w;
             if nd < dist[v] {
@@ -105,33 +114,14 @@ pub fn dijkstra(g: &WeightedGraph, source: NodeId) -> ShortestPaths {
     ShortestPaths { dist, parent }
 }
 
-/// Dijkstra on a weighted digraph.
+/// Dijkstra on a weighted digraph. Retained alias for the generic
+/// [`dijkstra`], which now accepts digraphs directly.
 ///
 /// # Panics
 ///
 /// Panics if any arc weight is negative.
 pub fn dijkstra_digraph(g: &WeightedDigraph, source: NodeId) -> ShortestPaths {
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent = vec![usize::MAX; n];
-    let mut heap = BinaryHeap::new();
-    dist[source] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if d > dist[u] {
-            continue;
-        }
-        for &(v, w) in g.out_neighbors(u) {
-            assert!(w >= 0.0, "dijkstra requires non-negative weights");
-            let nd = d + w;
-            if nd < dist[v] {
-                dist[v] = nd;
-                parent[v] = u;
-                heap.push(HeapEntry { dist: nd, node: v });
-            }
-        }
-    }
-    ShortestPaths { dist, parent }
+    dijkstra(g, source)
 }
 
 /// Bellman–Ford on a weighted digraph; handles negative arcs.
@@ -167,13 +157,14 @@ pub fn bellman_ford(g: &WeightedDigraph, source: NodeId) -> Result<ShortestPaths
 /// All-pairs shortest path distances via repeated Dijkstra.
 ///
 /// Suitable for the small/medium graphs used in the experiments; `O(n·m log n)`.
-pub fn all_pairs_dijkstra(g: &WeightedGraph) -> Vec<Vec<f64>> {
+pub fn all_pairs_dijkstra<G: WeightedGraphView>(g: &G) -> Vec<Vec<f64>> {
     g.nodes().map(|s| dijkstra(g, s).dist).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::WeightedGraph;
 
     fn diamond() -> WeightedGraph {
         // 0 -1- 1 -1- 3, 0 -5- 2 -1- 3
@@ -209,6 +200,13 @@ mod tests {
         g.add_arc(1, 2, 1.0);
         let sp = dijkstra_digraph(&g, 2);
         assert!(sp.dist[0].is_infinite(), "arcs point away from 2");
+    }
+
+    #[test]
+    fn dijkstra_identical_on_frozen_graph() {
+        let g = diamond();
+        assert_eq!(dijkstra(&g, 0), dijkstra(&g.freeze(), 0));
+        assert_eq!(all_pairs_dijkstra(&g), all_pairs_dijkstra(&g.freeze()));
     }
 
     #[test]

@@ -1,6 +1,11 @@
 //! Graph traversal: BFS/DFS, connectivity, and strongly connected components.
+//!
+//! Every function here is generic over [`GraphView`] / [`DigraphView`], so
+//! it runs unchanged on the mutable adjacency-list types and on their frozen
+//! CSR counterparts ([`crate::CsrGraph`], [`crate::CsrDigraph`]).
 
-use crate::graph::{Digraph, Graph, NodeId};
+use crate::graph::NodeId;
+use crate::view::{DigraphView, GraphView};
 
 /// BFS distances (in hops) from `source`; unreachable nodes get `usize::MAX`.
 ///
@@ -14,13 +19,13 @@ use crate::graph::{Digraph, Graph, NodeId};
 /// assert_eq!(d[2], 2);
 /// assert_eq!(d[3], usize::MAX);
 /// ```
-pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+pub fn bfs_distances<G: GraphView>(g: &G, source: NodeId) -> Vec<usize> {
     let mut dist = vec![usize::MAX; g.node_count()];
     let mut queue = std::collections::VecDeque::new();
     dist[source] = 0;
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             if dist[v] == usize::MAX {
                 dist[v] = dist[u] + 1;
                 queue.push_back(v);
@@ -30,14 +35,21 @@ pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
     dist
 }
 
+/// BFS distance vectors from every source: `out[s][v]` is the hop distance
+/// from `s` to `v` (`usize::MAX` when unreachable). The serial counterpart
+/// of [`crate::parallel::all_pairs_bfs_par`].
+pub fn all_pairs_bfs<G: GraphView>(g: &G) -> Vec<Vec<usize>> {
+    g.nodes().map(|s| bfs_distances(g, s)).collect()
+}
+
 /// BFS distances from `source` following arc directions in a digraph.
-pub fn bfs_distances_digraph(d: &Digraph, source: NodeId) -> Vec<usize> {
+pub fn bfs_distances_digraph<D: DigraphView>(d: &D, source: NodeId) -> Vec<usize> {
     let mut dist = vec![usize::MAX; d.node_count()];
     let mut queue = std::collections::VecDeque::new();
     dist[source] = 0;
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
-        for &v in d.out_neighbors(u) {
+        for v in d.out_neighbors(u) {
             if dist[v] == usize::MAX {
                 dist[v] = dist[u] + 1;
                 queue.push_back(v);
@@ -48,7 +60,7 @@ pub fn bfs_distances_digraph(d: &Digraph, source: NodeId) -> Vec<usize> {
 }
 
 /// Shortest hop path from `source` to `target` via BFS, if one exists.
-pub fn bfs_path(g: &Graph, source: NodeId, target: NodeId) -> Option<Vec<NodeId>> {
+pub fn bfs_path<G: GraphView>(g: &G, source: NodeId, target: NodeId) -> Option<Vec<NodeId>> {
     let mut parent = vec![usize::MAX; g.node_count()];
     let mut seen = vec![false; g.node_count()];
     let mut queue = std::collections::VecDeque::new();
@@ -65,7 +77,7 @@ pub fn bfs_path(g: &Graph, source: NodeId, target: NodeId) -> Option<Vec<NodeId>
             path.reverse();
             return Some(path);
         }
-        for &v in g.neighbors(u) {
+        for v in g.neighbors(u) {
             if !seen[v] {
                 seen[v] = true;
                 parent[v] = u;
@@ -77,7 +89,7 @@ pub fn bfs_path(g: &Graph, source: NodeId, target: NodeId) -> Option<Vec<NodeId>
 }
 
 /// DFS preorder starting at `source` (iterative; neighbor order as stored).
-pub fn dfs_preorder(g: &Graph, source: NodeId) -> Vec<NodeId> {
+pub fn dfs_preorder<G: GraphView>(g: &G, source: NodeId) -> Vec<NodeId> {
     let mut seen = vec![false; g.node_count()];
     let mut order = Vec::new();
     let mut stack = vec![source];
@@ -88,7 +100,7 @@ pub fn dfs_preorder(g: &Graph, source: NodeId) -> Vec<NodeId> {
         seen[u] = true;
         order.push(u);
         // Push in reverse so the first-stored neighbor is visited first.
-        for &v in g.neighbors(u).iter().rev() {
+        for v in g.neighbors(u).rev() {
             if !seen[v] {
                 stack.push(v);
             }
@@ -99,7 +111,7 @@ pub fn dfs_preorder(g: &Graph, source: NodeId) -> Vec<NodeId> {
 
 /// Connected-component labels: `labels[u]` is the component id of `u`,
 /// components numbered `0..k` in order of discovery. Returns `(labels, k)`.
-pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+pub fn connected_components<G: GraphView>(g: &G) -> (Vec<usize>, usize) {
     let n = g.node_count();
     let mut label = vec![usize::MAX; n];
     let mut k = 0;
@@ -110,7 +122,7 @@ pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
         let mut stack = vec![s];
         label[s] = k;
         while let Some(u) = stack.pop() {
-            for &v in g.neighbors(u) {
+            for v in g.neighbors(u) {
                 if label[v] == usize::MAX {
                     label[v] = k;
                     stack.push(v);
@@ -123,12 +135,12 @@ pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
 }
 
 /// `true` when the graph is connected (the empty graph counts as connected).
-pub fn is_connected(g: &Graph) -> bool {
+pub fn is_connected<G: GraphView>(g: &G) -> bool {
     g.node_count() == 0 || connected_components(g).1 == 1
 }
 
 /// Nodes of the largest connected component, as a keep-mask.
-pub fn largest_component_mask(g: &Graph) -> Vec<bool> {
+pub fn largest_component_mask<G: GraphView>(g: &G) -> Vec<bool> {
     let (labels, k) = connected_components(g);
     if k == 0 {
         return Vec::new();
@@ -145,7 +157,7 @@ pub fn largest_component_mask(g: &Graph) -> Vec<bool> {
 ///
 /// Returns `(labels, k)`; components are numbered in reverse topological
 /// order of the condensation (Tarjan's natural output order).
-pub fn strongly_connected_components(d: &Digraph) -> (Vec<usize>, usize) {
+pub fn strongly_connected_components<D: DigraphView>(d: &D) -> (Vec<usize>, usize) {
     let n = d.node_count();
     const UNSET: usize = usize::MAX;
     let mut index = vec![UNSET; n];
@@ -156,35 +168,35 @@ pub fn strongly_connected_components(d: &Digraph) -> (Vec<usize>, usize) {
     let mut next_index = 0usize;
     let mut ncomp = 0usize;
 
-    // Explicit DFS stack of (node, next-neighbor-position).
-    let mut call: Vec<(NodeId, usize)> = Vec::new();
+    // Explicit DFS stack of (node, remaining-neighbor iterator).
+    let mut call: Vec<(NodeId, D::OutNeighbors<'_>)> = Vec::new();
     for root in 0..n {
         if index[root] != UNSET {
             continue;
         }
-        call.push((root, 0));
+        call.push((root, d.out_neighbors(root)));
         index[root] = next_index;
         lowlink[root] = next_index;
         next_index += 1;
         stack.push(root);
         on_stack[root] = true;
-        while let Some(&mut (u, ref mut pi)) = call.last_mut() {
-            if *pi < d.out_degree(u) {
-                let v = d.out_neighbors(u)[*pi];
-                *pi += 1;
+        while let Some((u, it)) = call.last_mut() {
+            let u = *u;
+            if let Some(v) = it.next() {
                 if index[v] == UNSET {
                     index[v] = next_index;
                     lowlink[v] = next_index;
                     next_index += 1;
                     stack.push(v);
                     on_stack[v] = true;
-                    call.push((v, 0));
+                    call.push((v, d.out_neighbors(v)));
                 } else if on_stack[v] {
                     lowlink[u] = lowlink[u].min(index[v]);
                 }
             } else {
                 call.pop();
-                if let Some(&(p, _)) = call.last() {
+                if let Some((p, _)) = call.last() {
+                    let p = *p;
                     lowlink[p] = lowlink[p].min(lowlink[u]);
                 }
                 if lowlink[u] == index[u] {
@@ -206,7 +218,7 @@ pub fn strongly_connected_components(d: &Digraph) -> (Vec<usize>, usize) {
 
 /// Keep-mask of the largest strongly connected component (as in the paper's
 /// Fig. 3, which plots the largest SCC of a Gnutella snapshot).
-pub fn largest_scc_mask(d: &Digraph) -> Vec<bool> {
+pub fn largest_scc_mask<D: DigraphView>(d: &D) -> Vec<bool> {
     let (labels, k) = strongly_connected_components(d);
     if k == 0 {
         return Vec::new();
@@ -220,7 +232,7 @@ pub fn largest_scc_mask(d: &Digraph) -> Vec<bool> {
 }
 
 /// Graph diameter in hops via repeated BFS; `None` if disconnected or empty.
-pub fn diameter(g: &Graph) -> Option<usize> {
+pub fn diameter<G: GraphView>(g: &G) -> Option<usize> {
     if g.node_count() == 0 || !is_connected(g) {
         return None;
     }
@@ -235,7 +247,7 @@ pub fn diameter(g: &Graph) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::Graph;
+    use crate::graph::{Digraph, Graph};
 
     fn path_graph(n: usize) -> Graph {
         let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
@@ -311,5 +323,23 @@ mod tests {
     fn diameter_of_path_and_disconnected() {
         assert_eq!(diameter(&path_graph(5)), Some(4));
         assert_eq!(diameter(&Graph::new(3)), None);
+    }
+
+    #[test]
+    fn kernels_agree_on_frozen_graph() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5)]).unwrap();
+        let csr = g.freeze();
+        assert_eq!(bfs_distances(&g, 0), bfs_distances(&csr, 0));
+        assert_eq!(dfs_preorder(&g, 0), dfs_preorder(&csr, 0));
+        assert_eq!(connected_components(&g), connected_components(&csr));
+        assert_eq!(bfs_path(&g, 0, 3), bfs_path(&csr, 0, 3));
+        assert_eq!(all_pairs_bfs(&g), all_pairs_bfs(&csr));
+    }
+
+    #[test]
+    fn scc_agrees_on_frozen_digraph() {
+        let d = Digraph::from_arcs(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(strongly_connected_components(&d), strongly_connected_components(&d.freeze()));
+        assert_eq!(bfs_distances_digraph(&d, 0), bfs_distances_digraph(&d.freeze(), 0));
     }
 }

@@ -10,7 +10,7 @@
 //! "external server" joins them ([`Hierarchy::apexes`]).
 
 use crate::nsf::nsf_levels;
-use csn_graph::{Graph, NodeId};
+use csn_graph::{GraphView, NodeId};
 
 /// A routing hierarchy derived from NSF levels: each node points to its
 /// lexicographically-largest `(level, id)` neighbor above itself.
@@ -21,15 +21,14 @@ pub struct Hierarchy {
 }
 
 impl Hierarchy {
-    /// Builds the hierarchy of `g` from its NSF levels.
-    pub fn new(g: &Graph) -> Self {
+    /// Builds the hierarchy of `g` from its NSF levels. Accepts any
+    /// [`GraphView`] (adjacency-list or frozen CSR).
+    pub fn new<G: GraphView>(g: &G) -> Self {
         let levels = nsf_levels(g);
         let key = |u: NodeId| (levels[u], u);
         let parent = g
             .nodes()
-            .map(|u| {
-                g.neighbors(u).iter().copied().filter(|&v| key(v) > key(u)).max_by_key(|&v| key(v))
-            })
+            .map(|u| g.neighbors(u).filter(|&v| key(v) > key(u)).max_by_key(|&v| key(v)))
             .collect();
         Hierarchy { levels, parent }
     }
@@ -90,13 +89,18 @@ pub fn route(h: &Hierarchy, publisher: NodeId, subscriber: NodeId) -> PubSubCost
 
 /// Baseline: flooding the publication reaches subscribers at BFS distance
 /// but costs one transmission per edge.
-pub fn flooding_cost(g: &Graph) -> usize {
+pub fn flooding_cost<G: GraphView>(g: &G) -> usize {
     g.edge_count()
 }
 
 /// Average pub-sub hop count over `pairs` random publisher/subscriber
 /// pairs, plus the fraction needing the server.
-pub fn average_route_cost(h: &Hierarchy, g: &Graph, pairs: usize, seed: u64) -> (f64, f64) {
+pub fn average_route_cost<G: GraphView>(
+    h: &Hierarchy,
+    g: &G,
+    pairs: usize,
+    seed: u64,
+) -> (f64, f64) {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let n = g.node_count();
@@ -117,7 +121,7 @@ pub fn average_route_cost(h: &Hierarchy, g: &Graph, pairs: usize, seed: u64) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csn_graph::generators;
+    use csn_graph::{generators, Graph};
 
     fn star_hierarchy() -> (Graph, Hierarchy) {
         let g = generators::star(5);

@@ -1,14 +1,24 @@
-//! A hand-rolled work-stealing thread pool on `std::thread::scope`.
+//! # csn-parallel — a hand-rolled work-stealing thread pool
 //!
 //! The workspace is dependency-restricted (no rayon/crossbeam), so this
-//! module implements the small scheduler the experiment runner needs:
+//! crate implements the small scheduler shared by the parallel algorithm
+//! kernels in `csn-graph` and the experiment runner in `csn-bench`:
 //! a fixed task set, one deque per worker, and stealing from the busiest
 //! victim when a worker runs dry. Tasks never spawn tasks, which keeps
 //! termination trivial — once every deque is empty the run is over.
 //!
 //! Results come back in task order regardless of which worker ran what, so
-//! callers (and the byte-identical text guarantee of the experiment
-//! runner) never observe scheduling.
+//! callers (the byte-identical text guarantee of the experiment runner and
+//! the bit-identical merge guarantee of the parallel kernels) never
+//! observe scheduling.
+//!
+//! # Examples
+//!
+//! ```
+//! let (squares, stats) = csn_parallel::run_indexed(4, 2, |i, _worker| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9]);
+//! assert_eq!(stats.tasks_run, 4);
+//! ```
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -23,6 +33,13 @@ pub struct PoolStats {
     pub tasks_run: usize,
     /// Tasks a worker stole from another worker's deque.
     pub steals: usize,
+}
+
+/// The number of hardware threads the runtime reports, falling back to 1
+/// when detection fails (the same convention the `experiments` binary and
+/// the perf smoke use for their default `--jobs`).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
 /// Runs `task(i, worker)` for `i in 0..n_tasks` on `jobs` workers and
@@ -155,5 +172,10 @@ mod tests {
         let (out, stats) = run_indexed(0, 4, |i, _| i);
         assert!(out.is_empty());
         assert_eq!(stats.tasks_run, 0);
+    }
+
+    #[test]
+    fn available_parallelism_is_positive() {
+        assert!(available_parallelism() >= 1);
     }
 }

@@ -118,7 +118,13 @@ pub struct SparsificationStats {
 }
 
 /// Computes sparsification statistics of `trimmed` versus `original`.
-pub fn sparsification_stats(original: &Graph, trimmed: &Graph) -> SparsificationStats {
+/// Both arguments accept any [`csn_graph::GraphView`] implementation, so
+/// frozen CSR snapshots compare directly against live graphs.
+pub fn sparsification_stats<A, B>(original: &A, trimmed: &B) -> SparsificationStats
+where
+    A: csn_graph::GraphView,
+    B: csn_graph::GraphView,
+{
     use csn_graph::traversal::connected_components;
     let (co, ko) = connected_components(original);
     let (ct, kt) = connected_components(trimmed);

@@ -16,4 +16,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
-echo "OK: fmt, clippy, doc, test all clean"
+echo "==> perf smoke (serial vs parallel kernels bit-identical; timings to BENCH_csr.json)"
+cargo run -p csn-bench --release --offline --quiet --bin perf_smoke
+
+echo "OK: fmt, clippy, doc, test, perf smoke all clean"
