@@ -12,13 +12,21 @@
 //!    Timings are informational only: the CI box may be single-core and
 //!    noisy, so no speedup is asserted — the trajectory lives in the
 //!    committed JSON, not in a pass/fail threshold.
+//! 3. **Kernel-reuse gate + snapshot** — fresh-alloc vs scratch-arena
+//!    Brandes (serial and parallel at jobs ∈ {1, 2, 4, 7}) must be
+//!    bit-identical, and a `SnapshotCursor` horizon sweep must equal the
+//!    per-step `snapshot(t)` rebuilds on an edge-Markovian EG. Equality is
+//!    the gate; wall times are informational and land in
+//!    `BENCH_kernels.json` (or `--kernels-out <path>`).
 //!
-//! Usage: `cargo run -p csn-bench --release --bin perf_smoke [-- --out BENCH_csr.json]`
+//! Usage: `cargo run -p csn-bench --release --bin perf_smoke \
+//!   [-- --out BENCH_csr.json --kernels-out BENCH_kernels.json]`
 
-use csn_core::graph::centrality::betweenness_centrality;
+use csn_core::graph::centrality::{betweenness_centrality, brandes_delta};
 use csn_core::graph::generators;
 use csn_core::graph::parallel::betweenness_par;
 use csn_core::graph::traversal::all_pairs_bfs;
+use csn_core::temporal::markovian::EdgeMarkovian;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -38,6 +46,19 @@ struct BenchCsr {
     detected_cores: usize,
     parallel_jobs_checked: Vec<usize>,
     parallel_matches_serial: bool,
+    timings: Vec<Timing>,
+}
+
+#[derive(Serialize)]
+struct BenchKernels {
+    schema: String,
+    git_rev: String,
+    graph: String,
+    temporal_graph: String,
+    detected_cores: usize,
+    scratch_jobs_checked: Vec<usize>,
+    scratch_matches_alloc: bool,
+    cursor_matches_rebuild: bool,
     timings: Vec<Timing>,
 }
 
@@ -65,6 +86,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_csr.json".to_string());
+    let kernels_out_path = args
+        .iter()
+        .position(|a| a == "--kernels-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
 
     let (n, m, seed) = (1500usize, 3usize, 42u64);
     let g = generators::barabasi_albert(n, m, seed).expect("BA params");
@@ -74,7 +100,10 @@ fn main() {
     // Gate: serial adjacency == serial CSR == parallel CSR, bit-for-bit.
     let (bc_adj, t_brandes_adj) = timed(|| betweenness_centrality(&g));
     let (bc_csr, t_brandes_csr) = timed(|| betweenness_centrality(&csr));
-    let jobs_checked = vec![1, 2, cores.max(2)];
+    // Sorted and deduped: on a 1-core box `cores.max(2)` collides with 2.
+    let mut jobs_checked = vec![1, 2, cores.max(2)];
+    jobs_checked.sort_unstable();
+    jobs_checked.dedup();
     let mut all_match = bc_adj == bc_csr;
     if !all_match {
         eprintln!("FAIL: betweenness differs between adjacency and CSR");
@@ -96,6 +125,122 @@ fn main() {
     if bfs_adj != bfs_csr {
         eprintln!("FAIL: all-pairs BFS differs between adjacency and CSR");
         all_match = false;
+    }
+
+    // Kernel-reuse gate: the fresh-alloc path (one scratch per source, via
+    // the `brandes_delta` wrapper) and the scratch-reusing drivers — serial
+    // `betweenness_centrality` and `betweenness_par` at jobs ∈ {1, 2, 4, 7}
+    // — must agree bit-for-bit.
+    let (bc_alloc, t_alloc) = timed(|| {
+        let mut bc = vec![0.0f64; n];
+        for s in 0..n {
+            let delta = brandes_delta(&csr, s);
+            for (b, d) in bc.iter_mut().zip(&delta) {
+                *b += d;
+            }
+        }
+        for b in &mut bc {
+            *b /= 2.0;
+        }
+        bc
+    });
+    let mut scratch_jobs = vec![1, 2, 4, 7, cores];
+    scratch_jobs.sort_unstable();
+    scratch_jobs.dedup();
+    let mut scratch_match = bc_alloc == bc_csr;
+    if !scratch_match {
+        eprintln!("FAIL: fresh-alloc Brandes differs from scratch-reusing Brandes");
+    }
+    let mut par_timings = Vec::new();
+    for &jobs in &scratch_jobs {
+        let (bc_par, t) = timed(|| betweenness_par(&csr, jobs));
+        if bc_par != bc_csr {
+            eprintln!("FAIL: betweenness_par(jobs={jobs}) differs from scratch serial");
+            scratch_match = false;
+        }
+        par_timings.push(Timing {
+            kernel: format!("betweenness_par(jobs={jobs})"),
+            representation: "scratch".into(),
+            wall_secs: t,
+        });
+    }
+
+    // Snapshot-sweep gate: a cursor walk over an edge-Markovian EG must
+    // equal the per-step `snapshot(t)` rebuilds at every time unit.
+    let (tn, horizon, p, q, tseed) = (120usize, 400u32, 0.6, 0.02, 7u64);
+    let eg = EdgeMarkovian::new(tn, p, q).generate(horizon, tseed);
+    let (rebuild_acc, t_rebuild) = timed(|| {
+        let mut acc = 0usize;
+        for t in 0..eg.horizon() {
+            acc += eg.snapshot(t).edge_count();
+        }
+        acc
+    });
+    let (cursor_acc, t_cursor) = timed(|| {
+        let mut acc = 0usize;
+        let mut cur = eg.snapshot_cursor();
+        loop {
+            acc += cur.graph().edge_count();
+            if !cur.advance() {
+                break;
+            }
+        }
+        acc
+    });
+    // Untimed pass with full structural equality, not just edge counts.
+    let mut cursor_match = rebuild_acc == cursor_acc;
+    let mut cur = eg.snapshot_cursor();
+    for t in 0..eg.horizon() {
+        if *cur.graph() != eg.snapshot(t) {
+            cursor_match = false;
+        }
+        cur.advance();
+    }
+    if !cursor_match {
+        eprintln!("FAIL: SnapshotCursor sweep differs from per-step snapshot rebuilds");
+    }
+
+    let kernels_doc = BenchKernels {
+        schema: "structura-bench-kernels-v1".to_string(),
+        git_rev: git_rev(),
+        graph: format!("barabasi_albert({n}, {m}, seed={seed})"),
+        temporal_graph: format!(
+            "edge_markovian(n={tn}, p={p}, q={q}, horizon={horizon}, seed={tseed})"
+        ),
+        detected_cores: cores,
+        scratch_jobs_checked: scratch_jobs.clone(),
+        scratch_matches_alloc: scratch_match,
+        cursor_matches_rebuild: cursor_match,
+        timings: {
+            let mut ts = vec![
+                Timing {
+                    kernel: "betweenness".into(),
+                    representation: "fresh_alloc".into(),
+                    wall_secs: t_alloc,
+                },
+                Timing {
+                    kernel: "betweenness".into(),
+                    representation: "scratch".into(),
+                    wall_secs: t_brandes_csr,
+                },
+            ];
+            ts.extend(par_timings);
+            ts.push(Timing {
+                kernel: "snapshot_sweep".into(),
+                representation: "rebuild".into(),
+                wall_secs: t_rebuild,
+            });
+            ts.push(Timing {
+                kernel: "snapshot_sweep".into(),
+                representation: "cursor".into(),
+                wall_secs: t_cursor,
+            });
+            ts
+        },
+    };
+    if let Err(e) = std::fs::write(&kernels_out_path, serde::json::to_string_pretty(&kernels_doc)) {
+        eprintln!("error: cannot write {kernels_out_path}: {e}");
+        std::process::exit(1);
     }
 
     let doc = BenchCsr {
@@ -145,8 +290,13 @@ fn main() {
          brandes adj {t_brandes_adj:.3}s / csr {t_brandes_csr:.3}s / par {t_brandes_par:.3}s \
          ({cores} core(s)); wrote {out_path}"
     );
-    if !all_match {
+    eprintln!(
+        "kernel smoke: brandes alloc {t_alloc:.3}s / scratch {t_brandes_csr:.3}s; \
+         snapshot sweep rebuild {t_rebuild:.3}s / cursor {t_cursor:.3}s; wrote {kernels_out_path}"
+    );
+    if !all_match || !scratch_match || !cursor_match {
         std::process::exit(1);
     }
     println!("perf smoke OK: parallel and CSR kernels bit-identical to serial");
+    println!("kernel smoke OK: scratch arenas bit-identical; snapshot cursor equals rebuilds");
 }

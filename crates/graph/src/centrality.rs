@@ -14,8 +14,8 @@
 //! results bit-identical to the serial functions here.
 
 use crate::graph::NodeId;
+use crate::scratch::{BfsScratch, BrandesScratch, NO_PRED};
 use crate::view::{DigraphView, GraphView};
-use std::collections::VecDeque;
 
 /// Degree centrality: `degree(u) / (n - 1)`.
 pub fn degree_centrality<G: GraphView>(g: &G) -> Vec<f64> {
@@ -31,13 +31,20 @@ pub fn degree_centrality<G: GraphView>(g: &G) -> Vec<f64> {
 /// reachable-fraction scaling. [`closeness_centrality`] and
 /// [`crate::parallel::closeness_par`] both delegate here.
 pub fn closeness_one<G: GraphView>(g: &G, u: NodeId) -> f64 {
+    closeness_one_into(g, u, &mut BfsScratch::new())
+}
+
+/// [`closeness_one`] over a caller-provided BFS scratch: identical result,
+/// zero allocation once the scratch has grown to the graph's size (see the
+/// reuse contract in [`crate::scratch`]).
+pub fn closeness_one_into<G: GraphView>(g: &G, u: NodeId, scratch: &mut BfsScratch) -> f64 {
     let n = g.node_count();
-    let dist = crate::traversal::bfs_distances(g, u);
+    crate::traversal::bfs_scratch(g, u, scratch);
     let mut sum = 0usize;
     let mut reachable = 0usize;
-    for &d in &dist {
-        if d != usize::MAX && d > 0 {
-            sum += d;
+    for v in 0..n {
+        if scratch.visited(v) && scratch.dist[v] > 0 {
+            sum += scratch.dist[v];
             reachable += 1;
         }
     }
@@ -51,9 +58,11 @@ pub fn closeness_one<G: GraphView>(g: &G, u: NodeId) -> f64 {
 
 /// Closeness centrality: `(reachable - 1) / sum_of_distances`, scaled by the
 /// reachable fraction (the Wasserman–Faust improvement, robust to
-/// disconnected graphs). Isolated nodes score 0.
+/// disconnected graphs). Isolated nodes score 0. One BFS scratch is reused
+/// across all sources.
 pub fn closeness_centrality<G: GraphView>(g: &G) -> Vec<f64> {
-    g.nodes().map(|u| closeness_one(g, u)).collect()
+    let mut sc = BfsScratch::new();
+    g.nodes().map(|u| closeness_one_into(g, u, &mut sc)).collect()
 }
 
 /// One source's Brandes dependency vector: `delta[w]` is the contribution of
@@ -64,36 +73,65 @@ pub fn closeness_centrality<G: GraphView>(g: &G) -> Vec<f64> {
 /// accumulate exactly these vectors in source order, so their outputs agree
 /// bit-for-bit.
 pub fn brandes_delta<G: GraphView>(g: &G, s: NodeId) -> Vec<f64> {
+    let mut out = Vec::new();
+    brandes_delta_into(g, s, &mut BrandesScratch::new(), &mut out);
+    out
+}
+
+/// [`brandes_delta`] into a caller-provided scratch and output vector:
+/// bit-identical results, zero allocation once both have grown to the
+/// graph's size. The scratch may have been used on any other graph before
+/// (see the reuse contract in [`crate::scratch`]); `out` is overwritten.
+///
+/// Predecessor lists live in the scratch's flat store, chained newest-first;
+/// the iteration order differs from the fresh-alloc path's `Vec<Vec<_>>`
+/// table, but within one sink `w` every predecessor `v` is distinct and its
+/// contribution `sigma[v] / sigma[w] * (1.0 + delta[w])` reads only values
+/// fixed for the whole of `w`'s processing, so each `delta[v]` sees the same
+/// additions in the same cross-`w` order — the f64 output is bit-identical.
+pub fn brandes_delta_into<G: GraphView>(
+    g: &G,
+    s: NodeId,
+    sc: &mut BrandesScratch,
+    out: &mut Vec<f64>,
+) {
     let n = g.node_count();
-    let mut stack: Vec<NodeId> = Vec::new();
-    let mut pred: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    let mut sigma = vec![0.0f64; n];
-    let mut dist = vec![usize::MAX; n];
-    sigma[s] = 1.0;
-    dist[s] = 0;
-    let mut queue = VecDeque::new();
-    queue.push_back(s);
-    while let Some(u) = queue.pop_front() {
-        stack.push(u);
+    sc.begin(n);
+    sc.discover(s, 0);
+    sc.sigma[s] = 1.0;
+    sc.queue.push_back(s);
+    while let Some(u) = sc.queue.pop_front() {
+        sc.stack.push(u);
+        let du = sc.dist[u];
         for v in g.neighbors(u) {
-            if dist[v] == usize::MAX {
-                dist[v] = dist[u] + 1;
-                queue.push_back(v);
+            if !sc.discovered(v) {
+                sc.discover(v, du + 1);
+                sc.queue.push_back(v);
             }
-            if dist[v] == dist[u] + 1 {
-                sigma[v] += sigma[u];
-                pred[v].push(u);
+            if sc.dist[v] == du + 1 {
+                sc.sigma[v] += sc.sigma[u];
+                sc.push_pred(v, u);
             }
         }
     }
-    let mut delta = vec![0.0f64; n];
-    while let Some(w) = stack.pop() {
-        for &v in &pred[w] {
-            delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+    // Dependency accumulation in reverse BFS order; the stack is kept (not
+    // popped) so the touched entries can be reset afterwards.
+    for i in (0..sc.stack.len()).rev() {
+        let w = sc.stack[i];
+        let mut p = sc.pred_head[w];
+        while p != NO_PRED {
+            let v = sc.pred_node[p];
+            sc.delta[v] += sc.sigma[v] / sc.sigma[w] * (1.0 + sc.delta[w]);
+            p = sc.pred_next[p];
         }
     }
-    delta[s] = 0.0;
-    delta
+    out.clear();
+    out.resize(n, 0.0);
+    for &w in &sc.stack {
+        out[w] = sc.delta[w];
+    }
+    out[s] = 0.0;
+    sc.reset_round();
 }
 
 /// Betweenness centrality via Brandes' algorithm (unweighted).
@@ -114,9 +152,12 @@ pub fn brandes_delta<G: GraphView>(g: &G, s: NodeId) -> Vec<f64> {
 pub fn betweenness_centrality<G: GraphView>(g: &G) -> Vec<f64> {
     let n = g.node_count();
     let mut bc = vec![0.0f64; n];
-    // Brandes: one BFS per source with dependency accumulation.
+    // Brandes: one BFS per source with dependency accumulation, over a
+    // single scratch + delta buffer reused for every source.
+    let mut sc = BrandesScratch::new();
+    let mut delta = Vec::new();
     for s in g.nodes() {
-        let delta = brandes_delta(g, s);
+        brandes_delta_into(g, s, &mut sc, &mut delta);
         for (b, d) in bc.iter_mut().zip(&delta) {
             *b += d;
         }
@@ -363,6 +404,32 @@ mod tests {
         let slow = betweenness_naive(&g);
         for (a, b) in fast.iter().zip(&slow) {
             assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_identical_across_graphs() {
+        // One scratch carried across sources of two different graphs (the
+        // second smaller than the first) must reproduce the fresh-alloc
+        // path bit-for-bit — stale stamps, sigma, or delta must not leak.
+        let g1 = generators::erdos_renyi(60, 0.1, 11).unwrap();
+        let g2 = generators::star(7);
+        let mut sc = crate::scratch::BrandesScratch::new();
+        let mut buf = Vec::new();
+        for _ in 0..2 {
+            for s in 0..60 {
+                brandes_delta_into(&g1, s, &mut sc, &mut buf);
+                assert_eq!(buf, brandes_delta(&g1, s), "g1 source {s}");
+            }
+            for s in 0..8 {
+                brandes_delta_into(&g2, s, &mut sc, &mut buf);
+                assert_eq!(buf, brandes_delta(&g2, s), "g2 source {s}");
+            }
+        }
+        let mut bfs = crate::scratch::BfsScratch::new();
+        for s in 0..60 {
+            let one = closeness_one(&g1, s);
+            assert!(closeness_one_into(&g1, s, &mut bfs).to_bits() == one.to_bits());
         }
     }
 

@@ -29,6 +29,32 @@
 //! * [`powerlaw`] — discrete power-law MLE fitting used by the nested
 //!   scale-free analysis (Fig. 3 / §III-B).
 //! * [`cores`] — k-core decomposition.
+//! * [`scratch`] — reusable kernel workspaces ([`scratch::BrandesScratch`],
+//!   [`scratch::BfsScratch`], [`scratch::DijkstraScratch`]) behind the
+//!   zero-allocation `_into` kernel variants.
+//!
+//! # Performance
+//!
+//! The single-source kernels come in two forms: the classic signatures
+//! ([`centrality::brandes_delta`], [`traversal::bfs_distances`],
+//! [`shortest_path::dijkstra`], …) that allocate per call, and `_into`
+//! variants ([`centrality::brandes_delta_into`],
+//! [`traversal::bfs_distances_into`], [`shortest_path::dijkstra_into`])
+//! that run over a caller-owned [`scratch`] arena and a caller-owned output
+//! buffer. The classic forms are now thin wrappers over the `_into` forms,
+//! so both paths execute the same code and produce **bit-identical**
+//! results.
+//!
+//! The reuse contract (details in [`scratch`]): a scratch never needs
+//! explicit clearing or resizing — each `_into` call bumps a 64-bit epoch
+//! and regrows the arrays on demand, so the same scratch can serve
+//! different graphs back to back, visited/dist state is invalidated in
+//! `O(1)`, and a source that reaches `k` nodes does `O(k)` cleanup rather
+//! than `O(n)`. The all-sources drivers ([`centrality::betweenness_centrality`],
+//! [`centrality::closeness_centrality`], [`traversal::all_pairs_bfs`],
+//! [`shortest_path::all_pairs_dijkstra`]) reuse one scratch internally, and
+//! the [`parallel`] kernels hold one scratch per pool worker — `O(jobs · n)`
+//! working memory per call instead of `O(sources · n)` allocations.
 //!
 //! # Examples
 //!
@@ -64,6 +90,7 @@ pub mod io;
 pub mod mst;
 pub mod parallel;
 pub mod powerlaw;
+pub mod scratch;
 pub mod shortest_path;
 pub mod spanner;
 pub mod traversal;
@@ -72,4 +99,5 @@ pub mod view;
 pub use csr::{CsrDigraph, CsrGraph, WeightedCsrGraph};
 pub use error::GraphError;
 pub use graph::{Digraph, Graph, NodeId, WeightedDigraph, WeightedGraph};
+pub use scratch::{BfsScratch, BrandesScratch, DijkstraScratch};
 pub use view::{DigraphView, GraphView, WeightedGraphView};

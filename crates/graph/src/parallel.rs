@@ -9,14 +9,26 @@
 //! # Determinism
 //!
 //! The results are **bit-identical** to the serial kernels for any `jobs`,
-//! not merely numerically close. Each task returns its source's full
-//! per-node vector (the same [`crate::centrality::brandes_delta`] /
-//! [`crate::centrality::closeness_one`] the serial code uses), the pool
-//! hands vectors back in task order regardless of which worker ran what,
-//! and the single merge loop folds them in strict source order — exactly
-//! the f64 additions the serial loop performs, in exactly the same order.
-//! The property tests in `tests/csr_props.rs` and the perf smoke in
+//! not merely numerically close. Each task computes its source's full
+//! per-node vector with the same `_into` kernel the serial code uses
+//! ([`crate::centrality::brandes_delta_into`] /
+//! [`crate::centrality::closeness_one_into`]), the pool hands results back
+//! in task order regardless of which worker ran what, and the single merge
+//! loop folds them in strict source order — exactly the f64 additions the
+//! serial loop performs, in exactly the same order. The property tests in
+//! `tests/csr_props.rs` and `tests/scratch_props.rs` and the perf smoke in
 //! `csn-bench` assert this equality.
+//!
+//! # Allocation
+//!
+//! Every worker owns one [`crate::scratch`] arena for the whole call (the
+//! pool passes the worker index to each task), and `betweenness_par` writes
+//! each wave's dependency vectors into a fixed ring of reusable buffers —
+//! so a call allocates `O(jobs · n + wave · n)` once, instead of
+//! `O(sources · n)` spread over every task. The per-worker scratches sit
+//! behind uncontended `Mutex`es: worker `w` is the only thread that ever
+//! locks slot `w` (likewise buffer slot `i` within a wave), so the locks
+//! exist purely to satisfy the `Sync` bound of the pool's task closure.
 //!
 //! # Examples
 //!
@@ -29,14 +41,23 @@
 //! assert_eq!(serial, par);
 //! ```
 
-use crate::centrality::{brandes_delta, closeness_one};
-use crate::traversal::bfs_distances;
+use crate::centrality::{brandes_delta_into, closeness_one_into};
+use crate::scratch::{BfsScratch, BrandesScratch};
+use crate::traversal::bfs_distances_into;
 use crate::view::GraphView;
+use std::sync::Mutex;
 
 /// Sources processed per scheduling wave: enough tasks to keep `jobs`
 /// workers busy, while bounding live memory to `O(wave · n)` delta vectors.
 fn wave_size(jobs: usize) -> usize {
     jobs.max(1) * 4
+}
+
+/// One scratch arena per potential worker. `run_indexed` never reports a
+/// worker index ≥ `jobs.max(1)` (it clamps downward from there), so slot
+/// `w` is touched by exactly one thread per call.
+fn worker_scratches<S: Default>(jobs: usize) -> Vec<Mutex<S>> {
+    (0..jobs.max(1)).map(|_| Mutex::new(S::default())).collect()
 }
 
 /// Betweenness centrality with sources fanned out over `jobs` workers.
@@ -45,14 +66,22 @@ pub fn betweenness_par<G: GraphView + Sync>(g: &G, jobs: usize) -> Vec<f64> {
     let n = g.node_count();
     let mut bc = vec![0.0f64; n];
     let wave = wave_size(jobs);
+    let scratches: Vec<Mutex<BrandesScratch>> = worker_scratches(jobs);
+    // Task `i` of a wave writes its dependency vector into buffer `i`;
+    // the ring is reused by every wave.
+    let buffers: Vec<Mutex<Vec<f64>>> = (0..wave.min(n)).map(|_| Mutex::new(Vec::new())).collect();
     let mut start = 0;
     while start < n {
         let end = (start + wave).min(n);
-        let (deltas, _) =
-            csn_parallel::run_indexed(end - start, jobs, |i, _| brandes_delta(g, start + i));
+        csn_parallel::run_indexed(end - start, jobs, |i, w| {
+            let mut sc = scratches[w].lock().expect("scratch lock");
+            let mut buf = buffers[i].lock().expect("buffer lock");
+            brandes_delta_into(g, start + i, &mut sc, &mut buf);
+        });
         // Fold in source order: the same additions as the serial loop.
-        for delta in &deltas {
-            for (b, d) in bc.iter_mut().zip(delta) {
+        for buf in buffers.iter().take(end - start) {
+            let delta = buf.lock().expect("buffer lock");
+            for (b, d) in bc.iter_mut().zip(delta.iter()) {
                 *b += d;
             }
         }
@@ -67,14 +96,24 @@ pub fn betweenness_par<G: GraphView + Sync>(g: &G, jobs: usize) -> Vec<f64> {
 /// Closeness centrality with sources fanned out over `jobs` workers.
 /// Bit-identical to [`crate::centrality::closeness_centrality`].
 pub fn closeness_par<G: GraphView + Sync>(g: &G, jobs: usize) -> Vec<f64> {
-    let (scores, _) = csn_parallel::run_indexed(g.node_count(), jobs, |u, _| closeness_one(g, u));
+    let scratches: Vec<Mutex<BfsScratch>> = worker_scratches(jobs);
+    let (scores, _) = csn_parallel::run_indexed(g.node_count(), jobs, |u, w| {
+        closeness_one_into(g, u, &mut scratches[w].lock().expect("scratch lock"))
+    });
     scores
 }
 
 /// All-pairs BFS distance vectors with sources fanned out over `jobs`
-/// workers. Identical to [`crate::traversal::all_pairs_bfs`].
+/// workers. Identical to [`crate::traversal::all_pairs_bfs`]. Each task
+/// still allocates its result row (it is returned to the caller), but the
+/// BFS working state is per-worker scratch.
 pub fn all_pairs_bfs_par<G: GraphView + Sync>(g: &G, jobs: usize) -> Vec<Vec<usize>> {
-    let (rows, _) = csn_parallel::run_indexed(g.node_count(), jobs, |s, _| bfs_distances(g, s));
+    let scratches: Vec<Mutex<BfsScratch>> = worker_scratches(jobs);
+    let (rows, _) = csn_parallel::run_indexed(g.node_count(), jobs, |s, w| {
+        let mut row = Vec::new();
+        bfs_distances_into(g, s, &mut scratches[w].lock().expect("scratch lock"), &mut row);
+        row
+    });
     rows
 }
 
@@ -98,7 +137,7 @@ mod tests {
     fn closeness_par_bitwise_matches_serial() {
         let g = generators::barabasi_albert(90, 2, 5).unwrap();
         let serial = closeness_centrality(&g);
-        for jobs in [1, 3, 4] {
+        for jobs in [1, 2, 4, 7] {
             assert_eq!(serial, closeness_par(&g, jobs), "jobs={jobs}");
         }
     }

@@ -17,7 +17,6 @@ use crate::error::GraphError;
 use crate::graph::{NodeId, WeightedDigraph};
 use crate::view::WeightedGraphView;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Result of a single-source shortest-path computation.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,8 +44,10 @@ impl ShortestPaths {
     }
 }
 
+/// Priority-queue entry for [`dijkstra`]; `pub(crate)` so
+/// [`crate::scratch::DijkstraScratch`] can own the heap between calls.
 #[derive(Debug, PartialEq)]
-struct HeapEntry {
+pub(crate) struct HeapEntry {
     dist: f64,
     node: NodeId,
 }
@@ -91,27 +92,47 @@ impl PartialOrd for HeapEntry {
 /// assert_eq!(sp.path_to(2), Some(vec![0, 1, 2]));
 /// ```
 pub fn dijkstra<G: WeightedGraphView>(g: &G, source: NodeId) -> ShortestPaths {
+    let mut out = ShortestPaths { dist: Vec::new(), parent: Vec::new() };
+    dijkstra_into(g, source, &mut crate::scratch::DijkstraScratch::new(), &mut out);
+    out
+}
+
+/// [`dijkstra`] into a caller-provided scratch and result struct: identical
+/// output, with the priority queue's allocation reused across calls (see
+/// the reuse contract in [`crate::scratch`]). `out` is overwritten.
+///
+/// # Panics
+///
+/// Panics if any traversed weight is negative (Dijkstra's precondition).
+pub fn dijkstra_into<G: WeightedGraphView>(
+    g: &G,
+    source: NodeId,
+    scratch: &mut crate::scratch::DijkstraScratch,
+    out: &mut ShortestPaths,
+) {
     let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent = vec![usize::MAX; n];
-    let mut heap = BinaryHeap::new();
-    dist[source] = 0.0;
+    out.dist.clear();
+    out.dist.resize(n, f64::INFINITY);
+    out.parent.clear();
+    out.parent.resize(n, usize::MAX);
+    let heap = &mut scratch.heap;
+    heap.clear();
+    out.dist[source] = 0.0;
     heap.push(HeapEntry { dist: 0.0, node: source });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if d > dist[u] {
+        if d > out.dist[u] {
             continue;
         }
         for (v, w) in g.weighted_neighbors(u) {
             assert!(w >= 0.0, "dijkstra requires non-negative weights");
             let nd = d + w;
-            if nd < dist[v] {
-                dist[v] = nd;
-                parent[v] = u;
+            if nd < out.dist[v] {
+                out.dist[v] = nd;
+                out.parent[v] = u;
                 heap.push(HeapEntry { dist: nd, node: v });
             }
         }
     }
-    ShortestPaths { dist, parent }
 }
 
 /// Dijkstra on a weighted digraph. Retained alias for the generic
@@ -154,11 +175,19 @@ pub fn bellman_ford(g: &WeightedDigraph, source: NodeId) -> Result<ShortestPaths
     Ok(ShortestPaths { dist, parent })
 }
 
-/// All-pairs shortest path distances via repeated Dijkstra.
+/// All-pairs shortest path distances via repeated Dijkstra, reusing one
+/// heap scratch and result struct across sources.
 ///
 /// Suitable for the small/medium graphs used in the experiments; `O(n·m log n)`.
 pub fn all_pairs_dijkstra<G: WeightedGraphView>(g: &G) -> Vec<Vec<f64>> {
-    g.nodes().map(|s| dijkstra(g, s).dist).collect()
+    let mut sc = crate::scratch::DijkstraScratch::new();
+    let mut sp = ShortestPaths { dist: Vec::new(), parent: Vec::new() };
+    g.nodes()
+        .map(|s| {
+            dijkstra_into(g, s, &mut sc, &mut sp);
+            sp.dist.clone()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -207,6 +236,21 @@ mod tests {
         let g = diamond();
         assert_eq!(dijkstra(&g, 0), dijkstra(&g.freeze(), 0));
         assert_eq!(all_pairs_dijkstra(&g), all_pairs_dijkstra(&g.freeze()));
+    }
+
+    #[test]
+    fn dijkstra_into_reuses_scratch_across_graphs() {
+        let g1 = diamond();
+        let mut g2 = WeightedGraph::new(2);
+        g2.add_edge(0, 1, 0.5);
+        let mut sc = crate::scratch::DijkstraScratch::new();
+        let mut sp = ShortestPaths { dist: Vec::new(), parent: Vec::new() };
+        for _ in 0..2 {
+            dijkstra_into(&g1, 0, &mut sc, &mut sp);
+            assert_eq!(sp, dijkstra(&g1, 0));
+            dijkstra_into(&g2, 1, &mut sc, &mut sp);
+            assert_eq!(sp, dijkstra(&g2, 1));
+        }
     }
 
     #[test]

@@ -5,9 +5,31 @@
 //! CSR counterparts ([`crate::CsrGraph`], [`crate::CsrDigraph`]).
 
 use crate::graph::NodeId;
+use crate::scratch::BfsScratch;
 use crate::view::{DigraphView, GraphView};
 
+/// Runs the BFS from `source`, leaving the distances epoch-stamped inside
+/// the scratch (no dense export). Shared by [`bfs_distances_into`] and
+/// [`crate::centrality::closeness_one_into`].
+pub(crate) fn bfs_scratch<G: GraphView>(g: &G, source: NodeId, sc: &mut BfsScratch) {
+    sc.begin(g.node_count());
+    sc.visit(source, 0);
+    sc.queue.push_back(source);
+    while let Some(u) = sc.queue.pop_front() {
+        let du = sc.dist[u];
+        for v in g.neighbors(u) {
+            if !sc.visited(v) {
+                sc.visit(v, du + 1);
+                sc.queue.push_back(v);
+            }
+        }
+    }
+}
+
 /// BFS distances (in hops) from `source`; unreachable nodes get `usize::MAX`.
+///
+/// Allocates fresh state per call; the scratch-reusing form is
+/// [`bfs_distances_into`], which produces identical output.
 ///
 /// # Examples
 ///
@@ -20,26 +42,46 @@ use crate::view::{DigraphView, GraphView};
 /// assert_eq!(d[3], usize::MAX);
 /// ```
 pub fn bfs_distances<G: GraphView>(g: &G, source: NodeId) -> Vec<usize> {
-    let mut dist = vec![usize::MAX; g.node_count()];
-    let mut queue = std::collections::VecDeque::new();
-    dist[source] = 0;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        for v in g.neighbors(u) {
-            if dist[v] == usize::MAX {
-                dist[v] = dist[u] + 1;
-                queue.push_back(v);
-            }
+    let mut sc = BfsScratch::new();
+    let mut out = Vec::new();
+    bfs_distances_into(g, source, &mut sc, &mut out);
+    out
+}
+
+/// [`bfs_distances`] into a caller-provided scratch and output vector:
+/// identical results, zero allocation once both have grown to the graph's
+/// size. The scratch may have been used on any other graph before (see the
+/// reuse contract in [`crate::scratch`]); `out` is overwritten.
+pub fn bfs_distances_into<G: GraphView>(
+    g: &G,
+    source: NodeId,
+    scratch: &mut BfsScratch,
+    out: &mut Vec<usize>,
+) {
+    bfs_scratch(g, source, scratch);
+    out.clear();
+    out.extend((0..g.node_count()).map(|v| {
+        if scratch.visited(v) {
+            scratch.dist[v]
+        } else {
+            usize::MAX
         }
-    }
-    dist
+    }));
 }
 
 /// BFS distance vectors from every source: `out[s][v]` is the hop distance
 /// from `s` to `v` (`usize::MAX` when unreachable). The serial counterpart
-/// of [`crate::parallel::all_pairs_bfs_par`].
+/// of [`crate::parallel::all_pairs_bfs_par`]. One BFS scratch is reused
+/// across all sources.
 pub fn all_pairs_bfs<G: GraphView>(g: &G) -> Vec<Vec<usize>> {
-    g.nodes().map(|s| bfs_distances(g, s)).collect()
+    let mut sc = BfsScratch::new();
+    g.nodes()
+        .map(|s| {
+            let mut row = Vec::new();
+            bfs_distances_into(g, s, &mut sc, &mut row);
+            row
+        })
+        .collect()
 }
 
 /// BFS distances from `source` following arc directions in a digraph.
@@ -323,6 +365,22 @@ mod tests {
     fn diameter_of_path_and_disconnected() {
         assert_eq!(diameter(&path_graph(5)), Some(4));
         assert_eq!(diameter(&Graph::new(3)), None);
+    }
+
+    #[test]
+    fn bfs_into_reuses_scratch_across_graphs() {
+        // One scratch, alternating between a large and a small graph:
+        // epoch stamping must keep stale distances from leaking through.
+        let big = path_graph(9);
+        let small = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut sc = BfsScratch::new();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            bfs_distances_into(&big, 0, &mut sc, &mut out);
+            assert_eq!(out, bfs_distances(&big, 0));
+            bfs_distances_into(&small, 1, &mut sc, &mut out);
+            assert_eq!(out, vec![1, 0, usize::MAX]);
+        }
     }
 
     #[test]

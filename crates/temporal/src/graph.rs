@@ -259,15 +259,37 @@ impl TimeEvolvingGraph {
     /// Removes all edges incident to `u` (trimming a node; the node id stays
     /// valid but becomes isolated). Returns the number of edges removed.
     pub fn isolate_node(&mut self, u: NodeId) -> usize {
-        let incident: Vec<usize> = self.adj[u].clone();
+        // Take ownership of the incident list — adj[u] ends up empty, which
+        // is exactly the post-state — instead of cloning it.
+        let mut incident = std::mem::take(&mut self.adj[u]);
         // Remove from highest index first so swap_remove re-indexing is safe.
-        let mut sorted = incident;
-        sorted.sort_unstable_by(|a, b| b.cmp(a));
-        let count = sorted.len();
-        for ei in sorted {
-            self.remove_edge_by_index(ei);
+        incident.sort_unstable_by(|a, b| b.cmp(a));
+        let count = incident.len();
+        for ei in incident {
+            let e = self.edges.swap_remove(ei);
+            // adj[u] is already empty; unlink only the other endpoint.
+            let other = if e.u == u { e.v } else { e.u };
+            self.unlink(other, ei);
+            if ei < self.edges.len() {
+                // Descending order guarantees the edge moved down from the
+                // old tail is not incident to u (all higher-indexed incident
+                // edges are already gone, and swap_remove only moves edges
+                // toward lower indices), so both relinks find live entries.
+                let moved_from = self.edges.len();
+                let (mu, mv) = (self.edges[ei].u, self.edges[ei].v);
+                self.relink(mu, moved_from, ei);
+                self.relink(mv, moved_from, ei);
+            }
         }
         count
+    }
+
+    /// An incremental [`SnapshotCursor`](crate::snapshot::SnapshotCursor)
+    /// over this `EG`'s snapshots, positioned at `t = 0`. Sweeping the
+    /// horizon through the cursor applies `O(Δ_t)` edge mutations per step
+    /// instead of rebuilding every snapshot.
+    pub fn snapshot_cursor(&self) -> crate::snapshot::SnapshotCursor {
+        crate::snapshot::SnapshotCursor::new(self)
     }
 
     fn remove_edge_by_index(&mut self, ei: usize) {
@@ -380,6 +402,28 @@ mod tests {
         assert_eq!(eg.edge_count(), 1);
         assert_eq!(eg.labels(1, 2), Some(&[4][..]));
         assert_eq!(eg.neighbors(0).count(), 0);
+    }
+
+    #[test]
+    fn isolate_hub_of_dense_star_keeps_rim_intact() {
+        // Hub 0 touches every rim node; rim nodes also form a cycle, so the
+        // removal loop interleaves hub edges with survivors at every index.
+        let k = 12;
+        let mut eg = TimeEvolvingGraph::new(k + 1, 50);
+        for i in 1..=k {
+            eg.add_contact(0, i, i as TimeUnit);
+            eg.add_contact(i, i % k + 1, (i + k) as TimeUnit);
+        }
+        assert_eq!(eg.isolate_node(0), k);
+        assert_eq!(eg.edge_count(), k);
+        assert_eq!(eg.neighbors(0).count(), 0);
+        for i in 1..=k {
+            assert_eq!(eg.labels(i, i % k + 1), Some(&[(i + k) as TimeUnit][..]), "rim edge {i}");
+            assert_eq!(eg.labels(0, i), None);
+        }
+        // Survivor adjacency must still be fully consistent for mutation.
+        assert!(eg.remove_edge(1, 2));
+        assert_eq!(eg.edge_count(), k - 1);
     }
 
     #[test]

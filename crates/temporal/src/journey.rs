@@ -384,13 +384,17 @@ mod tests {
     #[test]
     fn fig2_never_connected_instantaneously() {
         // "A and C in Fig. 2 are not connected at any particular time unit":
-        // no snapshot has an A-C path.
+        // no snapshot has an A-C path. Swept incrementally via the cursor.
         let eg = fig2_example();
-        for t in 0..eg.horizon() {
-            let g = eg.snapshot(t);
-            let d = csn_graph::traversal::bfs_distances(&g, A);
-            assert_eq!(d[C], usize::MAX, "instantaneous A-C path at time {t}");
+        let mut cur = eg.snapshot_cursor();
+        loop {
+            let d = csn_graph::traversal::bfs_distances(cur.graph(), A);
+            assert_eq!(d[C], usize::MAX, "instantaneous A-C path at time {}", cur.time());
+            if !cur.advance() {
+                break;
+            }
         }
+        assert_eq!(cur.time() + 1, eg.horizon(), "sweep covered the whole horizon");
     }
 
     #[test]

@@ -19,6 +19,20 @@
 //!   probability `q`), the theoretical community's dynamic-network model.
 //! * [`weighted`] — weighted time-evolving graphs and Pareto-optimal
 //!   (arrival time × cost) journeys.
+//! * [`snapshot`] — the incremental [`snapshot::SnapshotCursor`] for
+//!   whole-horizon snapshot sweeps.
+//!
+//! # Performance
+//!
+//! [`TimeEvolvingGraph::snapshot`] rebuilds a full static graph from every
+//! temporal edge — fine for one time unit, quadratic-feeling for the
+//! `t = 0..horizon` sweeps the trimming analyses run. For those, use
+//! [`TimeEvolvingGraph::snapshot_cursor`]: it precomputes each time unit's
+//! edge appear/disappear deltas once and then mutates one maintained graph
+//! by `O(Δ_t)` per [`snapshot::SnapshotCursor::advance`] step, yielding a
+//! graph equal to `snapshot(t)` at every position. The cursor captures the
+//! `EG` at construction — after mutating the `EG` (`remove_label`,
+//! `remove_edge`, `isolate_node`, `add_contact`), build a fresh cursor.
 //!
 //! # Examples
 //!
@@ -43,7 +57,9 @@ pub mod journey;
 pub mod markovian;
 pub mod paper;
 pub mod routing;
+pub mod snapshot;
 pub mod weighted;
 
 pub use graph::{Contact, TemporalEdge, TimeEvolvingGraph, TimeUnit};
 pub use journey::Journey;
+pub use snapshot::SnapshotCursor;

@@ -16,7 +16,18 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
-echo "==> perf smoke (serial vs parallel kernels bit-identical; timings to BENCH_csr.json)"
+echo "==> BENCH_kernels.json schema freshness"
+# Must run BEFORE the smoke regenerates the file: the committed artifact has
+# to carry the schema version the current perf_smoke source writes.
+want=$(grep -oE 'structura-bench-kernels-v[0-9]+' crates/bench/src/bin/perf_smoke.rs | head -n1)
+have=$(grep -oE 'structura-bench-kernels-v[0-9]+' BENCH_kernels.json | head -n1 || true)
+if [ "$want" != "$have" ]; then
+  echo "FAIL: BENCH_kernels.json is stale (has '${have:-missing}', perf_smoke writes '$want')" >&2
+  echo "      regenerate with: cargo run -p csn-bench --release --bin perf_smoke" >&2
+  exit 1
+fi
+
+echo "==> perf smoke (scratch/parallel/cursor kernels bit-identical; timings to BENCH_csr.json + BENCH_kernels.json)"
 cargo run -p csn-bench --release --offline --quiet --bin perf_smoke
 
 echo "OK: fmt, clippy, doc, test, perf smoke all clean"

@@ -58,13 +58,17 @@ mod fig2 {
     #[test]
     fn a_and_c_never_connected_at_a_single_time_unit() {
         let eg = fig2_example();
-        for t in 0..eg.horizon() {
-            let g = eg.snapshot(t);
+        let mut cur = eg.snapshot_cursor();
+        loop {
             assert_eq!(
-                csn_core::graph::traversal::bfs_distances(&g, A)[C],
+                csn_core::graph::traversal::bfs_distances(cur.graph(), A)[C],
                 usize::MAX,
-                "instantaneous A-C path at {t}"
+                "instantaneous A-C path at {}",
+                cur.time()
             );
+            if !cur.advance() {
+                break;
+            }
         }
     }
 

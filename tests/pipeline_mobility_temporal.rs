@@ -66,11 +66,12 @@ fn edge_markovian_flooding_beats_static_snapshot_reachability() {
     let m = EdgeMarkovian::new(24, 0.7, 0.02);
     let eg = m.generate(300, 13);
     let mut some_snapshot_disconnected = false;
-    for t in 0..10 {
-        let g = eg.snapshot(t);
-        if !csn_core::graph::traversal::is_connected(&g) {
+    let mut cur = eg.snapshot_cursor();
+    for _ in 0..10 {
+        if !csn_core::graph::traversal::is_connected(cur.graph()) {
             some_snapshot_disconnected = true;
         }
+        cur.advance();
     }
     assert!(some_snapshot_disconnected, "density 0.028 snapshots are sparse");
     assert!(flooding_time(&eg, 0, 0).is_some(), "yet the time-evolving graph floods");
