@@ -18,6 +18,9 @@
 //!    per-step `snapshot(t)` rebuilds on an edge-Markovian EG. Equality is
 //!    the gate; wall times are informational and land in
 //!    `BENCH_kernels.json` (or `--kernels-out <path>`).
+//! 4. **Faulted-run determinism gate** — two distributed Bellman–Ford runs
+//!    under the same `FaultModel` (loss + delay + duplication + reorder +
+//!    churn, one seed) must produce bit-identical outcomes and `RunStats`.
 //!
 //! Usage: `cargo run -p csn-bench --release --bin perf_smoke \
 //!   [-- --out BENCH_csr.json --kernels-out BENCH_kernels.json]`
@@ -59,6 +62,7 @@ struct BenchKernels {
     scratch_jobs_checked: Vec<usize>,
     scratch_matches_alloc: bool,
     cursor_matches_rebuild: bool,
+    faulted_run_deterministic: bool,
     timings: Vec<Timing>,
 }
 
@@ -200,8 +204,35 @@ fn main() {
         eprintln!("FAIL: SnapshotCursor sweep differs from per-step snapshot rebuilds");
     }
 
+    // Faulted-run determinism gate: distributed Bellman–Ford under the full
+    // fault model (loss, geometric delay, duplication, reorder, churn), run
+    // twice with one seed — outcome and RunStats must agree bit-for-bit.
+    use csn_core::distsim::{ChurnSchedule, FaultModel};
+    let (fn_, fseed) = (200usize, 13u64);
+    let fg = generators::erdos_renyi(fn_, 0.05, 11).expect("ER params");
+    let fault_run = || {
+        csn_core::labeling::bellman_ford::run_resilient(
+            &fg,
+            0,
+            64,
+            500,
+            3,
+            FaultModel::lossy(0.3, fseed)
+                .with_delay(0.2)
+                .with_duplication(0.1)
+                .with_reorder()
+                .with_churn(ChurnSchedule::random(fn_, 60, 0.01, 5, fseed).protect(0)),
+        )
+    };
+    let (run_a, t_faulted) = timed(fault_run);
+    let (run_b, _) = timed(fault_run);
+    let faulted_match = run_a == run_b;
+    if !faulted_match {
+        eprintln!("FAIL: faulted Bellman–Ford runs diverge under one FaultModel seed");
+    }
+
     let kernels_doc = BenchKernels {
-        schema: "structura-bench-kernels-v1".to_string(),
+        schema: "structura-bench-kernels-v2".to_string(),
         git_rev: git_rev(),
         graph: format!("barabasi_albert({n}, {m}, seed={seed})"),
         temporal_graph: format!(
@@ -211,6 +242,7 @@ fn main() {
         scratch_jobs_checked: scratch_jobs.clone(),
         scratch_matches_alloc: scratch_match,
         cursor_matches_rebuild: cursor_match,
+        faulted_run_deterministic: faulted_match,
         timings: {
             let mut ts = vec![
                 Timing {
@@ -234,6 +266,11 @@ fn main() {
                 kernel: "snapshot_sweep".into(),
                 representation: "cursor".into(),
                 wall_secs: t_cursor,
+            });
+            ts.push(Timing {
+                kernel: "faulted_bellman_ford".into(),
+                representation: "simulator".into(),
+                wall_secs: t_faulted,
             });
             ts
         },
@@ -292,11 +329,13 @@ fn main() {
     );
     eprintln!(
         "kernel smoke: brandes alloc {t_alloc:.3}s / scratch {t_brandes_csr:.3}s; \
-         snapshot sweep rebuild {t_rebuild:.3}s / cursor {t_cursor:.3}s; wrote {kernels_out_path}"
+         snapshot sweep rebuild {t_rebuild:.3}s / cursor {t_cursor:.3}s; \
+         faulted BF {t_faulted:.3}s; wrote {kernels_out_path}"
     );
-    if !all_match || !scratch_match || !cursor_match {
+    if !all_match || !scratch_match || !cursor_match || !faulted_match {
         std::process::exit(1);
     }
     println!("perf smoke OK: parallel and CSR kernels bit-identical to serial");
     println!("kernel smoke OK: scratch arenas bit-identical; snapshot cursor equals rebuilds");
+    println!("fault smoke OK: faulted Bellman-Ford runs bit-identical per seed");
 }

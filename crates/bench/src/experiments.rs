@@ -178,6 +178,12 @@ pub const EXPERIMENTS: &[Experiment] = &[
         paper_artifact: "§III-B question, [15]",
         run: e25_temporal_smallworld,
     },
+    Experiment {
+        id: "e26",
+        title: "Labeling resilience under loss, churn, and reliable delivery",
+        paper_artifact: "§IV-C",
+        run: e26_labeling_resilience,
+    },
 ];
 
 /// Selects the experiments whose id equals `filter` (empty = all), in
@@ -1257,4 +1263,142 @@ pub fn e25_temporal_smallworld(out: &mut Report) {
     let best = c.iter().cloned().fold(0.0f64, f64::max);
     let worst = c.iter().cloned().fold(1.0f64, f64::min);
     out.line(format!("  best {best:.4}, worst {worst:.4}"));
+}
+
+/// E26 (§IV-C): resilience of the distributed labeling protocols under the
+/// full fault model — loss, churn, streamed topology change — and the cost
+/// of masking loss with the reliable-delivery adapter.
+pub fn e26_labeling_resilience(out: &mut Report) {
+    use csn_core::distsim::{ChurnSchedule, FaultModel};
+    use csn_core::graph::traversal::bfs_distances;
+    use csn_core::labeling::bellman_ford;
+    use csn_core::labeling::protocols::{
+        run_marking_protocol_reliable, run_marking_protocol_with, run_mis_protocol_with,
+    };
+
+    let n = 60;
+    let horizon = 64;
+    let g = generators::erdos_renyi(n, 0.12, 26).expect("params");
+    let truth = bfs_distances(&g, 0);
+    let exact = |labels: &[csn_core::labeling::bellman_ford::DistanceLabel]| {
+        let hits = g
+            .nodes()
+            .filter(|&u| {
+                let want = if truth[u] == usize::MAX { horizon } else { truth[u] };
+                labels[u].dist == want
+            })
+            .count();
+        100.0 * hits as f64 / n as f64
+    };
+
+    // Bellman–Ford labels under i.i.d. loss: lost advertisements hide
+    // shorter routes, so exactness degrades while the run still stabilizes.
+    out.line(format!("Bellman–Ford to node 0 under loss (ER n={n}, 3 trials per row):"));
+    out.line(format!(
+        "  {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "drop prob", "exact lbls", "rounds", "sent", "dropped"
+    ));
+    for &p in &[0.0f64, 0.1, 0.3, 0.5] {
+        let (mut pct, mut rounds, mut sent, mut dropped) = (0.0, 0, 0, 0);
+        for seed in 0..3u64 {
+            let (bf, stats) =
+                bellman_ford::run_resilient(&g, 0, horizon, 2000, 3, FaultModel::lossy(p, seed));
+            pct += exact(&bf.labels) / 3.0;
+            rounds += stats.rounds;
+            sent += stats.sent;
+            dropped += stats.dropped;
+        }
+        out.metric(format!("bf_exact_pct_drop{:.0}", p * 100.0), pct);
+        out.line(format!(
+            "  {p:>10.1} {pct:>11.1}% {:>10} {:>10} {:>10}",
+            rounds / 3,
+            sent / 3,
+            dropped / 3
+        ));
+    }
+
+    // Bellman–Ford under node churn: crashed nodes shed their queues and
+    // rejoin amnesiac; the distance labels of the survivors must recover.
+    out.line("Bellman–Ford under churn (crash prob/round, 6 rounds down, dest protected):");
+    out.line(format!(
+        "  {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "crash prob", "exact lbls", "rounds", "shed", "misrouted"
+    ));
+    for &cp in &[0.005f64, 0.02] {
+        let churn = ChurnSchedule::random(n, 80, cp, 6, 33).protect(0);
+        let faults = FaultModel { seed: 33, ..FaultModel::none().with_churn(churn) };
+        let (bf, stats) = bellman_ford::run_resilient(&g, 0, horizon, 2000, 6, faults);
+        out.metric(format!("bf_exact_pct_crash{}", (cp * 1000.0) as u64), exact(&bf.labels));
+        out.line(format!(
+            "  {cp:>10.3} {:>11.1}% {:>10} {:>10} {:>10}",
+            exact(&bf.labels),
+            stats.rounds,
+            stats.shed,
+            stats.misrouted
+        ));
+    }
+
+    // MIS elections under loss: missed StillWhite announcements let two
+    // adjacent nodes both declare black — the §IV-C view-inconsistency
+    // failure, quantified as conflicted edges and uncovered nodes.
+    let priority: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 1009).collect();
+    out.line("MIS election under loss (3 trials per row):");
+    out.line(format!(
+        "  {:>10} {:>10} {:>12} {:>12}",
+        "drop prob", "black", "conflicts", "uncovered"
+    ));
+    for &p in &[0.0f64, 0.2, 0.4] {
+        let (mut black, mut conflicts, mut uncovered) = (0usize, 0usize, 0usize);
+        for seed in 10..13u64 {
+            let (mis, _) = run_mis_protocol_with(&g, &priority, 500, 3, FaultModel::lossy(p, seed));
+            black += mis.black.iter().filter(|&&b| b).count();
+            conflicts += g.edges().filter(|&(u, v)| mis.black[u] && mis.black[v]).count();
+            uncovered += g
+                .nodes()
+                .filter(|&u| !mis.black[u] && !g.neighbors(u).iter().any(|&v| mis.black[v]))
+                .count();
+        }
+        out.metric(format!("mis_conflicts_drop{:.0}", p * 100.0), conflicts as f64 / 3.0);
+        out.line(format!(
+            "  {p:>10.1} {:>10.1} {:>12.2} {:>12.2}",
+            black as f64 / 3.0,
+            conflicts as f64 / 3.0,
+            uncovered as f64 / 3.0
+        ));
+    }
+
+    // CDS marking raw vs wrapped in Reliable: the raw run starves (lost
+    // neighbor lists leave nodes undecided), the wrapped run pays
+    // retransmissions and acks to decide exactly the centralized labels.
+    let central = csn_core::labeling::cds::marking(&g);
+    let faults = FaultModel::lossy(0.3, 4);
+    let (raw, raw_stats) = run_marking_protocol_with(&g, 300, 1, faults.clone());
+    let (rel, rel_stats, overhead) = run_marking_protocol_reliable(&g, 5000, faults);
+    let wrong = |black: &[bool]| black.iter().zip(&central).filter(|(a, b)| a != b).count();
+    out.line("CDS marking at drop 0.3, raw vs Reliable adapter:");
+    out.line(format!(
+        "  {:>10} {:>12} {:>10} {:>10} {:>8} {:>8}",
+        "variant", "wrong lbls", "rounds", "messages", "retx", "acks"
+    ));
+    out.line(format!(
+        "  {:>10} {:>12} {:>10} {:>10} {:>8} {:>8}",
+        "raw",
+        wrong(&raw.black),
+        raw_stats.rounds,
+        raw_stats.messages,
+        "-",
+        "-"
+    ));
+    out.line(format!(
+        "  {:>10} {:>12} {:>10} {:>10} {:>8} {:>8}",
+        "reliable",
+        wrong(&rel.black),
+        rel_stats.rounds,
+        rel_stats.messages,
+        overhead.retransmissions,
+        overhead.acks
+    ));
+    out.metric("marking_raw_wrong", wrong(&raw.black) as f64);
+    out.metric("marking_reliable_wrong", wrong(&rel.black) as f64);
+    out.metric("marking_reliable_retx", overhead.retransmissions as f64);
 }

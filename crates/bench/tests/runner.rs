@@ -8,6 +8,11 @@ use csn_bench::experiments::{run_experiment, run_reports, RunOptions, EXPERIMENT
 /// `cargo run -p csn-bench --release --bin experiments -- --exp e4 2>/dev/null`).
 const E4_SNAPSHOT: &str = include_str!("snapshots/e4.txt");
 
+/// Reference capture of the resilience experiment (regenerate with
+/// `cargo run -p csn-bench --release --bin experiments -- --exp e26 2>/dev/null`);
+/// gates that faulted simulator runs stay deterministic per seed.
+const E26_SNAPSHOT: &str = include_str!("snapshots/e26.txt");
+
 #[test]
 fn e4_render_matches_reference_capture_and_repeats() {
     let e4 = EXPERIMENTS.iter().find(|e| e.id == "e4").expect("e4 registered");
@@ -18,8 +23,17 @@ fn e4_render_matches_reference_capture_and_repeats() {
 }
 
 #[test]
+fn e26_render_matches_reference_capture_and_repeats() {
+    let e26 = EXPERIMENTS.iter().find(|e| e.id == "e26").expect("e26 registered");
+    let first = run_experiment(e26);
+    let second = run_experiment(e26);
+    assert_eq!(first.render(), E26_SNAPSHOT, "e26 text drifted from the committed capture");
+    assert_eq!(first.render(), second.render(), "faulted runs are not run-to-run deterministic");
+}
+
+#[test]
 fn registry_ids_are_unique_and_canonical() {
-    assert_eq!(EXPERIMENTS.len(), 25);
+    assert_eq!(EXPERIMENTS.len(), 26);
     for (i, exp) in EXPERIMENTS.iter().enumerate() {
         assert_eq!(exp.id, format!("e{}", i + 1));
         assert!(!exp.title.is_empty());
@@ -28,12 +42,12 @@ fn registry_ids_are_unique_and_canonical() {
 }
 
 #[test]
-fn jobs4_runs_all_25_exactly_once_without_output_corruption() {
+fn jobs4_runs_all_26_exactly_once_without_output_corruption() {
     let outcome = run_reports(&RunOptions { filter: String::new(), jobs: 4 });
-    assert_eq!(outcome.reports.len(), 25);
-    assert_eq!(outcome.summary.experiments, 25);
+    assert_eq!(outcome.reports.len(), 26);
+    assert_eq!(outcome.summary.experiments, 26);
     assert_eq!(outcome.summary.workers_used, 4);
-    assert_eq!(outcome.summary.timings.len(), 25);
+    assert_eq!(outcome.summary.timings.len(), 26);
 
     for (exp, report) in EXPERIMENTS.iter().zip(&outcome.reports) {
         // Exactly once, in registry order.
@@ -47,8 +61,10 @@ fn jobs4_runs_all_25_exactly_once_without_output_corruption() {
         assert!(!report.sections.is_empty(), "{}: empty body", exp.id);
     }
 
-    // The e4 report rendered from a parallel run must equal the serial
-    // reference capture byte-for-byte.
+    // Reports rendered from a parallel run must equal the serial reference
+    // captures byte-for-byte (the E9 lesson: text carries no timing).
     let e4 = outcome.reports.iter().find(|r| r.id == "e4").expect("e4 ran");
     assert_eq!(e4.render(), E4_SNAPSHOT, "parallel e4 text differs from serial capture");
+    let e26 = outcome.reports.iter().find(|r| r.id == "e26").expect("e26 ran");
+    assert_eq!(e26.render(), E26_SNAPSHOT, "parallel e26 text differs from serial capture");
 }

@@ -1,0 +1,298 @@
+//! [`Reliable`]: a generic stop-and-wait reliability adapter.
+//!
+//! Wrapping any [`Protocol`] in `Reliable<P>` turns the lossy channels of a
+//! [`crate::FaultModel`] into eventually-delivered ones: every payload gets
+//! a per-sender sequence number, receivers acknowledge and deduplicate, and
+//! unacknowledged payloads are retransmitted with bounded exponential
+//! backoff. Broadcasts are expanded into per-neighbor unicasts so each copy
+//! is tracked independently.
+//!
+//! The price is the §IV-C overhead this crate exists to measure: acks and
+//! retransmissions inflate the message count, and waiting out backoff
+//! timers inflates the round count. [`Reliable::overhead`] aggregates the
+//! per-node counters, and [`stats_with_overhead`] folds the retransmission
+//! total into [`RunStats::retransmissions`] so experiment reports carry it.
+//!
+//! Because a node with unacknowledged payloads is *silent* between backoff
+//! expiries, strict quiescence ("a round sent nothing") is no longer a
+//! convergence signal — use [`crate::Simulator::run_until_stable`] with a
+//! window larger than the backoff cap.
+//!
+//! # Examples
+//!
+//! ```
+//! use csn_distsim::{FaultModel, Reliable, Simulator, stats_with_overhead};
+//! use csn_distsim::{Envelope, Neighborhood, Protocol};
+//! use csn_graph::{generators, NodeId};
+//!
+//! // One-shot flood: node 0's token must reach everyone despite 60% loss.
+//! struct Flood;
+//! impl Protocol for Flood {
+//!     type State = (bool, bool);
+//!     type Msg = ();
+//!     fn init(&self, u: NodeId, _: &Neighborhood) -> Self::State { (u == 0, false) }
+//!     fn round(
+//!         &self,
+//!         _u: NodeId,
+//!         s: &mut Self::State,
+//!         _ctx: &Neighborhood,
+//!         inbox: &[(NodeId, ())],
+//!     ) -> Vec<Envelope<()>> {
+//!         if !s.0 && !inbox.is_empty() { s.0 = true; }
+//!         if s.0 && !s.1 { s.1 = true; return vec![Envelope::Broadcast(())]; }
+//!         vec![]
+//!     }
+//! }
+//!
+//! let g = generators::path(5);
+//! let reliable = Reliable::new(Flood);
+//! let mut sim = Simulator::with_faults(&g, &reliable, FaultModel::lossy(0.6, 42));
+//! let stats = sim.run_until_stable(2000, 2 * reliable.backoff_cap);
+//! assert!(stats.quiescent);
+//! assert!(sim.states().iter().all(|s| s.inner.0), "token reached everyone");
+//! let (stats, overhead) = stats_with_overhead(&sim);
+//! assert!(stats.retransmissions > 0, "60% loss forces retransmissions");
+//! assert_eq!(stats.retransmissions, overhead.retransmissions);
+//! ```
+
+use crate::{Envelope, Neighborhood, Protocol, RunStats, Simulator};
+use csn_graph::NodeId;
+use std::collections::HashSet;
+
+/// Wire format of the adapter: sequenced payloads and acknowledgments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReliableMsg<M> {
+    /// A payload with the sender's sequence number.
+    Data {
+        /// Per-sender sequence number (unique per `(sender, seq)` pair).
+        seq: u64,
+        /// The wrapped protocol's message.
+        payload: M,
+    },
+    /// Acknowledges receipt of the sender's `Data { seq, .. }`.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+/// An unacknowledged payload awaiting retransmission.
+#[derive(Debug, Clone)]
+struct Outstanding<M> {
+    to: NodeId,
+    seq: u64,
+    payload: M,
+    attempts: u32,
+    due: usize,
+}
+
+/// Per-node state of [`Reliable`]: the wrapped protocol's state plus the
+/// sequencing, retransmission, and deduplication bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ReliableState<S, M> {
+    /// The wrapped protocol's state.
+    pub inner: S,
+    /// Retransmissions performed by this node.
+    pub retransmissions: usize,
+    /// Acks this node sent.
+    pub acks_sent: usize,
+    /// Duplicate deliveries suppressed at this node.
+    pub duplicates_suppressed: usize,
+    /// Payloads abandoned (retry budget exhausted or neighbor gone).
+    pub gave_up: usize,
+    clock: usize,
+    next_seq: u64,
+    outstanding: Vec<Outstanding<M>>,
+    seen: HashSet<(NodeId, u64)>,
+}
+
+impl<S, M> ReliableState<S, M> {
+    /// Payloads still awaiting acknowledgment.
+    pub fn unacked(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    fn send_data(
+        &mut self,
+        out: &mut Vec<Envelope<ReliableMsg<M>>>,
+        to: NodeId,
+        payload: M,
+        timeout: usize,
+    ) where
+        M: Clone,
+    {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.outstanding.push(Outstanding {
+            to,
+            seq,
+            payload: payload.clone(),
+            attempts: 0,
+            due: self.clock + timeout,
+        });
+        out.push(Envelope::Unicast(to, ReliableMsg::Data { seq, payload }));
+    }
+}
+
+/// Aggregate adapter overhead across all nodes — the cost of reliability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub struct ReliableOverhead {
+    /// Total retransmissions.
+    pub retransmissions: usize,
+    /// Total acks sent.
+    pub acks: usize,
+    /// Total duplicate deliveries suppressed.
+    pub duplicates_suppressed: usize,
+    /// Total payloads abandoned.
+    pub gave_up: usize,
+    /// Payloads still unacknowledged at collection time.
+    pub unacked: usize,
+}
+
+/// The reliability adapter; see the [module docs](self).
+pub struct Reliable<P> {
+    /// The wrapped protocol.
+    pub inner: P,
+    /// Retransmission attempts per payload before giving up.
+    pub max_retx: u32,
+    /// Initial retransmission timeout in rounds (doubles per attempt).
+    pub backoff: usize,
+    /// Upper bound on the backoff timeout.
+    pub backoff_cap: usize,
+}
+
+impl<P> Reliable<P> {
+    /// Wraps `inner` with the default policy: 16 attempts, timeout 2 rounds
+    /// doubling up to 16.
+    pub fn new(inner: P) -> Self {
+        Reliable { inner, max_retx: 16, backoff: 2, backoff_cap: 16 }
+    }
+
+    /// Wraps `inner` with an effectively unbounded retry budget and a tight
+    /// timeout — eventual delivery on any channel with loss < 1, at maximal
+    /// message cost.
+    pub fn persistent(inner: P) -> Self {
+        Reliable { inner, max_retx: u32::MAX, backoff: 1, backoff_cap: 4 }
+    }
+
+    fn timeout_after(&self, attempts: u32) -> usize {
+        let cap = self.backoff_cap.max(1);
+        self.backoff.max(1).checked_shl(attempts).map_or(cap, |t| t.min(cap))
+    }
+}
+
+impl<P: Protocol> Reliable<P> {
+    /// Sums the per-node overhead counters of a finished (or running) sim.
+    pub fn overhead(states: &[ReliableState<P::State, P::Msg>]) -> ReliableOverhead {
+        let mut o = ReliableOverhead::default();
+        for s in states {
+            o.retransmissions += s.retransmissions;
+            o.acks += s.acks_sent;
+            o.duplicates_suppressed += s.duplicates_suppressed;
+            o.gave_up += s.gave_up;
+            o.unacked += s.outstanding.len();
+        }
+        o
+    }
+}
+
+impl<P: Protocol> Protocol for Reliable<P> {
+    type State = ReliableState<P::State, P::Msg>;
+    type Msg = ReliableMsg<P::Msg>;
+
+    fn init(&self, u: NodeId, ctx: &Neighborhood) -> Self::State {
+        ReliableState {
+            inner: self.inner.init(u, ctx),
+            retransmissions: 0,
+            acks_sent: 0,
+            duplicates_suppressed: 0,
+            gave_up: 0,
+            clock: 0,
+            next_seq: 0,
+            outstanding: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    fn round(
+        &self,
+        u: NodeId,
+        state: &mut Self::State,
+        ctx: &Neighborhood,
+        inbox: &[(NodeId, Self::Msg)],
+    ) -> Vec<Envelope<Self::Msg>> {
+        state.clock += 1;
+        let mut out = Vec::new();
+        let mut inner_inbox = Vec::new();
+        for (from, msg) in inbox {
+            match msg {
+                ReliableMsg::Data { seq, payload } => {
+                    out.push(Envelope::Unicast(*from, ReliableMsg::Ack { seq: *seq }));
+                    state.acks_sent += 1;
+                    if state.seen.insert((*from, *seq)) {
+                        inner_inbox.push((*from, payload.clone()));
+                    } else {
+                        state.duplicates_suppressed += 1;
+                    }
+                }
+                ReliableMsg::Ack { seq } => {
+                    state.outstanding.retain(|o| !(o.to == *from && o.seq == *seq));
+                }
+            }
+        }
+        for env in self.inner.round(u, &mut state.inner, ctx, &inner_inbox) {
+            match env {
+                Envelope::Unicast(to, m) => {
+                    state.send_data(&mut out, to, m, self.timeout_after(0));
+                }
+                Envelope::Broadcast(m) => {
+                    for i in 0..ctx.degree() {
+                        let v = ctx.neighbors()[i];
+                        state.send_data(&mut out, v, m.clone(), self.timeout_after(0));
+                    }
+                }
+            }
+        }
+        // Retransmit due payloads; abandon exhausted ones and payloads to
+        // departed neighbors (churn).
+        let clock = state.clock;
+        let mut gave_up = 0usize;
+        let mut retx: Vec<Envelope<Self::Msg>> = Vec::new();
+        let mut retx_count = 0usize;
+        state.outstanding.retain_mut(|o| {
+            if !ctx.neighbors().contains(&o.to) {
+                gave_up += 1;
+                return false;
+            }
+            if clock >= o.due {
+                if o.attempts >= self.max_retx {
+                    gave_up += 1;
+                    return false;
+                }
+                o.attempts += 1;
+                o.due = clock + self.timeout_after(o.attempts);
+                retx.push(Envelope::Unicast(
+                    o.to,
+                    ReliableMsg::Data { seq: o.seq, payload: o.payload.clone() },
+                ));
+                retx_count += 1;
+            }
+            true
+        });
+        state.gave_up += gave_up;
+        state.retransmissions += retx_count;
+        out.extend(retx);
+        out
+    }
+}
+
+/// The run's [`RunStats`] with [`RunStats::retransmissions`] filled from the
+/// adapter's per-node counters, plus the full [`ReliableOverhead`].
+pub fn stats_with_overhead<P: Protocol>(
+    sim: &Simulator<'_, Reliable<P>>,
+) -> (RunStats, ReliableOverhead) {
+    let overhead = Reliable::<P>::overhead(sim.states());
+    let mut stats = sim.stats();
+    stats.retransmissions = overhead.retransmissions;
+    (stats, overhead)
+}

@@ -1,0 +1,139 @@
+//! Property tests for the fault-injection subsystem (ISSUE 5 satellite):
+//!
+//! 1. **Determinism** — the same [`FaultModel`] (same seed) produces
+//!    bit-identical [`RunStats`] and final node states, even with loss,
+//!    delay, duplication, reordering, and churn all active at once.
+//! 2. **Conservation** — delay, duplication, and reordering never *lose*
+//!    messages: a flood still covers a connected graph, and the accounting
+//!    identity `sent + duplicated == messages + dropped + shed + in_flight`
+//!    holds at exit.
+//! 3. **Reliability** — `Reliable<Flood>` with a persistent retry policy
+//!    reaches every live node for any `drop_prob < 1`.
+
+use csn_distsim::{
+    ChurnSchedule, Envelope, FaultModel, Neighborhood, Protocol, Reliable, Simulator,
+};
+use csn_graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+
+/// One-shot flood: node 0 owns a token; every node forwards on first
+/// receipt. State: `(has_token, has_sent)`.
+struct Flood;
+impl Protocol for Flood {
+    type State = (bool, bool);
+    type Msg = ();
+    fn init(&self, u: NodeId, _ctx: &Neighborhood) -> Self::State {
+        (u == 0, false)
+    }
+    fn round(
+        &self,
+        _u: NodeId,
+        state: &mut Self::State,
+        _ctx: &Neighborhood,
+        inbox: &[(NodeId, ())],
+    ) -> Vec<Envelope<()>> {
+        if !state.0 && !inbox.is_empty() {
+            state.0 = true;
+        }
+        if state.0 && !state.1 {
+            state.1 = true;
+            return vec![Envelope::Broadcast(())];
+        }
+        vec![]
+    }
+}
+
+/// A connected graph: a cycle plus `chords` arbitrary extra edges.
+fn cycle_with_chords(n: usize, chords: &[(usize, usize)]) -> Graph {
+    let mut g = generators::cycle(n);
+    for &(a, b) in chords {
+        let (u, v) = (a % n, b % n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn same_fault_model_is_bit_identical(params in (
+        (6usize..32, 0u64..1_000_000),
+        (0.0f64..0.7, 0.0f64..0.5, 0.0f64..0.4),
+        0.0f64..0.08,
+    )) {
+        let ((n, seed), (drop, delay, dup), crash) = params;
+        let g = generators::erdos_renyi(n, 0.2, seed ^ 0xA5A5).unwrap();
+        let faults = FaultModel::lossy(drop, seed)
+            .with_delay(delay)
+            .with_duplication(dup)
+            .with_reorder()
+            .with_edge_drop(0, 1 % n.max(1), drop / 2.0)
+            .with_churn(ChurnSchedule::random(n, 60, crash, 4, seed).protect(0));
+        let run = |faults: FaultModel| {
+            let mut sim = Simulator::with_faults(&g, &Flood, faults);
+            let stats = sim.run_until_stable(120, 3);
+            (stats, sim.states().to_vec(), sim.in_flight())
+        };
+        let (s1, f1, in1) = run(faults.clone());
+        let (s2, f2, in2) = run(faults);
+        prop_assert_eq!(s1, s2, "same FaultModel, different RunStats");
+        prop_assert_eq!(f1, f2, "same FaultModel, different final states");
+        prop_assert_eq!(
+            s1.sent + s1.duplicated,
+            s1.messages + s1.dropped + s1.shed + in1,
+            "conservation law violated"
+        );
+        prop_assert_eq!(in1, in2);
+    }
+
+    #[test]
+    fn delay_dup_reorder_never_lose_messages(params in (
+        (4usize..24, 0u64..1_000_000),
+        proptest::collection::vec((0usize..24, 0usize..24), 0..6),
+        (0.0f64..0.6, 0.0f64..0.5),
+    )) {
+        let ((n, seed), chords, (delay, dup)) = params;
+        let g = cycle_with_chords(n, &chords);
+        let faults = FaultModel { seed, ..FaultModel::none() }
+            .with_delay(delay)
+            .with_duplication(dup)
+            .with_reorder();
+        let mut sim = Simulator::with_faults(&g, &Flood, faults);
+        let stats = sim.run_until_stable(2000, 2);
+        prop_assert!(stats.quiescent, "delay/dup/reorder must drain eventually");
+        prop_assert_eq!(sim.in_flight(), 0);
+        for u in g.nodes() {
+            prop_assert!(sim.state(u).0, "node {} missed the flood: nothing may be lost", u);
+        }
+        prop_assert_eq!(stats.dropped, 0);
+        prop_assert_eq!(stats.shed, 0);
+        prop_assert_eq!(stats.misrouted, 0);
+        prop_assert_eq!(
+            stats.messages, stats.sent + stats.duplicated,
+            "every send (and every duplicate) is delivered exactly once"
+        );
+    }
+
+    #[test]
+    fn reliable_flood_reaches_every_node_despite_loss(params in (
+        (4usize..16, 0u64..1_000_000),
+        proptest::collection::vec((0usize..16, 0usize..16), 0..4),
+        0.0f64..0.8,
+    )) {
+        let ((n, seed), chords, drop) = params;
+        let g = cycle_with_chords(n, &chords);
+        let reliable = Reliable::persistent(Flood);
+        let mut sim = Simulator::with_faults(&g, &reliable, FaultModel::lossy(drop, seed));
+        let stats = sim.run_until_stable(10_000, 2 * reliable.backoff_cap + 1);
+        prop_assert!(stats.quiescent, "persistent retry must drain for drop < 1");
+        for u in g.nodes() {
+            prop_assert!(
+                sim.state(u).inner.0,
+                "node {} missed the reliable flood at drop={}", u, drop
+            );
+        }
+    }
+}

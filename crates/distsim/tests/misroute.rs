@@ -1,0 +1,77 @@
+//! Release-mode demonstration of the misrouting fix (ISSUE 5 bugfix): a
+//! `Unicast` to a non-neighbor must be dropped and counted in
+//! `RunStats::misrouted`, never delivered — in *all* builds, not just under
+//! `debug_assert!`. This file compiles to nothing in debug builds (where
+//! the same misroute panics instead; see the `should_panic` unit test).
+#![cfg(not(debug_assertions))]
+
+use csn_distsim::{Envelope, Neighborhood, Protocol, Simulator};
+use csn_graph::{generators, NodeId};
+
+/// Node 0 unicasts to node 3 (two hops away) every round; everyone records
+/// whether they ever received anything.
+struct Teleporter;
+impl Protocol for Teleporter {
+    type State = bool;
+    type Msg = ();
+    fn init(&self, _u: NodeId, _ctx: &Neighborhood) -> bool {
+        false
+    }
+    fn round(
+        &self,
+        u: NodeId,
+        state: &mut bool,
+        _ctx: &Neighborhood,
+        inbox: &[(NodeId, ())],
+    ) -> Vec<Envelope<()>> {
+        if !inbox.is_empty() {
+            *state = true;
+        }
+        if u == 0 {
+            vec![Envelope::Unicast(3, ())]
+        } else {
+            vec![]
+        }
+    }
+}
+
+#[test]
+fn release_build_drops_and_counts_non_neighbor_unicasts() {
+    let g = generators::path(4);
+    let mut sim = Simulator::new(&g, &Teleporter);
+    for _ in 0..5 {
+        sim.step();
+    }
+    let stats = sim.stats();
+    assert_eq!(stats.misrouted, 5, "every teleport attempt is rejected");
+    assert_eq!(stats.sent, 0, "misroutes are not accepted for transmission");
+    assert_eq!(stats.messages, 0);
+    assert!(!sim.state(3), "the LOCAL model holds: node 3 never hears node 0");
+}
+
+#[test]
+fn out_of_range_targets_are_counted_not_panicking() {
+    struct OutOfRange;
+    impl Protocol for OutOfRange {
+        type State = ();
+        type Msg = ();
+        fn init(&self, _u: NodeId, _ctx: &Neighborhood) -> Self::State {}
+        fn round(
+            &self,
+            u: NodeId,
+            _state: &mut Self::State,
+            _ctx: &Neighborhood,
+            _inbox: &[(NodeId, ())],
+        ) -> Vec<Envelope<()>> {
+            if u == 0 {
+                vec![Envelope::Unicast(999, ())]
+            } else {
+                vec![]
+            }
+        }
+    }
+    let g = generators::path(3);
+    let mut sim = Simulator::new(&g, &OutOfRange);
+    sim.step();
+    assert_eq!(sim.stats().misrouted, 1);
+}

@@ -7,7 +7,7 @@
 //! convergence as the canonical weakness of distributed solutions; the
 //! count-to-infinity behavior after a failure is reproduced here.
 
-use csn_distsim::{Envelope, Neighborhood, Protocol, Simulator};
+use csn_distsim::{Envelope, FaultModel, Neighborhood, Protocol, RunStats, Simulator};
 use csn_graph::{Graph, NodeId};
 
 /// Distance label: hop count to the destination, capped at `horizon`
@@ -104,6 +104,31 @@ pub fn run(g: &Graph, dest: NodeId, horizon: usize, max_rounds: usize) -> BfOutc
         messages: stats.messages,
         converged: stats.quiescent,
     }
+}
+
+/// Runs distributed Bellman–Ford under a fault model — loss, delay,
+/// duplication, churn, or streamed topology deltas — detecting convergence
+/// with a stability window of `window` rounds (see
+/// [`Simulator::run_until_stable`]). Returns the outcome plus the full
+/// [`RunStats`] so experiments can report the §IV-C message overhead.
+pub fn run_resilient(
+    g: &Graph,
+    dest: NodeId,
+    horizon: usize,
+    max_rounds: usize,
+    window: usize,
+    faults: FaultModel,
+) -> (BfOutcome, RunStats) {
+    let protocol = BellmanFord { dest, horizon };
+    let mut sim = Simulator::with_faults(g, &protocol, faults);
+    let stats = sim.run_until_stable(max_rounds, window);
+    let outcome = BfOutcome {
+        labels: sim.states().iter().map(|s| s.label).collect(),
+        rounds: stats.rounds,
+        messages: stats.messages,
+        converged: stats.quiescent,
+    };
+    (outcome, stats)
 }
 
 /// Runs Bellman–Ford, then removes edge `(a, b)` and continues from the
@@ -230,6 +255,31 @@ mod tests {
         let truth = bfs_distances(&g2, 0);
         for u in g.nodes() {
             assert_eq!(after.labels[u].dist, truth[u], "node {u}");
+        }
+    }
+
+    #[test]
+    fn resilient_without_faults_matches_plain_run() {
+        let g = generators::erdos_renyi(30, 0.12, 6).unwrap();
+        let plain = run(&g, 0, 64, 1000);
+        let (resilient, stats) = run_resilient(&g, 0, 64, 1000, 1, FaultModel::none());
+        assert_eq!(plain, resilient);
+        assert!(stats.quiescent);
+        assert_eq!(stats.sent, stats.messages);
+    }
+
+    #[test]
+    fn loss_never_shortens_distance_estimates() {
+        // Lost advertisements can only hide shorter routes, so every
+        // surviving label is an overestimate (or the horizon).
+        let g = generators::erdos_renyi(40, 0.1, 12).unwrap();
+        let truth = bfs_distances(&g, 0);
+        let (out, stats) = run_resilient(&g, 0, 64, 2000, 3, FaultModel::lossy(0.4, 21));
+        assert!(stats.dropped > 0);
+        assert_eq!(stats.sent, stats.messages + stats.dropped, "accounting reconciles");
+        for u in g.nodes() {
+            let lower = if truth[u] == usize::MAX { 64 } else { truth[u] };
+            assert!(out.labels[u].dist >= lower, "node {u} beat the true distance");
         }
     }
 

@@ -8,7 +8,10 @@
 //! Tests assert the message-passing runs reproduce the centralized labels
 //! exactly on fault-free networks.
 
-use csn_distsim::{Envelope, Neighborhood, Protocol, Simulator};
+use csn_distsim::{
+    stats_with_overhead, Envelope, FaultModel, Neighborhood, Protocol, Reliable, ReliableOverhead,
+    RunStats, Simulator,
+};
 use csn_graph::{Graph, NodeId};
 
 /// Messages of the three-color MIS election.
@@ -125,6 +128,26 @@ pub fn run_mis_protocol(g: &Graph, priority: &[u64], max_rounds: usize) -> Proto
     }
 }
 
+/// Runs the MIS election under a fault model with a stability-window
+/// convergence detector; returns the outcome plus the full [`RunStats`].
+pub fn run_mis_protocol_with(
+    g: &Graph,
+    priority: &[u64],
+    max_rounds: usize,
+    window: usize,
+    faults: FaultModel,
+) -> (ProtocolOutcome, RunStats) {
+    let protocol = MisProtocol { priority: priority.to_vec() };
+    let mut sim = Simulator::with_faults(g, &protocol, faults);
+    let stats = sim.run_until_stable(max_rounds, window);
+    let outcome = ProtocolOutcome {
+        black: sim.states().iter().map(|s| s.color == MisState::Black).collect(),
+        rounds: stats.rounds,
+        messages: stats.messages,
+    };
+    (outcome, stats)
+}
+
 /// The marking process (black iff two unconnected neighbors) as a protocol:
 /// round 1, everyone broadcasts its neighbor list; round 2, each node
 /// checks pairwise adjacency of its neighbors from the received lists.
@@ -198,6 +221,46 @@ pub fn run_marking_protocol(g: &Graph) -> ProtocolOutcome {
     }
 }
 
+/// Runs the marking protocol raw under a fault model; lost neighbor lists
+/// leave nodes undecided (their `tables` never fill), reproducing the
+/// §IV-C view-inconsistency failure.
+pub fn run_marking_protocol_with(
+    g: &Graph,
+    max_rounds: usize,
+    window: usize,
+    faults: FaultModel,
+) -> (ProtocolOutcome, RunStats) {
+    let mut sim = Simulator::with_faults(g, &MarkingProtocol, faults);
+    let stats = sim.run_until_stable(max_rounds, window);
+    let outcome = ProtocolOutcome {
+        black: sim.states().iter().map(|s| s.black).collect(),
+        rounds: stats.rounds,
+        messages: stats.messages,
+    };
+    (outcome, stats)
+}
+
+/// Runs the marking protocol wrapped in [`Reliable`] under a fault model:
+/// retransmission masks the loss, so every node decides, at the message
+/// and round overhead reported in the returned [`ReliableOverhead`].
+pub fn run_marking_protocol_reliable(
+    g: &Graph,
+    max_rounds: usize,
+    faults: FaultModel,
+) -> (ProtocolOutcome, RunStats, ReliableOverhead) {
+    let reliable = Reliable::persistent(MarkingProtocol);
+    let mut sim = Simulator::with_faults(g, &reliable, faults);
+    let window = 2 * reliable.backoff_cap + 1;
+    sim.run_until_stable(max_rounds, window);
+    let (stats, overhead) = stats_with_overhead(&sim);
+    let outcome = ProtocolOutcome {
+        black: sim.states().iter().map(|s| s.inner.black).collect(),
+        rounds: stats.rounds,
+        messages: stats.messages,
+    };
+    (outcome, stats, overhead)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +299,35 @@ mod tests {
             assert_eq!(protocol.black, central, "trial {trial}");
             assert!(protocol.rounds <= 4, "marking is localized: {}", protocol.rounds);
         }
+    }
+
+    #[test]
+    fn faulted_mis_is_deterministic_and_faultless_matches_plain() {
+        let g = generators::erdos_renyi(40, 0.1, 77).unwrap();
+        let priority: Vec<u64> = (0..40).collect();
+        let plain = run_mis_protocol(&g, &priority, 1000);
+        let (clean, _) = run_mis_protocol_with(&g, &priority, 1000, 1, FaultModel::none());
+        assert_eq!(plain, clean);
+        let faults = FaultModel::lossy(0.3, 5).with_delay(0.2);
+        let (a, sa) = run_mis_protocol_with(&g, &priority, 1000, 3, faults.clone());
+        let (b, sb) = run_mis_protocol_with(&g, &priority, 1000, 3, faults);
+        assert_eq!(a, b, "same fault seed, same outcome");
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn lossy_marking_leaves_nodes_undecided_but_reliable_marking_decides() {
+        let g = generators::erdos_renyi(40, 0.15, 42).unwrap();
+        let central = crate::cds::marking(&g);
+        let faults = FaultModel::lossy(0.4, 9);
+        let (raw, raw_stats) = run_marking_protocol_with(&g, 200, 1, faults.clone());
+        assert!(raw_stats.dropped > 0);
+        assert_ne!(raw.black, central, "lost neighbor lists starve the decision rule");
+        let (rel, rel_stats, overhead) = run_marking_protocol_reliable(&g, 5000, faults);
+        assert_eq!(rel.black, central, "retransmission masks the loss");
+        assert!(overhead.retransmissions > 0);
+        assert_eq!(rel_stats.retransmissions, overhead.retransmissions);
+        assert!(rel_stats.messages > raw_stats.messages, "reliability costs messages");
     }
 
     #[test]

@@ -100,6 +100,20 @@ impl SnapshotCursor {
         &self.graph
     }
 
+    /// The edges whose label run starts at `t` (empty outside the horizon).
+    /// Together with [`SnapshotCursor::disappearing_at`] this exposes the
+    /// precomputed per-time-unit deltas, e.g. for replaying the trace as
+    /// topology events in a downstream simulator.
+    pub fn appearing_at(&self, t: TimeUnit) -> &[(NodeId, NodeId)] {
+        self.appear.get(t as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// The edges whose label run ended at `t - 1` (empty outside the
+    /// horizon).
+    pub fn disappearing_at(&self, t: TimeUnit) -> &[(NodeId, NodeId)] {
+        self.disappear.get(t as usize).map_or(&[], Vec::as_slice)
+    }
+
     /// Steps to the next time unit, applying that instant's edge deltas.
     /// Returns `false` (without moving) once the last time unit of the
     /// horizon is reached.

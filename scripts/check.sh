@@ -14,7 +14,12 @@ echo "==> cargo doc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 
 echo "==> cargo test"
+# Includes the e26 resilience snapshot gate (serial == parallel rendered
+# text) and the fault_props proptest suite in csn-distsim.
 cargo test --workspace --offline -q
+
+echo "==> cargo test -p csn-distsim --release (misroute validation without debug asserts)"
+cargo test -p csn-distsim --release --offline -q
 
 echo "==> BENCH_kernels.json schema freshness"
 # Must run BEFORE the smoke regenerates the file: the committed artifact has
