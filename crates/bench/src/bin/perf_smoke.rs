@@ -21,9 +21,19 @@
 //! 4. **Faulted-run determinism gate** — two distributed Bellman–Ford runs
 //!    under the same `FaultModel` (loss + delay + duplication + reorder +
 //!    churn, one seed) must produce bit-identical outcomes and `RunStats`.
+//! 5. **Scale tier (`--scale`)** — runs *instead of* the tiers above: the
+//!    million-node substrate gates (streamed compact CSR ≡ adjacency build,
+//!    sampled centrality ≡ exact at full sampling and within the documented
+//!    ε at quarter sampling, all on small graphs) plus throughput at
+//!    `--scale-nodes` (default 10⁶): edges/s built per streaming generator,
+//!    bytes/node for standard vs compact vs delta CSR, and traversed
+//!    edges/s per kernel. Written to `BENCH_scale.json`
+//!    (or `--scale-out <path>`); see SCALING.md for how to read it.
 //!
 //! Usage: `cargo run -p csn-bench --release --bin perf_smoke \
 //!   [-- --out BENCH_csr.json --kernels-out BENCH_kernels.json]`
+//! or: `cargo run -p csn-bench --release --bin perf_smoke -- --scale \
+//!   [--scale-nodes 1000000 --scale-out BENCH_scale.json]`
 
 use csn_core::graph::centrality::{betweenness_centrality, brandes_delta};
 use csn_core::graph::generators;
@@ -83,8 +93,310 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+#[derive(Serialize)]
+struct ScaleGates {
+    stream_matches_graph: bool,
+    geometric_matches_reference: bool,
+    approx_full_sample_exact: bool,
+    sampled_within_epsilon: bool,
+    sampled_par_matches_serial: bool,
+    delta_round_trip: bool,
+}
+
+#[derive(Serialize)]
+struct GenBuild {
+    generator: String,
+    nodes: usize,
+    edges: usize,
+    build_secs: f64,
+    edges_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct MemRow {
+    representation: String,
+    heap_bytes: usize,
+    bytes_per_node: f64,
+}
+
+#[derive(Serialize)]
+struct KernelRow {
+    kernel: String,
+    representation: String,
+    samples: usize,
+    wall_secs: f64,
+    traversed_edges_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchScale {
+    schema: String,
+    git_rev: String,
+    detected_cores: usize,
+    scale_nodes: usize,
+    gate_graph: String,
+    gates: ScaleGates,
+    epsilon_samples: usize,
+    epsilon_bound: f64,
+    epsilon_measured: f64,
+    generators: Vec<GenBuild>,
+    memory: Vec<MemRow>,
+    kernels: Vec<KernelRow>,
+}
+
+/// The `--scale` tier: small-graph ε-agreement gates (exit code) plus
+/// throughput at `nodes` (informational; the CI box may be 1-core).
+fn run_scale(args: &[String]) {
+    use csn_core::graph::approx;
+    use csn_core::graph::centrality::closeness_centrality;
+    use csn_core::graph::compact::DeltaCsrGraph;
+    use csn_core::graph::parallel::betweenness_sampled_par;
+    use csn_core::graph::stream::{
+        BaStream, EdgeStream, GeometricStream, GnutellaStream, KleinbergStream,
+    };
+    use csn_core::graph::traversal::bfs_distances;
+    use csn_core::graph::view::GraphView;
+
+    let nodes = args
+        .iter()
+        .position(|a| a == "--scale-nodes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1_000_000);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--scale-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let cores = csn_bench::pool::available_parallelism();
+
+    // --- Small-graph gates: exact answers are affordable here, so every
+    // approximation is checked against them (bitwise where documented).
+    let (gn, gm, gseed) = (600usize, 3usize, 42u64);
+    let small = generators::barabasi_albert(gn, gm, gseed).expect("BA params");
+    let small_c =
+        BaStream::new(gn, gm, gseed).expect("BA params").to_compact_csr().expect("fits u32");
+    let exact_bc = betweenness_centrality(&small);
+    let exact_cc = closeness_centrality(&small);
+    let stream_matches_graph =
+        small_c.thaw() == small && betweenness_centrality(&small_c) == exact_bc;
+    if !stream_matches_graph {
+        eprintln!("FAIL: streamed compact CSR differs from adjacency-list BA build");
+    }
+    let geo_stream = GeometricStream::new(400, 0.06, 7).expect("geometric params");
+    let geometric_matches_reference = geo_stream.to_compact_csr().expect("fits u32").thaw()
+        == generators::random_geometric(400, 0.06, 7).graph;
+    if !geometric_matches_reference {
+        eprintln!("FAIL: GeometricStream differs from the quadratic reference");
+    }
+    let approx_full_sample_exact = approx::betweenness_sampled(&small, gn, 5) == exact_bc
+        && approx::closeness_sampled(&small, gn, 5) == exact_cc;
+    if !approx_full_sample_exact {
+        eprintln!("FAIL: full-sample approx kernels are not bit-identical to exact");
+    }
+    let eps_k = gn / 4;
+    let sampled = approx::betweenness_sampled(&small, eps_k, 17);
+    let epsilon_bound = approx::betweenness_epsilon(gn, eps_k, 0.05);
+    let pair_norm = ((gn - 1) * (gn - 2)) as f64 / 2.0;
+    let epsilon_measured = exact_bc
+        .iter()
+        .zip(&sampled)
+        .map(|(e, a)| (e - a).abs() / pair_norm)
+        .fold(0.0f64, f64::max);
+    let sampled_within_epsilon = epsilon_measured <= epsilon_bound;
+    if !sampled_within_epsilon {
+        eprintln!(
+            "FAIL: sampled betweenness deviates {epsilon_measured:.6} > bound {epsilon_bound:.6}"
+        );
+    }
+    let mut sampled_par_matches_serial = true;
+    for jobs in [1usize, 2, 4, 7] {
+        if betweenness_sampled_par(&small, eps_k, 17, jobs) != sampled {
+            eprintln!("FAIL: betweenness_sampled_par(jobs={jobs}) differs from serial sampled");
+            sampled_par_matches_serial = false;
+        }
+    }
+    let small_d = DeltaCsrGraph::from_compact(&small_c).expect("fits u32");
+    let delta_round_trip = GraphView::edge_count(&small_d) == small.edge_count()
+        && GraphView::degrees(&small_d) == GraphView::degrees(&small)
+        && bfs_distances(&small_d, 0) == bfs_distances(&small, 0);
+    if !delta_round_trip {
+        eprintln!("FAIL: delta CSR disagrees with the graph it encodes");
+    }
+
+    // --- Throughput tier at `nodes` (informational). Each generator builds
+    // straight into compact CSR; edges/s counts undirected edges.
+    let mut gen_rows = Vec::new();
+    let ba = BaStream::new(nodes, 3, 1).expect("BA params");
+    let (ba_c, t) = timed(|| ba.to_compact_csr().expect("fits u32"));
+    let ba_edges = GraphView::edge_count(&ba_c);
+    gen_rows.push(GenBuild {
+        generator: format!("barabasi_albert(n={nodes}, m=3)"),
+        nodes,
+        edges: ba_edges,
+        build_secs: t,
+        edges_per_sec: ba_edges as f64 / t,
+    });
+    // Radius chosen for expected average degree ~6: n·πr² ≈ 6.
+    let radius = (6.0 / (std::f64::consts::PI * nodes as f64)).sqrt();
+    let (geo_c, t) = timed(|| {
+        GeometricStream::new(nodes, radius, 2)
+            .expect("geometric params")
+            .to_compact_csr()
+            .expect("fits u32")
+    });
+    gen_rows.push(GenBuild {
+        generator: format!("random_geometric(n={nodes}, r={radius:.5})"),
+        nodes,
+        edges: GraphView::edge_count(&geo_c),
+        build_secs: t,
+        edges_per_sec: GraphView::edge_count(&geo_c) as f64 / t,
+    });
+    drop(geo_c);
+    let side = (nodes as f64).sqrt() as usize;
+    let (kg_c, t) = timed(|| {
+        KleinbergStream::new(side, 1, 2.0, 3)
+            .expect("kleinberg params")
+            .to_compact_csr()
+            .expect("fits u32")
+    });
+    gen_rows.push(GenBuild {
+        generator: format!("kleinberg_grid(side={side}, q=1, alpha=2)"),
+        nodes: side * side,
+        edges: GraphView::edge_count(&kg_c),
+        build_secs: t,
+        edges_per_sec: GraphView::edge_count(&kg_c) as f64 / t,
+    });
+    drop(kg_c);
+    let (gnu_c, t) = timed(|| {
+        GnutellaStream::new(nodes, 3, 64, 0.05, 4)
+            .expect("gnutella params")
+            .to_compact_csr()
+            .expect("fits u32")
+    });
+    gen_rows.push(GenBuild {
+        generator: format!("gnutella_like(n={nodes}, m=3, cap=64, extra=0.05)"),
+        nodes,
+        edges: GraphView::edge_count(&gnu_c),
+        build_secs: t,
+        edges_per_sec: GraphView::edge_count(&gnu_c) as f64 / t,
+    });
+    drop(gnu_c);
+
+    // --- Memory: the same BA graph in the three frozen representations.
+    let ba_graph = ba.to_graph();
+    let std_csr = ba_graph.freeze();
+    let ba_d = DeltaCsrGraph::from_compact(&ba_c).expect("fits u32");
+    let memory = vec![
+        MemRow {
+            representation: "csr_usize".into(),
+            heap_bytes: std_csr.heap_bytes(),
+            bytes_per_node: std_csr.heap_bytes() as f64 / nodes as f64,
+        },
+        MemRow {
+            representation: "compact_csr_u32".into(),
+            heap_bytes: ba_c.heap_bytes(),
+            bytes_per_node: ba_c.heap_bytes() as f64 / nodes as f64,
+        },
+        MemRow {
+            representation: "delta_csr_varint".into(),
+            heap_bytes: ba_d.heap_bytes(),
+            bytes_per_node: ba_d.heap_bytes() as f64 / nodes as f64,
+        },
+    ];
+    drop(std_csr);
+    drop(ba_graph);
+    drop(ba_d);
+
+    // --- Kernel throughput on the compact BA graph. A BFS relaxes every
+    // packed entry once: 2·edge_count traversed edges per source.
+    let samples = 32usize.min(nodes);
+    let per_source = 2 * ba_edges;
+    let (_, t_bfs) = timed(|| bfs_distances(&ba_c, 0));
+    let (_, t_bs) = timed(|| approx::betweenness_sampled(&ba_c, samples, 9));
+    let (_, t_cs) = timed(|| approx::closeness_sampled(&ba_c, samples, 9));
+    let (_, t_bsp) = timed(|| betweenness_sampled_par(&ba_c, samples, 9, cores));
+    let kernels = vec![
+        KernelRow {
+            kernel: "bfs_distances".into(),
+            representation: "compact_csr".into(),
+            samples: 1,
+            wall_secs: t_bfs,
+            traversed_edges_per_sec: per_source as f64 / t_bfs,
+        },
+        KernelRow {
+            kernel: "betweenness_sampled".into(),
+            representation: "compact_csr".into(),
+            samples,
+            wall_secs: t_bs,
+            traversed_edges_per_sec: (samples * per_source) as f64 / t_bs,
+        },
+        KernelRow {
+            kernel: "closeness_sampled".into(),
+            representation: "compact_csr".into(),
+            samples,
+            wall_secs: t_cs,
+            traversed_edges_per_sec: (samples * per_source) as f64 / t_cs,
+        },
+        KernelRow {
+            kernel: format!("betweenness_sampled_par(jobs={cores})"),
+            representation: "compact_csr".into(),
+            samples,
+            wall_secs: t_bsp,
+            traversed_edges_per_sec: (samples * per_source) as f64 / t_bsp,
+        },
+    ];
+
+    let gates = ScaleGates {
+        stream_matches_graph,
+        geometric_matches_reference,
+        approx_full_sample_exact,
+        sampled_within_epsilon,
+        sampled_par_matches_serial,
+        delta_round_trip,
+    };
+    let all_ok = gates.stream_matches_graph
+        && gates.geometric_matches_reference
+        && gates.approx_full_sample_exact
+        && gates.sampled_within_epsilon
+        && gates.sampled_par_matches_serial
+        && gates.delta_round_trip;
+    let doc = BenchScale {
+        schema: "structura-bench-scale-v1".to_string(),
+        git_rev: git_rev(),
+        detected_cores: cores,
+        scale_nodes: nodes,
+        gate_graph: format!("barabasi_albert({gn}, {gm}, seed={gseed})"),
+        gates,
+        epsilon_samples: eps_k,
+        epsilon_bound,
+        epsilon_measured,
+        generators: gen_rows,
+        memory,
+        kernels,
+    };
+    if let Err(e) = std::fs::write(&out_path, serde::json::to_string_pretty(&doc)) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "scale smoke at n={nodes}: BA build {:.3}s ({:.0} edges/s); \
+         sampled betweenness k={samples} {t_bs:.3}s; ε measured {epsilon_measured:.6} \
+         vs bound {epsilon_bound:.6} ({cores} core(s)); wrote {out_path}",
+        doc.generators[0].build_secs, doc.generators[0].edges_per_sec
+    );
+    if !all_ok {
+        std::process::exit(1);
+    }
+    println!("scale smoke OK: streamed CSR, sampled kernels, and ε-gates all agree");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--scale") {
+        run_scale(&args);
+        return;
+    }
     let out_path = args
         .iter()
         .position(|a| a == "--out")

@@ -1,0 +1,614 @@
+//! Compact-index CSR graphs for the million-node substrate tier.
+//!
+//! [`crate::CsrGraph`] stores offsets and targets as `usize` — 8 bytes per
+//! adjacency entry on 64-bit targets. At n = 10⁶–10⁷ the adjacency array
+//! dominates the working set of every traversal kernel, so halving its
+//! element width halves the memory traffic of the hot loops. This module
+//! provides two frozen representations behind the same [`GraphView`] trait
+//! every generic kernel already accepts:
+//!
+//! * [`CompactCsrGraph`] — `u32` node ids and `u32` CSR offsets, neighbor
+//!   order preserved exactly (like [`crate::CsrGraph`]), so order-sensitive
+//!   kernels produce **bit-identical** output on it.
+//! * [`DeltaCsrGraph`] — rows sorted ascending and stored as varint-encoded
+//!   deltas (gap encoding), trading decode CPU for another ~2× size
+//!   reduction on local/clustered graphs. Neighbor order is *normalized*
+//!   (sorted), so only order-insensitive kernels (distances, components,
+//!   cores, degrees) are guaranteed identical.
+//!
+//! Construction never builds an intermediate adjacency list: the
+//! [`crate::stream::EdgeStream`] generators replay their (deterministic)
+//! edge sequence twice — one pass to count degrees, one pass to fill rows —
+//! so building a compact CSR for n = 10⁶ peaks at the size of the finished
+//! arrays plus the generator's own state.
+//!
+//! All entry points validate that node ids and packed adjacency entries fit
+//! in `u32` and return [`GraphError::IndexOverflow`] instead of wrapping.
+//!
+//! # Performance
+//!
+//! Per adjacency entry, [`CompactCsrGraph`] stores 4 bytes against
+//! [`crate::CsrGraph`]'s 8; per node it stores a 4-byte offset against 8.
+//! For a Barabási–Albert graph with m = 3 (6 directed entries per node)
+//! that is 28 vs 56 heap bytes per node — the measured numbers live in the
+//! committed `BENCH_scale.json` (see SCALING.md). [`DeltaCsrGraph`] encodes
+//! most gaps in 1–2 bytes; its decode cost makes it a storage/streaming
+//! format, with [`CompactCsrGraph`] as the compute representation.
+//! [`CompactCsrGraph::heap_bytes`] and friends report the actual allocation
+//! so benchmarks measure rather than estimate.
+//!
+//! # Examples
+//!
+//! ```
+//! use csn_graph::{Graph, GraphView, compact::CompactCsrGraph};
+//!
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+//! let c = CompactCsrGraph::from_graph(&g).unwrap();
+//! assert_eq!(c.node_count(), 4);
+//! assert_eq!(c.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+//! assert_eq!(c.thaw(), g);
+//! ```
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use crate::view::GraphView;
+
+/// Largest value representable in the compact index space.
+const U32_LIMIT: usize = u32::MAX as usize;
+
+/// Checked narrowing for the compact representations: values that do not
+/// fit in `u32` become a typed [`GraphError::IndexOverflow`], never a wrap.
+pub(crate) fn to_u32(value: usize, what: &'static str) -> Result<u32, GraphError> {
+    u32::try_from(value).map_err(|_| GraphError::IndexOverflow { what, value, max: U32_LIMIT })
+}
+
+/// Neighbor iterator over a `u32` target slice, widening to [`NodeId`].
+pub type CompactNeighbors<'a> = std::iter::Map<std::slice::Iter<'a, u32>, fn(&u32) -> NodeId>;
+
+/// How a streamed build arranges each node's row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOrder {
+    /// Keep the emission order (matches [`Graph::add_edge`] order, so
+    /// kernels are bit-identical to the adjacency-list build). Requires the
+    /// stream to emit each undirected edge exactly once.
+    Emission,
+    /// Sort each row ascending and drop duplicates (for streams that may
+    /// emit an edge more than once, e.g. independently chosen long-range
+    /// contacts from both endpoints).
+    SortedDedup,
+}
+
+/// A frozen undirected graph in compact CSR form: `u32` node ids, `u32`
+/// offsets, neighbor order preserved.
+///
+/// Implements [`GraphView`], so every generic kernel runs on it unchanged —
+/// and, because freezing preserves adjacency order, order-sensitive kernels
+/// (DFS preorder, Brandes accumulation) produce bit-identical results to
+/// the [`Graph`] it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactCsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    edge_count: usize,
+}
+
+impl CompactCsrGraph {
+    /// Freezes `g` into compact CSR form, preserving neighbor order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::IndexOverflow`] if the node count or the
+    /// number of packed adjacency entries (`2 · edge_count`) exceeds
+    /// `u32::MAX`.
+    pub fn from_graph(g: &Graph) -> Result<Self, GraphError> {
+        let n = g.node_count();
+        to_u32(n, "node count")?;
+        let entries = 2 * g.edge_count();
+        to_u32(entries, "adjacency entries")?;
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut targets = Vec::with_capacity(entries);
+        for u in g.nodes() {
+            for &v in Graph::neighbors(g, u) {
+                targets.push(v as u32);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Ok(CompactCsrGraph { offsets, targets, edge_count: g.edge_count() })
+    }
+
+    /// Builds a compact CSR directly from a replayable edge stream without
+    /// any intermediate adjacency structure. The stream is replayed twice
+    /// (degree-count pass, fill pass) and **must** emit the identical edge
+    /// sequence both times — the deterministic seeded generators in
+    /// [`crate::stream`] satisfy this by construction.
+    ///
+    /// With [`RowOrder::Emission`] each row keeps the order in which its
+    /// entries were emitted (matching what [`Graph::add_edge`] would have
+    /// stored); duplicate edges are **not** detected and would corrupt the
+    /// edge count. With [`RowOrder::SortedDedup`] rows are sorted and
+    /// duplicates removed, so streams with rare double emissions stay
+    /// simple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::IndexOverflow`] if `n` or the emitted entry
+    /// count exceeds `u32::MAX`, and [`GraphError::NodeOutOfRange`] /
+    /// [`GraphError::SelfLoop`] for invalid emissions.
+    pub fn from_edge_stream(
+        n: usize,
+        order: RowOrder,
+        mut replay: impl FnMut(&mut dyn FnMut(NodeId, NodeId)),
+    ) -> Result<Self, GraphError> {
+        to_u32(n, "node count")?;
+        // Pass 1: count degrees (duplicates included; SortedDedup compacts
+        // after the fill pass).
+        let mut degree = vec![0u32; n];
+        let mut emitted = 0usize;
+        let mut bad: Option<GraphError> = None;
+        replay(&mut |u, v| {
+            if bad.is_some() {
+                return;
+            }
+            if u >= n || v >= n {
+                bad = Some(GraphError::NodeOutOfRange { node: u.max(v), node_count: n });
+                return;
+            }
+            if u == v {
+                bad = Some(GraphError::SelfLoop(u));
+                return;
+            }
+            degree[u] += 1;
+            degree[v] += 1;
+            emitted += 1;
+        });
+        if let Some(e) = bad {
+            return Err(e);
+        }
+        to_u32(2 * emitted, "adjacency entries")?;
+
+        // Exclusive prefix sums -> row start cursors.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0u32);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; acc as usize];
+
+        // Pass 2: fill. The stream contract guarantees the same sequence,
+        // so the cursors land exactly on the counted slots.
+        let mut filled = 0usize;
+        replay(&mut |u, v| {
+            targets[cursor[u] as usize] = v as u32;
+            cursor[u] += 1;
+            targets[cursor[v] as usize] = u as u32;
+            cursor[v] += 1;
+            filled += 1;
+        });
+        assert_eq!(filled, emitted, "edge stream replay emitted a different sequence length");
+
+        let mut g = CompactCsrGraph { offsets, targets, edge_count: emitted };
+        if order == RowOrder::SortedDedup {
+            g.sort_dedup_rows();
+        }
+        Ok(g)
+    }
+
+    /// Sorts every row ascending, removes duplicate entries, and re-packs
+    /// the arrays. A duplicate undirected edge appears in both endpoint
+    /// rows, so per-row dedup keeps the representation consistent.
+    fn sort_dedup_rows(&mut self) {
+        let n = self.node_count();
+        let mut write = 0usize;
+        let mut read_start = 0usize;
+        for u in 0..n {
+            let read_end = self.offsets[u + 1] as usize;
+            self.targets[read_start..read_end].sort_unstable();
+            let row_start = write;
+            let mut last = u32::MAX;
+            for i in read_start..read_end {
+                let t = self.targets[i];
+                if i == read_start || t != last {
+                    self.targets[write] = t;
+                    write += 1;
+                }
+                last = t;
+            }
+            self.offsets[u] = row_start as u32;
+            read_start = read_end;
+        }
+        self.offsets[n] = write as u32;
+        self.targets.truncate(write);
+        debug_assert_eq!(write % 2, 0, "rows must pair up");
+        self.edge_count = write / 2;
+    }
+
+    /// Neighbors of `u` as a slice of the packed `u32` target array.
+    pub fn neighbor_slice(&self, u: NodeId) -> &[u32] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Thaws back into a mutable adjacency-list [`Graph`] with the same
+    /// edge set (and, for [`RowOrder::Emission`] builds and
+    /// [`Self::from_graph`], the same neighbor order).
+    pub fn thaw(&self) -> Graph {
+        let mut g = Graph::new(self.node_count());
+        for u in self.nodes() {
+            for &v in self.neighbor_slice(u) {
+                if u < v as usize {
+                    g.add_edge(u, v as usize);
+                }
+            }
+        }
+        g
+    }
+
+    /// Heap bytes held by the CSR arrays (capacity, not just length) — the
+    /// number `BENCH_scale.json` reports as `compact_csr` bytes per node.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.targets.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+impl GraphView for CompactCsrGraph {
+    type Neighbors<'a> = CompactNeighbors<'a>;
+
+    fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    fn neighbors(&self, u: NodeId) -> CompactNeighbors<'_> {
+        self.neighbor_slice(u).iter().map(|&v| v as NodeId)
+    }
+}
+
+/// Appends `value` as a LEB128 varint (7 bits per byte, high bit = "more").
+fn push_varint(bytes: &mut Vec<u8>, mut value: u32) {
+    while value >= 0x80 {
+        bytes.push((value as u8 & 0x7f) | 0x80);
+        value >>= 7;
+    }
+    bytes.push(value as u8);
+}
+
+/// Decodes one LEB128 varint starting at `pos`; returns `(value, next_pos)`.
+fn read_varint(bytes: &[u8], mut pos: usize) -> (u32, usize) {
+    let mut value = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[pos];
+        pos += 1;
+        value |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return (value, pos);
+        }
+        shift += 7;
+    }
+}
+
+/// A frozen undirected graph with delta-compressed rows: each row is sorted
+/// ascending and stored as varints — the first entry absolute, the rest as
+/// gaps to the previous entry.
+///
+/// Neighbor order is normalized (sorted), so only order-insensitive kernels
+/// (BFS distances, components, cores, degrees, counts) are guaranteed to
+/// match the uncompressed representations; order-sensitive ones (DFS
+/// preorder) may differ legally. Forward iteration decodes in place with no
+/// allocation; reverse iteration ([`DoubleEndedIterator::next_back`], used
+/// by DFS) decodes the row's remainder into a buffer on first use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaCsrGraph {
+    /// Byte offset of each row in `bytes`, plus the end sentinel.
+    byte_offsets: Vec<u32>,
+    /// Per-node degree (varint rows cannot be sized from offsets alone).
+    degrees: Vec<u32>,
+    bytes: Vec<u8>,
+    edge_count: usize,
+}
+
+impl DeltaCsrGraph {
+    /// Compresses a [`CompactCsrGraph`] (rows are sorted in the process).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::IndexOverflow`] if the encoded byte stream
+    /// exceeds the `u32` offset space.
+    pub fn from_compact(c: &CompactCsrGraph) -> Result<Self, GraphError> {
+        let n = c.node_count();
+        let mut byte_offsets = Vec::with_capacity(n + 1);
+        let mut degrees = Vec::with_capacity(n);
+        let mut bytes = Vec::new();
+        let mut row = Vec::new();
+        byte_offsets.push(0u32);
+        for u in 0..n {
+            row.clear();
+            row.extend_from_slice(c.neighbor_slice(u));
+            row.sort_unstable();
+            let mut prev = 0u32;
+            for (i, &v) in row.iter().enumerate() {
+                push_varint(&mut bytes, if i == 0 { v } else { v - prev });
+                prev = v;
+            }
+            byte_offsets.push(to_u32(bytes.len(), "compressed bytes")?);
+            degrees.push(row.len() as u32);
+        }
+        Ok(DeltaCsrGraph { byte_offsets, degrees, bytes, edge_count: c.edge_count() })
+    }
+
+    /// Heap bytes held by the compressed arrays (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        self.byte_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.degrees.capacity() * std::mem::size_of::<u32>()
+            + self.bytes.capacity()
+    }
+}
+
+/// Decoding neighbor iterator for one [`DeltaCsrGraph`] row.
+pub struct DeltaNeighbors<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    prev: u32,
+    first: bool,
+    /// Items not yet yielded (from either end).
+    remaining: usize,
+    /// Once `next_back` is called, the undecoded remainder is materialized
+    /// here as `(values, front_index)`: the live window is
+    /// `values[front .. front + remaining]`.
+    buf: Option<(Vec<u32>, usize)>,
+}
+
+impl DeltaNeighbors<'_> {
+    /// Decodes the not-yet-consumed remainder into a buffer (varints cannot
+    /// be read backwards), after which both ends serve from it.
+    fn materialize(&mut self) {
+        let mut values = Vec::with_capacity(self.remaining);
+        let (mut pos, mut prev, mut first) = (self.pos, self.prev, self.first);
+        for _ in 0..self.remaining {
+            let (delta, next) = read_varint(self.bytes, pos);
+            pos = next;
+            prev = if first { delta } else { prev + delta };
+            first = false;
+            values.push(prev);
+        }
+        self.buf = Some((values, 0));
+    }
+}
+
+impl Iterator for DeltaNeighbors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if let Some((values, front)) = &mut self.buf {
+            let v = values[*front];
+            *front += 1;
+            self.remaining -= 1;
+            return Some(v as NodeId);
+        }
+        let (delta, pos) = read_varint(self.bytes, self.pos);
+        self.pos = pos;
+        self.prev = if self.first { delta } else { self.prev + delta };
+        self.first = false;
+        self.remaining -= 1;
+        Some(self.prev as NodeId)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl DoubleEndedIterator for DeltaNeighbors<'_> {
+    fn next_back(&mut self) -> Option<NodeId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.buf.is_none() {
+            self.materialize();
+        }
+        let (values, front) = self.buf.as_ref().expect("buffer just filled");
+        self.remaining -= 1;
+        Some(values[front + self.remaining] as NodeId)
+    }
+}
+
+impl ExactSizeIterator for DeltaNeighbors<'_> {}
+
+impl GraphView for DeltaCsrGraph {
+    type Neighbors<'a> = DeltaNeighbors<'a>;
+
+    fn node_count(&self) -> usize {
+        self.degrees.len()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        self.degrees[u] as usize
+    }
+
+    fn neighbors(&self, u: NodeId) -> DeltaNeighbors<'_> {
+        DeltaNeighbors {
+            bytes: &self.bytes[..self.byte_offsets[u + 1] as usize],
+            pos: self.byte_offsets[u] as usize,
+            prev: 0,
+            first: true,
+            remaining: self.degrees[u] as usize,
+            buf: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal;
+
+    #[test]
+    fn compact_preserves_neighbor_order_and_round_trips() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let c = CompactCsrGraph::from_graph(&g).unwrap();
+        assert_eq!(c.neighbor_slice(0), &[3, 1, 2]);
+        assert_eq!(c.thaw(), g);
+        assert_eq!(c.degree(0), 3);
+        assert_eq!(GraphView::edge_count(&c), 3);
+    }
+
+    #[test]
+    fn compact_kernels_bitwise_match_graph() {
+        let g = generators::erdos_renyi(60, 0.1, 5).unwrap();
+        let c = CompactCsrGraph::from_graph(&g).unwrap();
+        assert_eq!(
+            crate::centrality::betweenness_centrality(&g),
+            crate::centrality::betweenness_centrality(&c)
+        );
+        assert_eq!(traversal::dfs_preorder(&g, 0), traversal::dfs_preorder(&c, 0));
+        assert_eq!(traversal::bfs_distances(&g, 0), traversal::bfs_distances(&c, 0));
+    }
+
+    #[test]
+    fn from_edge_stream_matches_from_graph() {
+        let g = generators::barabasi_albert(200, 3, 9).unwrap();
+        let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+        // Emission in edges() order differs from add_edge order, but the
+        // edge *set* (and hence thaw equality) must hold.
+        let c = CompactCsrGraph::from_edge_stream(200, RowOrder::Emission, |emit| {
+            for &(u, v) in &edges {
+                emit(u, v);
+            }
+        })
+        .unwrap();
+        assert_eq!(c.thaw(), g);
+        assert_eq!(GraphView::edge_count(&c), g.edge_count());
+    }
+
+    #[test]
+    fn sorted_dedup_collapses_duplicate_emissions() {
+        let c = CompactCsrGraph::from_edge_stream(4, RowOrder::SortedDedup, |emit| {
+            emit(0, 1);
+            emit(2, 1);
+            emit(1, 0); // duplicate of (0, 1), reversed
+            emit(0, 3);
+        })
+        .unwrap();
+        assert_eq!(GraphView::edge_count(&c), 3);
+        assert_eq!(c.neighbor_slice(1), &[0, 2]);
+        assert_eq!(c.neighbor_slice(0), &[1, 3]);
+        assert_eq!(c.thaw(), Graph::from_edges(4, &[(0, 1), (1, 2), (0, 3)]).unwrap());
+    }
+
+    #[test]
+    fn stream_rejects_bad_emissions() {
+        let r = CompactCsrGraph::from_edge_stream(3, RowOrder::Emission, |emit| emit(0, 7));
+        assert!(matches!(r, Err(GraphError::NodeOutOfRange { node: 7, node_count: 3 })));
+        let r = CompactCsrGraph::from_edge_stream(3, RowOrder::Emission, |emit| emit(1, 1));
+        assert!(matches!(r, Err(GraphError::SelfLoop(1))));
+    }
+
+    #[test]
+    fn delta_round_trips_edge_set_and_kernels() {
+        let g = generators::watts_strogatz(80, 3, 0.2, 4).unwrap();
+        let c = CompactCsrGraph::from_graph(&g).unwrap();
+        let d = DeltaCsrGraph::from_compact(&c).unwrap();
+        assert_eq!(d.node_count(), 80);
+        assert_eq!(GraphView::edge_count(&d), g.edge_count());
+        assert_eq!(GraphView::degrees(&d), GraphView::degrees(&g));
+        // Order-insensitive kernels agree exactly.
+        assert_eq!(traversal::bfs_distances(&d, 0), traversal::bfs_distances(&g, 0));
+        assert_eq!(traversal::connected_components(&d), traversal::connected_components(&g));
+        assert_eq!(crate::cores::core_numbers(&d), crate::cores::core_numbers(&g));
+        // Rows decode sorted.
+        for u in d.nodes() {
+            let row: Vec<NodeId> = d.neighbors(u).collect();
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {u} not sorted: {row:?}");
+        }
+    }
+
+    #[test]
+    fn delta_reverse_iteration_matches_forward() {
+        let g = generators::barabasi_albert(60, 2, 8).unwrap();
+        let d = DeltaCsrGraph::from_compact(&CompactCsrGraph::from_graph(&g).unwrap()).unwrap();
+        for u in d.nodes() {
+            let fwd: Vec<NodeId> = d.neighbors(u).collect();
+            let mut bwd: Vec<NodeId> = d.neighbors(u).rev().collect();
+            bwd.reverse();
+            assert_eq!(fwd, bwd, "node {u}");
+            // Mixed consumption: alternate front and back.
+            let mut it = d.neighbors(u);
+            let mut front = Vec::new();
+            let mut back = Vec::new();
+            while let Some(v) = it.next() {
+                front.push(v);
+                if let Some(v) = it.next_back() {
+                    back.push(v);
+                } else {
+                    break;
+                }
+            }
+            back.reverse();
+            front.extend(back);
+            assert_eq!(front, fwd, "mixed consumption, node {u}");
+        }
+    }
+
+    #[test]
+    fn delta_compresses_local_rows() {
+        // A grid has strongly local neighborhoods: gaps of 1 and `cols`.
+        let g = generators::grid(40, 40);
+        let c = CompactCsrGraph::from_graph(&g).unwrap();
+        let d = DeltaCsrGraph::from_compact(&c).unwrap();
+        assert!(
+            d.heap_bytes() < c.heap_bytes(),
+            "delta {} >= compact {}",
+            d.heap_bytes(),
+            c.heap_bytes()
+        );
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let mut bytes = Vec::new();
+        let values = [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX];
+        for &v in &values {
+            push_varint(&mut bytes, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            let (got, next) = read_varint(&bytes, pos);
+            assert_eq!(got, v);
+            pos = next;
+        }
+        assert_eq!(pos, bytes.len());
+    }
+
+    #[test]
+    fn to_u32_errors_instead_of_wrapping() {
+        assert_eq!(to_u32(42, "x").unwrap(), 42);
+        assert_eq!(to_u32(U32_LIMIT, "x").unwrap(), u32::MAX);
+        let err = to_u32(U32_LIMIT + 1, "node count").unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::IndexOverflow { what: "node count", value: U32_LIMIT + 1, max: U32_LIMIT }
+        );
+    }
+}

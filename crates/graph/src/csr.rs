@@ -12,6 +12,17 @@
 //! parent selection are order-sensitive, and the experiment snapshots assert
 //! byte-identical output whichever representation runs the kernel.
 //!
+//! # Performance
+//!
+//! [`CsrGraph`] stores `usize` offsets and targets — 8 bytes per adjacency
+//! entry on 64-bit targets, 56 heap bytes per node for a Barabási–Albert
+//! graph with m = 3. For million-node graphs the [`crate::compact`] variants
+//! halve that (`u32` ids, 28 bytes/node) or compress further (varint
+//! deltas), behind the same [`GraphView`] trait; measured bytes/node for all
+//! three live in the committed `BENCH_scale.json` (see SCALING.md).
+//! [`CsrGraph::heap_bytes`] reports this representation's actual allocation
+//! so the comparison is measured, not estimated.
+//!
 //! # Examples
 //!
 //! ```
@@ -82,6 +93,14 @@ impl CsrGraph {
             }
         }
         g
+    }
+
+    /// Heap bytes held by the CSR arrays (capacity, not just length) — the
+    /// number `BENCH_scale.json` reports as `csr` bytes per node, for
+    /// comparison with [`crate::CompactCsrGraph::heap_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.targets.capacity() * std::mem::size_of::<NodeId>()
     }
 }
 

@@ -21,6 +21,18 @@ pub enum GraphError {
     InvalidParameter(String),
     /// An input file or string could not be parsed.
     Parse(String),
+    /// A count did not fit the compact `u32` index space (node ids or CSR
+    /// offsets). Raised instead of silently wrapping when a graph near
+    /// `u32::MAX` nodes (or `u32::MAX` packed adjacency entries) is frozen
+    /// into a compact representation.
+    IndexOverflow {
+        /// What overflowed ("node count", "adjacency entries", …).
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+        /// The largest representable value.
+        max: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -35,6 +47,9 @@ impl fmt::Display for GraphError {
             GraphError::NegativeCycle => write!(f, "graph contains a negative-weight cycle"),
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::IndexOverflow { what, value, max } => {
+                write!(f, "{what} {value} exceeds the compact index limit {max}")
+            }
         }
     }
 }
@@ -51,6 +66,13 @@ mod tests {
         assert_eq!(e.to_string(), "node 7 out of range for graph with 3 nodes");
         assert!(GraphError::NegativeCycle.to_string().contains("negative-weight"));
         assert!(GraphError::SelfLoop(2).to_string().contains("self-loop"));
+        let e = GraphError::IndexOverflow {
+            what: "node count",
+            value: 1 << 33,
+            max: u32::MAX as usize,
+        };
+        assert!(e.to_string().contains("node count"));
+        assert!(e.to_string().contains("compact index limit"));
     }
 
     #[test]

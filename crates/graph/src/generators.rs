@@ -4,9 +4,22 @@
 //!
 //! All random generators take an explicit seed so experiments are
 //! reproducible run-to-run.
+//!
+//! # Performance
+//!
+//! These generators build mutable adjacency-list [`Graph`]s — one heap `Vec`
+//! per node — which is the right tool up to ~10⁵ nodes. Past that, use the
+//! streaming twins in [`crate::stream`], which emit the same models straight
+//! into compact CSR with no per-node allocation:
+//! [`barabasi_albert`] ⇄ [`crate::stream::BaStream`] (exact RNG twin, same
+//! edges in the same order), [`random_geometric`] ⇄
+//! [`crate::stream::GeometricStream`] (same edge set via a grid-bucket scan
+//! instead of the `O(n²)` pair loop here). Build throughput for both tiers
+//! is recorded in the committed `BENCH_scale.json` (see SCALING.md).
 
 use crate::error::GraphError;
 use crate::graph::{Graph, NodeId};
+use crate::stream::EdgeStream;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -99,43 +112,15 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
 /// Produces the scale-free degree distribution the paper's layering section
 /// builds on (power-law exponent ≈ 3 for plain BA).
 ///
+/// Delegates to [`crate::stream::BaStream`], its exact RNG twin — the
+/// streamed compact-CSR build and this adjacency-list build share one edge
+/// sequence, so they agree edge-for-edge *and* in neighbor order.
+///
 /// # Errors
 ///
 /// Returns [`GraphError::InvalidParameter`] unless `1 <= m < n`.
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
-    if m == 0 || m >= n {
-        return Err(GraphError::InvalidParameter(format!("need 1 <= m < n, got m={m}, n={n}")));
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut g = Graph::new(n);
-    // Seed clique of m+1 nodes so every new node can find m distinct targets.
-    for u in 0..=m {
-        for v in (u + 1)..=m {
-            g.add_edge(u, v);
-        }
-    }
-    // Repeated-endpoints list: node id appears once per incident edge, which
-    // makes uniform sampling from it exactly degree-proportional.
-    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
-    for (u, v) in g.edges() {
-        endpoints.push(u);
-        endpoints.push(v);
-    }
-    for u in (m + 1)..n {
-        let mut targets = Vec::with_capacity(m);
-        while targets.len() < m {
-            let t = endpoints[rng.gen_range(0..endpoints.len())];
-            if t != u && !targets.contains(&t) {
-                targets.push(t);
-            }
-        }
-        for &t in &targets {
-            g.add_edge(u, t);
-            endpoints.push(u);
-            endpoints.push(t);
-        }
-    }
-    Ok(g)
+    Ok(crate::stream::BaStream::new(n, m, seed)?.to_graph())
 }
 
 /// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per

@@ -16,6 +16,17 @@
 //!   [`WeightedCsrGraph`]) built with [`Graph::freeze`] and friends;
 //!   cache-friendly for traversal-heavy analysis, convertible back with
 //!   [`CsrGraph::thaw`].
+//! * [`compact`] — the million-node tier's frozen forms: [`CompactCsrGraph`]
+//!   (`u32` ids/offsets, half the memory traffic of [`CsrGraph`]) and
+//!   [`DeltaCsrGraph`] (varint gap encoding), both behind [`GraphView`].
+//! * [`stream`] — streaming generators ([`stream::BaStream`],
+//!   [`stream::GeometricStream`], [`stream::KleinbergStream`],
+//!   [`stream::GnutellaStream`]) that replay a seeded edge sequence straight
+//!   into [`CompactCsrGraph::from_edge_stream`] — no intermediate adjacency.
+//! * [`approx`] — sampled betweenness/closeness
+//!   ([`approx::betweenness_sampled`], [`approx::closeness_sampled`]) with
+//!   Hoeffding-style error bounds; at full sampling they degenerate
+//!   bit-identically to the exact kernels.
 //! * [`parallel`] — source-parallel kernels ([`parallel::betweenness_par`],
 //!   [`parallel::closeness_par`], [`parallel::all_pairs_bfs_par`]) whose
 //!   results are bit-identical to the serial functions.
@@ -80,7 +91,9 @@
 //! assert_eq!(csr.thaw(), g);
 //! ```
 
+pub mod approx;
 pub mod centrality;
+pub mod compact;
 pub mod cores;
 pub mod csr;
 pub mod error;
@@ -93,11 +106,14 @@ pub mod powerlaw;
 pub mod scratch;
 pub mod shortest_path;
 pub mod spanner;
+pub mod stream;
 pub mod traversal;
 pub mod view;
 
+pub use compact::{CompactCsrGraph, DeltaCsrGraph};
 pub use csr::{CsrDigraph, CsrGraph, WeightedCsrGraph};
 pub use error::GraphError;
 pub use graph::{Digraph, Graph, NodeId, WeightedDigraph, WeightedGraph};
 pub use scratch::{BfsScratch, BrandesScratch, DijkstraScratch};
+pub use stream::EdgeStream;
 pub use view::{DigraphView, GraphView, WeightedGraphView};

@@ -93,6 +93,54 @@ pub fn betweenness_par<G: GraphView + Sync>(g: &G, jobs: usize) -> Vec<f64> {
     bc
 }
 
+/// Source-sampled betweenness ([`crate::approx::betweenness_sampled`]) with
+/// the sampled sources fanned out over `jobs` workers. Bit-identical to the
+/// serial sampled kernel for any `jobs` — same wave pipeline as
+/// [`betweenness_par`], folding dependency vectors in sampled-source order.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` on a non-empty graph (as the serial kernel does).
+pub fn betweenness_sampled_par<G: GraphView + Sync>(
+    g: &G,
+    samples: usize,
+    seed: u64,
+    jobs: usize,
+) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(samples > 0, "need at least one sampled source");
+    let sources = crate::approx::sample_sources(n, samples, seed);
+    let k = sources.len();
+    let mut bc = vec![0.0f64; n];
+    let wave = wave_size(jobs);
+    let scratches: Vec<Mutex<BrandesScratch>> = worker_scratches(jobs);
+    let buffers: Vec<Mutex<Vec<f64>>> = (0..wave.min(k)).map(|_| Mutex::new(Vec::new())).collect();
+    let mut start = 0;
+    while start < k {
+        let end = (start + wave).min(k);
+        csn_parallel::run_indexed(end - start, jobs, |i, w| {
+            let mut sc = scratches[w].lock().expect("scratch lock");
+            let mut buf = buffers[i].lock().expect("buffer lock");
+            brandes_delta_into(g, sources[start + i], &mut sc, &mut buf);
+        });
+        for buf in buffers.iter().take(end - start) {
+            let delta = buf.lock().expect("buffer lock");
+            for (b, d) in bc.iter_mut().zip(delta.iter()) {
+                *b += d;
+            }
+        }
+        start = end;
+    }
+    let scale = n as f64 / k as f64;
+    for b in &mut bc {
+        *b = *b * scale / 2.0;
+    }
+    bc
+}
+
 /// Closeness centrality with sources fanned out over `jobs` workers.
 /// Bit-identical to [`crate::centrality::closeness_centrality`].
 pub fn closeness_par<G: GraphView + Sync>(g: &G, jobs: usize) -> Vec<f64> {
@@ -140,6 +188,18 @@ mod tests {
         for jobs in [1, 2, 4, 7] {
             assert_eq!(serial, closeness_par(&g, jobs), "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn betweenness_sampled_par_bitwise_matches_serial_sampled() {
+        let g = generators::barabasi_albert(110, 3, 14).unwrap();
+        let serial = crate::approx::betweenness_sampled(&g, 30, 9);
+        for jobs in [1, 2, 4, 7] {
+            assert_eq!(serial, betweenness_sampled_par(&g, 30, 9, jobs), "jobs={jobs}");
+        }
+        // Full sampling through the parallel path degenerates to the exact
+        // kernel, like the serial sampled path does.
+        assert_eq!(betweenness_sampled_par(&g, 110, 9, 4), betweenness_centrality(&g));
     }
 
     #[test]

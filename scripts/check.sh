@@ -32,7 +32,20 @@ if [ "$want" != "$have" ]; then
   exit 1
 fi
 
+echo "==> BENCH_scale.json schema freshness"
+want=$(grep -oE 'structura-bench-scale-v[0-9]+' crates/bench/src/bin/perf_smoke.rs | head -n1)
+have=$(grep -oE 'structura-bench-scale-v[0-9]+' BENCH_scale.json | head -n1 || true)
+if [ "$want" != "$have" ]; then
+  echo "FAIL: BENCH_scale.json is stale (has '${have:-missing}', perf_smoke writes '$want')" >&2
+  echo "      regenerate with: cargo run -p csn-bench --release --bin perf_smoke -- --scale" >&2
+  exit 1
+fi
+
 echo "==> perf smoke (scratch/parallel/cursor kernels bit-identical; timings to BENCH_csr.json + BENCH_kernels.json)"
 cargo run -p csn-bench --release --offline --quiet --bin perf_smoke
 
-echo "OK: fmt, clippy, doc, test, perf smoke all clean"
+echo "==> scale smoke (small-n: streamed CSR + sampled-kernel ε-gates; committed BENCH_scale.json untouched)"
+cargo run -p csn-bench --release --offline --quiet --bin perf_smoke -- \
+  --scale --scale-nodes 20000 --scale-out target/BENCH_scale_check.json
+
+echo "OK: fmt, clippy, doc, test, perf smoke, scale smoke all clean"
