@@ -21,7 +21,14 @@
 //! 4. **Faulted-run determinism gate** — two distributed Bellman–Ford runs
 //!    under the same `FaultModel` (loss + delay + duplication + reorder +
 //!    churn, one seed) must produce bit-identical outcomes and `RunStats`.
-//! 5. **Scale tier (`--scale`)** — runs *instead of* the tiers above: the
+//! 5. **Maintain gate + counted-touch tier** — the incremental structure
+//!    maintainers (k-cores, NSF levels, forwarding sets) on a
+//!    `TrackedCursor` must equal their from-scratch oracles at every t of
+//!    the dense edge-Markovian trace, and on a sparse, fragmented trace
+//!    each must perform *strictly fewer counted node touches* than per-t
+//!    rebuilds (the `maintain` block in `BENCH_kernels.json` carries both
+//!    wall times and touch counts).
+//! 6. **Scale tier (`--scale`)** — runs *instead of* the tiers above: the
 //!    million-node substrate gates (streamed compact CSR ≡ adjacency build,
 //!    sampled centrality ≡ exact at full sampling and within the documented
 //!    ε at quarter sampling, all on small graphs) plus throughput at
@@ -63,16 +70,30 @@ struct BenchCsr {
 }
 
 #[derive(Serialize)]
+struct MaintainRow {
+    structure: String,
+    rebuild_secs: f64,
+    incremental_secs: f64,
+    rebuild_node_touches: u64,
+    incremental_node_touches: u64,
+    matches_scratch: bool,
+}
+
+#[derive(Serialize)]
 struct BenchKernels {
     schema: String,
     git_rev: String,
     graph: String,
     temporal_graph: String,
+    maintain_graph: String,
     detected_cores: usize,
     scratch_jobs_checked: Vec<usize>,
     scratch_matches_alloc: bool,
     cursor_matches_rebuild: bool,
     faulted_run_deterministic: bool,
+    maintain_matches_scratch: bool,
+    maintain_fewer_touches: bool,
+    maintain: Vec<MaintainRow>,
     timings: Vec<Timing>,
 }
 
@@ -516,6 +537,180 @@ fn main() {
         eprintln!("FAIL: SnapshotCursor sweep differs from per-step snapshot rebuilds");
     }
 
+    // Maintain gate: the incremental structure maintainers (k-cores, NSF
+    // levels, forwarding sets) riding a `TrackedCursor` must equal their
+    // from-scratch oracles at *every* t of the dense churn trace above.
+    use csn_core::graph::cores::{core_numbers, IncrementalCores};
+    use csn_core::graph::Graph;
+    use csn_core::layering::nsf::{degree_levels, nsf_levels, IncrementalNsf};
+    use csn_core::temporal::TrackedCursor;
+    use csn_core::trimming::incremental::{forwarding_sets_at, IncrementalForwarding};
+
+    // Deterministic synthetic trimmed overlay (~1/11 of all directed arcs):
+    // the maintainer is agnostic to where the frozen trim came from, and a
+    // fixed rule keeps the gate independent of `trim_arcs` runtime.
+    let trimmed: Vec<(usize, usize)> = (0..tn)
+        .flat_map(|u| (0..tn).map(move |w| (u, w)))
+        .filter(|&(u, w)| u != w && (u * 31 + w * 7) % 11 == 0)
+        .collect();
+    let mut maintain_match = true;
+    {
+        let mut mcur = TrackedCursor::new(&eg);
+        let hc = mcur.register(Box::new(IncrementalCores::default()));
+        let hn = mcur.register(Box::new(IncrementalNsf::default()));
+        let hf = mcur.register(Box::new(IncrementalForwarding::new(&Graph::new(0), &trimmed)));
+        loop {
+            let g = mcur.graph();
+            let cores_ok = mcur.view::<IncrementalCores>(hc).expect("cores").core_numbers()
+                == core_numbers(g).as_slice();
+            let nsf = mcur.view::<IncrementalNsf>(hn).expect("nsf");
+            let nsf_ok = nsf.nsf_levels() == nsf_levels(g).as_slice()
+                && nsf.degree_levels() == degree_levels(g);
+            let fwd_ok = mcur.view::<IncrementalForwarding>(hf).expect("fwd").forwarding_sets()
+                == &forwarding_sets_at(g, &trimmed)[..];
+            if !(cores_ok && nsf_ok && fwd_ok) {
+                eprintln!("FAIL: maintained structure differs from scratch at t={}", mcur.time());
+                maintain_match = false;
+                break;
+            }
+            if !mcur.advance() {
+                break;
+            }
+        }
+    }
+
+    // Counted-touch tier: on a sparse, fragmented trace each incremental
+    // sweep must perform strictly fewer node touches than per-t rebuilds —
+    // counted, not just timed, so the O(affected) claim is verifiable on a
+    // noisy 1-core box. Rebuild accounting is conservative (a floor): n per
+    // step for cores and forwarding (any rebuild visits every node at least
+    // once) and rounds·n for NSF (each peel round scans all nodes). Per-t
+    // structure checksums double as an agreement re-check.
+    let (sp, sq) = (0.25, 0.001);
+    let seg = EdgeMarkovian::new(tn, sp, sq).generate(horizon, tseed);
+    let mut maintain_rows: Vec<MaintainRow> = Vec::new();
+    let mut maintain_fewer = true;
+
+    let ((scratch_sum, scratch_touch), t_scratch) = timed(|| {
+        let mut cur = seg.snapshot_cursor();
+        let (mut sum, mut touch) = (0u64, 0u64);
+        loop {
+            sum += core_numbers(cur.graph()).iter().sum::<usize>() as u64;
+            if !cur.advance() {
+                break;
+            }
+            touch += tn as u64;
+        }
+        (sum, touch)
+    });
+    let ((inc_sum, inc_touch), t_inc) = timed(|| {
+        let mut cur = TrackedCursor::new(&seg);
+        let h = cur.register(Box::new(IncrementalCores::default()));
+        let mut sum = 0u64;
+        loop {
+            let inc: &IncrementalCores = cur.view(h).expect("cores");
+            sum += inc.core_numbers().iter().sum::<usize>() as u64;
+            if !cur.advance() {
+                break;
+            }
+        }
+        (sum, cur.touched_nodes())
+    });
+    maintain_rows.push(MaintainRow {
+        structure: "cores".into(),
+        rebuild_secs: t_scratch,
+        incremental_secs: t_inc,
+        rebuild_node_touches: scratch_touch,
+        incremental_node_touches: inc_touch,
+        matches_scratch: scratch_sum == inc_sum,
+    });
+
+    let ((scratch_sum, scratch_touch), t_scratch) = timed(|| {
+        let mut cur = seg.snapshot_cursor();
+        let mut sum = nsf_levels(cur.graph()).iter().sum::<usize>() as u64;
+        let mut touch = 0u64;
+        while cur.advance() {
+            let levels = nsf_levels(cur.graph());
+            sum += levels.iter().sum::<usize>() as u64;
+            // A from-scratch peel scans all n nodes once per round.
+            touch += (levels.iter().copied().max().unwrap_or(0) * tn) as u64;
+        }
+        (sum, touch)
+    });
+    let ((inc_sum, inc_touch), t_inc) = timed(|| {
+        let mut cur = TrackedCursor::new(&seg);
+        let h = cur.register(Box::new(IncrementalNsf::default()));
+        let mut sum = 0u64;
+        loop {
+            let inc: &IncrementalNsf = cur.view(h).expect("nsf");
+            sum += inc.nsf_levels().iter().sum::<usize>() as u64;
+            if !cur.advance() {
+                break;
+            }
+        }
+        (sum, cur.touched_nodes())
+    });
+    maintain_rows.push(MaintainRow {
+        structure: "nsf".into(),
+        rebuild_secs: t_scratch,
+        incremental_secs: t_inc,
+        rebuild_node_touches: scratch_touch,
+        incremental_node_touches: inc_touch,
+        matches_scratch: scratch_sum == inc_sum,
+    });
+
+    let ((scratch_sum, scratch_touch), t_scratch) = timed(|| {
+        let mut cur = seg.snapshot_cursor();
+        let (mut sum, mut touch) = (0u64, 0u64);
+        loop {
+            let sets = forwarding_sets_at(cur.graph(), &trimmed);
+            sum += sets.iter().map(Vec::len).sum::<usize>() as u64;
+            if !cur.advance() {
+                break;
+            }
+            touch += tn as u64;
+        }
+        (sum, touch)
+    });
+    let ((inc_sum, inc_touch), t_inc) = timed(|| {
+        let mut cur = TrackedCursor::new(&seg);
+        let h = cur.register(Box::new(IncrementalForwarding::new(&Graph::new(0), &trimmed)));
+        let mut sum = 0u64;
+        loop {
+            let inc: &IncrementalForwarding = cur.view(h).expect("fwd");
+            sum += inc.live_arc_count() as u64;
+            if !cur.advance() {
+                break;
+            }
+        }
+        (sum, cur.touched_nodes())
+    });
+    maintain_rows.push(MaintainRow {
+        structure: "forwarding".into(),
+        rebuild_secs: t_scratch,
+        incremental_secs: t_inc,
+        rebuild_node_touches: scratch_touch,
+        incremental_node_touches: inc_touch,
+        matches_scratch: scratch_sum == inc_sum,
+    });
+
+    for row in &maintain_rows {
+        if !row.matches_scratch {
+            eprintln!(
+                "FAIL: incremental {} sweep checksum differs from per-t rebuilds",
+                row.structure
+            );
+            maintain_match = false;
+        }
+        if row.incremental_node_touches >= row.rebuild_node_touches {
+            eprintln!(
+                "FAIL: incremental {} touched {} nodes, rebuild floor is {}",
+                row.structure, row.incremental_node_touches, row.rebuild_node_touches
+            );
+            maintain_fewer = false;
+        }
+    }
+
     // Faulted-run determinism gate: distributed Bellman–Ford under the full
     // fault model (loss, geometric delay, duplication, reorder, churn), run
     // twice with one seed — outcome and RunStats must agree bit-for-bit.
@@ -544,17 +739,23 @@ fn main() {
     }
 
     let kernels_doc = BenchKernels {
-        schema: "structura-bench-kernels-v2".to_string(),
+        schema: "structura-bench-kernels-v3".to_string(),
         git_rev: git_rev(),
         graph: format!("barabasi_albert({n}, {m}, seed={seed})"),
         temporal_graph: format!(
             "edge_markovian(n={tn}, p={p}, q={q}, horizon={horizon}, seed={tseed})"
+        ),
+        maintain_graph: format!(
+            "edge_markovian(n={tn}, p={sp}, q={sq}, horizon={horizon}, seed={tseed})"
         ),
         detected_cores: cores,
         scratch_jobs_checked: scratch_jobs.clone(),
         scratch_matches_alloc: scratch_match,
         cursor_matches_rebuild: cursor_match,
         faulted_run_deterministic: faulted_match,
+        maintain_matches_scratch: maintain_match,
+        maintain_fewer_touches: maintain_fewer,
+        maintain: maintain_rows,
         timings: {
             let mut ts = vec![
                 Timing {
@@ -644,10 +845,30 @@ fn main() {
          snapshot sweep rebuild {t_rebuild:.3}s / cursor {t_cursor:.3}s; \
          faulted BF {t_faulted:.3}s; wrote {kernels_out_path}"
     );
-    if !all_match || !scratch_match || !cursor_match || !faulted_match {
+    for row in &kernels_doc.maintain {
+        eprintln!(
+            "maintain smoke [{}]: rebuild {:.3}s / {} touches vs incremental {:.3}s / {} touches",
+            row.structure,
+            row.rebuild_secs,
+            row.rebuild_node_touches,
+            row.incremental_secs,
+            row.incremental_node_touches
+        );
+    }
+    if !all_match
+        || !scratch_match
+        || !cursor_match
+        || !faulted_match
+        || !maintain_match
+        || !maintain_fewer
+    {
         std::process::exit(1);
     }
     println!("perf smoke OK: parallel and CSR kernels bit-identical to serial");
     println!("kernel smoke OK: scratch arenas bit-identical; snapshot cursor equals rebuilds");
     println!("fault smoke OK: faulted Bellman-Ford runs bit-identical per seed");
+    println!(
+        "maintain smoke OK: cores/NSF/forwarding maintainers equal scratch at every t \
+         with strictly fewer node touches"
+    );
 }

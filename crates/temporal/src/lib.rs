@@ -54,6 +54,7 @@
 pub mod centrality;
 pub mod graph;
 pub mod journey;
+pub mod maintain;
 pub mod markovian;
 pub mod paper;
 pub mod routing;
@@ -62,4 +63,5 @@ pub mod weighted;
 
 pub use graph::{Contact, TemporalEdge, TimeEvolvingGraph, TimeUnit};
 pub use journey::Journey;
+pub use maintain::{EdgeDelta, StructureMaintainer, TrackedCursor};
 pub use snapshot::SnapshotCursor;

@@ -104,6 +104,31 @@ impl SnapshotCursor {
     /// Together with [`SnapshotCursor::disappearing_at`] this exposes the
     /// precomputed per-time-unit deltas, e.g. for replaying the trace as
     /// topology events in a downstream simulator.
+    ///
+    /// # Delta contract
+    ///
+    /// For every `t` in `1..horizon`, the snapshot at `t` is the snapshot
+    /// at `t - 1` **minus** `disappearing_at(t)` **plus** `appearing_at(t)`
+    /// — removals apply first, and the two sets are disjoint (an edge whose
+    /// run ends at `t - 1` and restarts at `t` produces *neither* event,
+    /// because runs of consecutive labels are coalesced). `appearing_at(0)`
+    /// is exactly the edge set of `G_0`; `disappearing_at(0)` is always
+    /// empty; runs that touch the horizon emit no disappear event.
+    ///
+    /// ```
+    /// use csn_temporal::TimeEvolvingGraph;
+    ///
+    /// let mut eg = TimeEvolvingGraph::new(3, 4);
+    /// eg.add_contact(0, 1, 0);
+    /// eg.add_contact(0, 1, 1); // run [0, 1]
+    /// eg.add_contact(1, 2, 2); // run [2, 2]
+    /// let cur = eg.snapshot_cursor();
+    /// assert_eq!(cur.appearing_at(0), &[(0, 1)]);
+    /// assert_eq!(cur.disappearing_at(0), &[]);
+    /// assert_eq!(cur.disappearing_at(2), &[(0, 1)]); // run ended at t - 1 = 1
+    /// assert_eq!(cur.appearing_at(2), &[(1, 2)]);
+    /// assert_eq!(cur.disappearing_at(3), &[(1, 2)]);
+    /// ```
     pub fn appearing_at(&self, t: TimeUnit) -> &[(NodeId, NodeId)] {
         self.appear.get(t as usize).map_or(&[], Vec::as_slice)
     }
@@ -112,6 +137,33 @@ impl SnapshotCursor {
     /// horizon).
     pub fn disappearing_at(&self, t: TimeUnit) -> &[(NodeId, NodeId)] {
         self.disappear.get(t as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// Rewinds the cursor to `t = 0`, rebuilding the maintained graph from
+    /// the already-precomputed `appearing_at(0)` events. Unlike constructing
+    /// a fresh cursor this does **not** re-scan the `EG`'s label sets — the
+    /// delta tables are reused as-is — so re-seeding maintainers for a
+    /// second sweep costs only `O(n + Δ_0)`.
+    ///
+    /// ```
+    /// use csn_temporal::TimeEvolvingGraph;
+    ///
+    /// let mut eg = TimeEvolvingGraph::new(3, 5);
+    /// eg.add_contact(0, 1, 0);
+    /// eg.add_contact(1, 2, 3);
+    /// let mut cur = eg.snapshot_cursor();
+    /// while cur.advance() {}
+    /// assert_eq!(cur.time(), 4);
+    /// cur.reset();
+    /// assert_eq!(cur.time(), 0);
+    /// assert_eq!(*cur.graph(), eg.snapshot(0));
+    /// ```
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.graph = Graph::new(self.graph.node_count());
+        for &(u, v) in &self.appear[0] {
+            self.graph.add_edge(u, v);
+        }
     }
 
     /// Steps to the next time unit, applying that instant's edge deltas.
@@ -174,6 +226,21 @@ mod tests {
         assert_eq!(cur.graph().edge_count(), 0);
         let mut cur = cur;
         assert!(!cur.advance());
+    }
+
+    #[test]
+    fn reset_rewinds_without_rescanning() {
+        let eg = fig2_example();
+        let mut cur = SnapshotCursor::new(&eg);
+        // Stop mid-sweep, reset, and check a full sweep still matches.
+        cur.advance();
+        cur.advance();
+        cur.reset();
+        assert_eq!(cur.time(), 0);
+        for t in 0..eg.horizon() {
+            assert_eq!(*cur.graph(), eg.snapshot(t), "t={t}");
+            cur.advance();
+        }
     }
 
     #[test]

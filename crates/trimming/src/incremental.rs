@@ -1,0 +1,265 @@
+//! Incrementally maintained forwarding sets under churn:
+//! [`IncrementalForwarding`].
+//!
+//! §III-A consumes two structures per snapshot of a dynamic network: the
+//! static-rule *trimmed arc set* (arcs every message can avoid because a
+//! replacement path departs no earlier and arrives no later —
+//! [`crate::static_rule::trim_arcs`]) and, per node, the *forwarding set* of
+//! live out-arcs it may still use. A naive temporal sweep re-derives both at
+//! every `t`; this module instead freezes the trim decision once (it is a
+//! property of the whole time-evolving graph, not of one snapshot) and
+//! maintains the per-node live forwarding sets as contacts appear and
+//! disappear.
+//!
+//! Trimmed arcs are *directed*: the undirected contact `(u, v)` yields arcs
+//! `u → v` and `v → u`, each independently trimmable. A trimmed arc stays
+//! trimmed even if its contact disappears and reappears — the replacement
+//! path that justified the trim is a whole-trace property — while delivery
+//! over untrimmed arcs simply follows the live contacts.
+//!
+//! # Performance
+//!
+//! Rebuilding all forwarding sets costs `O(n + m)` per snapshot; a churn
+//! step only changes the sets of the `O(Δ_t)` endpoint nodes, and
+//! [`IncrementalForwarding::apply_edges`] touches exactly those (two
+//! counted node touches per applied edge, plus the `O(log deg)` sorted
+//! insertion). The from-scratch [`forwarding_sets_at`] is the oracle the
+//! `maintain_props` suite gates against, bitwise, at every `t`.
+
+use crate::static_rule::TrimReport;
+use csn_graph::{Graph, NodeId};
+use csn_temporal::maintain::{EdgeDelta, StructureMaintainer};
+use std::collections::HashSet;
+
+/// From-scratch oracle: each node's live forwarding set on `g` — its
+/// neighbors `v` (ascending) with the arc `u → v` not in `trimmed`.
+pub fn forwarding_sets_at(g: &Graph, trimmed: &[(NodeId, NodeId)]) -> Vec<Vec<NodeId>> {
+    let cut: HashSet<(NodeId, NodeId)> = trimmed.iter().copied().collect();
+    (0..g.node_count())
+        .map(|u| {
+            let mut out: Vec<NodeId> =
+                g.neighbors(u).iter().copied().filter(|&v| !cut.contains(&(u, v))).collect();
+            out.sort_unstable();
+            out
+        })
+        .collect()
+}
+
+/// Per-node live forwarding sets maintained under edge churn, beneath a
+/// frozen static-rule trimmed arc overlay. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use csn_graph::Graph;
+/// use csn_trimming::incremental::{forwarding_sets_at, IncrementalForwarding};
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// let trimmed = [(1, 0)]; // arc 1 → 0 has a replacement path
+/// let mut inc = IncrementalForwarding::new(&g, &trimmed);
+/// assert_eq!(inc.forwarding_set(0), &[1]); // 0 → 1 stays live
+/// assert_eq!(inc.forwarding_set(1), &[2]); // 1 → 0 is trimmed
+///
+/// inc.apply_edges(&[(0, 1)], &[(0, 2)]); // the contacts churn
+/// assert_eq!(inc.forwarding_sets(), &forwarding_sets_at(inc.graph(), &trimmed)[..]);
+/// assert_eq!(inc.live_arc_count(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalForwarding {
+    g: Graph,
+    trimmed: HashSet<(NodeId, NodeId)>,
+    sets: Vec<Vec<NodeId>>,
+    live_arcs: usize,
+    touched: u64,
+}
+
+impl IncrementalForwarding {
+    /// Seeds the maintained sets from `g` under the given (frozen) trimmed
+    /// directed arcs.
+    pub fn new(g: &Graph, trimmed_arcs: &[(NodeId, NodeId)]) -> Self {
+        let trimmed: HashSet<(NodeId, NodeId)> = trimmed_arcs.iter().copied().collect();
+        let mut inc = IncrementalForwarding {
+            g: g.clone(),
+            trimmed,
+            sets: Vec::new(),
+            live_arcs: 0,
+            touched: 0,
+        };
+        inc.rebuild_sets();
+        inc
+    }
+
+    /// Convenience: freeze the arcs a [`crate::static_rule::trim_arcs`] run
+    /// removed and seed from `g`.
+    pub fn from_trim_report(g: &Graph, report: &TrimReport) -> Self {
+        IncrementalForwarding::new(g, &report.removed_arcs)
+    }
+
+    fn rebuild_sets(&mut self) {
+        self.sets = forwarding_sets_at(&self.g, &[]);
+        for u in 0..self.sets.len() {
+            if !self.trimmed.is_empty() {
+                let trimmed = &self.trimmed;
+                self.sets[u].retain(|&v| !trimmed.contains(&(u, v)));
+            }
+        }
+        self.live_arcs = self.sets.iter().map(Vec::len).sum();
+    }
+
+    /// Node `u`'s live forwarding set, ascending.
+    pub fn forwarding_set(&self, u: NodeId) -> &[NodeId] {
+        &self.sets[u]
+    }
+
+    /// All live forwarding sets — equal to
+    /// `forwarding_sets_at(self.graph(), trimmed)`.
+    pub fn forwarding_sets(&self) -> &[Vec<NodeId>] {
+        &self.sets
+    }
+
+    /// Total number of live directed arcs (sum of set sizes).
+    pub fn live_arc_count(&self) -> usize {
+        self.live_arcs
+    }
+
+    /// Whether the directed arc `u → v` is in the frozen trimmed overlay.
+    pub fn is_trimmed(&self, u: NodeId, v: NodeId) -> bool {
+        self.trimmed.contains(&(u, v))
+    }
+
+    /// The maintained graph.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// Nodes whose forwarding set was examined since construction or the
+    /// last [`reset_touched`](Self::reset_touched) — two per applied edge.
+    pub fn touched_nodes(&self) -> u64 {
+        self.touched
+    }
+
+    /// Zeroes the touched-node counter.
+    pub fn reset_touched(&mut self) {
+        self.touched = 0;
+    }
+
+    fn arc_on(&mut self, u: NodeId, v: NodeId) {
+        if !self.trimmed.contains(&(u, v)) {
+            let pos = self.sets[u].binary_search(&v).expect_err("arc was absent");
+            self.sets[u].insert(pos, v);
+            self.live_arcs += 1;
+        }
+    }
+
+    fn arc_off(&mut self, u: NodeId, v: NodeId) {
+        if !self.trimmed.contains(&(u, v)) {
+            let pos = self.sets[u].binary_search(&v).expect("arc was present");
+            self.sets[u].remove(pos);
+            self.live_arcs -= 1;
+        }
+    }
+
+    /// Applies one batch of contact mutations (removals first, mirroring
+    /// [`csn_temporal::SnapshotCursor::advance`]), repairing only the
+    /// endpoints' sets. Duplicate additions and missing removals are no-ops;
+    /// out-of-range endpoints panic, as in [`Graph::add_edge`].
+    pub fn apply_edges(&mut self, removed: &[(NodeId, NodeId)], added: &[(NodeId, NodeId)]) {
+        for &(u, v) in removed {
+            if self.g.remove_edge(u, v) {
+                self.touched += 2;
+                self.arc_off(u, v);
+                self.arc_off(v, u);
+            }
+        }
+        for &(u, v) in added {
+            if self.g.add_edge(u, v) {
+                self.touched += 2;
+                self.arc_on(u, v);
+                self.arc_on(v, u);
+            }
+        }
+    }
+}
+
+impl StructureMaintainer for IncrementalForwarding {
+    fn name(&self) -> &'static str {
+        "forwarding"
+    }
+
+    /// Re-seeds the live sets from `g`. The trimmed overlay is *kept* — it
+    /// is a whole-trace property, not a per-snapshot one.
+    fn reseed(&mut self, g: &Graph) {
+        self.g = g.clone();
+        self.touched = 0;
+        self.rebuild_sets();
+    }
+
+    fn apply(&mut self, delta: &EdgeDelta) {
+        self.apply_edges(&delta.removed, &delta.added);
+    }
+
+    fn touched_nodes(&self) -> u64 {
+        self.touched
+    }
+
+    fn reset_touched(&mut self) {
+        self.touched = 0;
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_rule::{trim_arcs, TrimOptions};
+    use csn_temporal::paper::fig2_example;
+    use csn_temporal::TrackedCursor;
+
+    #[test]
+    fn matches_oracle_across_a_tracked_sweep_under_fig2_trim() {
+        let eg = fig2_example();
+        // Priorities matching the paper: p(A) > p(B) > p(C) > p(D).
+        let priority: Vec<u64> = vec![40, 30, 20, 10];
+        let report = trim_arcs(&eg, &priority, TrimOptions::default());
+        assert!(!report.removed_arcs.is_empty(), "fig2 trims something");
+
+        let mut cur = TrackedCursor::new(&eg);
+        let h = cur
+            .register(Box::new(IncrementalForwarding::new(&Graph::new(0), &report.removed_arcs)));
+        loop {
+            let inc: &IncrementalForwarding = cur.view(h).expect("typed view");
+            let oracle = forwarding_sets_at(cur.graph(), &report.removed_arcs);
+            assert_eq!(inc.forwarding_sets(), &oracle[..], "t={}", cur.time());
+            assert_eq!(inc.live_arc_count(), oracle.iter().map(Vec::len).sum::<usize>());
+            if !cur.advance() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn trimmed_arcs_stay_trimmed_across_reappearance() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let mut inc = IncrementalForwarding::new(&g, &[(0, 1)]);
+        assert!(inc.is_trimmed(0, 1));
+        assert_eq!(inc.forwarding_set(0), &[] as &[NodeId]);
+        assert_eq!(inc.forwarding_set(1), &[0]);
+        inc.apply_edges(&[(0, 1)], &[]); // contact disappears...
+        inc.apply_edges(&[], &[(0, 1)]); // ...and reappears
+        assert_eq!(inc.forwarding_set(0), &[] as &[NodeId], "trim survives churn");
+        assert_eq!(inc.forwarding_set(1), &[0]);
+        assert_eq!(inc.live_arc_count(), 1);
+    }
+
+    #[test]
+    fn noops_do_not_touch() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut inc = IncrementalForwarding::new(&g, &[]);
+        inc.apply_edges(&[(1, 2)], &[(0, 1)]); // absent removal, dup addition
+        assert_eq!(inc.touched_nodes(), 0);
+        assert_eq!(inc.forwarding_sets(), &forwarding_sets_at(&g, &[])[..]);
+    }
+}

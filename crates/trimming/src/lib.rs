@@ -17,10 +17,15 @@
 //!   under exponential inter-contact times and linearly decaying utility
 //!   (the paper's \[13\]: "the forwarding set at the same intermediate node
 //!   shrinks over time"), and copy-varying sets for multi-copy delivery.
+//! * [`incremental`] — [`incremental::IncrementalForwarding`]: per-node live
+//!   forwarding sets under a frozen static-rule trim, maintained as contacts
+//!   appear/disappear (a `csn_temporal::maintain::StructureMaintainer`).
 
 pub mod forwarding;
+pub mod incremental;
 pub mod probabilistic;
 pub mod static_rule;
 pub mod topology;
 
+pub use incremental::IncrementalForwarding;
 pub use static_rule::{TrimOptions, TrimReport};

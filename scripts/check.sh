@@ -41,7 +41,7 @@ if [ "$want" != "$have" ]; then
   exit 1
 fi
 
-echo "==> perf smoke (scratch/parallel/cursor kernels bit-identical; timings to BENCH_csr.json + BENCH_kernels.json)"
+echo "==> perf smoke (scratch/parallel/cursor kernels bit-identical; incremental maintainers equal scratch with strictly fewer counted touches; timings to BENCH_csr.json + BENCH_kernels.json)"
 cargo run -p csn-bench --release --offline --quiet --bin perf_smoke
 
 echo "==> scale smoke (small-n: streamed CSR + sampled-kernel ε-gates; committed BENCH_scale.json untouched)"
