@@ -36,11 +36,22 @@
 //!    bytes/node for standard vs compact vs delta CSR, and traversed
 //!    edges/s per kernel. Written to `BENCH_scale.json`
 //!    (or `--scale-out <path>`); see SCALING.md for how to read it.
+//! 7. **Serve tier (`--serve`)** — also runs *instead of* the default
+//!    tiers: the query-serving gates on a small BA graph (landmark bounds
+//!    sandwich exact BFS distances, `DistanceExact` equals ground truth,
+//!    `serve_batched` bit-identical to `serve_serial` at jobs ∈
+//!    {1, 2, 4, 7}, and the committed query trace replays byte-for-byte),
+//!    then an index-build + Zipf-workload + request-loop pass at
+//!    `--serve-nodes` (default 10⁵) written to `BENCH_serve.json`
+//!    (or `--serve-out <path>`): QPS, p50/p99 latency, index build time
+//!    and bytes/node. See SERVING.md.
 //!
 //! Usage: `cargo run -p csn-bench --release --bin perf_smoke \
 //!   [-- --out BENCH_csr.json --kernels-out BENCH_kernels.json]`
 //! or: `cargo run -p csn-bench --release --bin perf_smoke -- --scale \
 //!   [--scale-nodes 1000000 --scale-out BENCH_scale.json]`
+//! or: `cargo run -p csn-bench --release --bin perf_smoke -- --serve \
+//!   [--serve-nodes 100000 --serve-out BENCH_serve.json]`
 
 use csn_core::graph::centrality::{betweenness_centrality, brandes_delta};
 use csn_core::graph::generators;
@@ -101,6 +112,16 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = std::time::Instant::now();
     let out = f();
     (out, t0.elapsed().as_secs_f64())
+}
+
+/// Sorted, deduplicated worker counts to gate at: on a 1-core box the
+/// detected core count collides with the fixed entries, and checking a
+/// jobs value twice would just double the gate's wall time.
+fn deduped_jobs(base: &[usize]) -> Vec<usize> {
+    let mut jobs = base.to_vec();
+    jobs.sort_unstable();
+    jobs.dedup();
+    jobs
 }
 
 fn git_rev() -> String {
@@ -231,7 +252,7 @@ fn run_scale(args: &[String]) {
         );
     }
     let mut sampled_par_matches_serial = true;
-    for jobs in [1usize, 2, 4, 7] {
+    for jobs in deduped_jobs(&[1, 2, 4, 7]) {
         if betweenness_sampled_par(&small, eps_k, 17, jobs) != sampled {
             eprintln!("FAIL: betweenness_sampled_par(jobs={jobs}) differs from serial sampled");
             sampled_par_matches_serial = false;
@@ -412,10 +433,204 @@ fn run_scale(args: &[String]) {
     println!("scale smoke OK: streamed CSR, sampled kernels, and ε-gates all agree");
 }
 
+/// The `--serve` tier: query-serving correctness gates on a small BA graph
+/// (exit code) plus an index + Zipf workload + request-loop pass at
+/// `nodes` (informational; the CI box may be 1-core). See SERVING.md.
+fn run_serve(args: &[String]) {
+    use csn_bench::serve_bench::{
+        BenchServe, IndexReport, ServeGates, ServeReport, WorkloadReport, SERVE_SCHEMA,
+    };
+    use csn_core::graph::stream::{BaStream, EdgeStream};
+    use csn_core::graph::traversal::bfs_distances;
+    use csn_core::serve::bench::{measure_latency, measure_qps};
+    use csn_core::serve::{
+        serve_batched, serve_serial, Query, Response, ServeConfig, ServeIndex, WorkloadConfig,
+    };
+
+    let nodes = args
+        .iter()
+        .position(|a| a == "--serve-nodes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(100_000);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--serve-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let cores = csn_bench::pool::available_parallelism();
+
+    // --- Small-graph gates: exact BFS is affordable, so the landmark
+    // bounds and the exact-distance path are checked against ground truth,
+    // and batching is checked bitwise against the serial reference.
+    let (gn, gm, gseed) = (600usize, 3usize, 42u64);
+    let small = generators::barabasi_albert(gn, gm, gseed).expect("BA params");
+    let eg = EdgeMarkovian::new(gn, 0.4, 4.0 / gn as f64).generate(16, 5);
+    let small_cfg = ServeConfig { landmarks: 8, top_k: 32, ..ServeConfig::default() };
+    let small_idx = ServeIndex::build(small.clone(), &small_cfg).with_temporal(eg);
+    let mut scratch = small_idx.scratch();
+
+    let mut landmark_bounds_sandwich = true;
+    let mut exact_matches_bfs = true;
+    for u in (0..gn).step_by(29) {
+        let truth = bfs_distances(&small, u);
+        for v in 0..gn {
+            let exact_u32 = if truth[v] == usize::MAX { u32::MAX } else { truth[v] as u32 };
+            match small_idx.answer(&Query::Distance { u, v }, &mut scratch) {
+                Response::Bounds { lower, upper } => {
+                    if !(lower <= exact_u32 && exact_u32 <= upper) {
+                        eprintln!(
+                            "FAIL: landmark bounds [{lower}, {upper}] miss d({u},{v}) = {exact_u32}"
+                        );
+                        landmark_bounds_sandwich = false;
+                    }
+                }
+                other => {
+                    eprintln!("FAIL: Distance answered {other:?}");
+                    landmark_bounds_sandwich = false;
+                }
+            }
+            match small_idx.answer(&Query::DistanceExact { u, v }, &mut scratch) {
+                Response::Exact { dist, .. } => {
+                    if dist != exact_u32 {
+                        eprintln!("FAIL: DistanceExact({u},{v}) = {dist}, BFS says {exact_u32}");
+                        exact_matches_bfs = false;
+                    }
+                }
+                other => {
+                    eprintln!("FAIL: DistanceExact answered {other:?}");
+                    exact_matches_bfs = false;
+                }
+            }
+        }
+    }
+
+    let gate_wl = WorkloadConfig {
+        queries: 3_000,
+        users: 50_000,
+        zipf_users: 1.1,
+        zipf_nodes: 0.9,
+        seed: 99,
+        safety_space: 1usize << small_idx.safety_dims(),
+        journey_horizon: 16,
+    }
+    .generate(gn);
+    let serial = serve_serial(&small_idx, &gate_wl.queries);
+    let mut batched_matches_serial = true;
+    for jobs in deduped_jobs(&[1, 2, 4, 7, cores]) {
+        for shards in [1usize, 16, 64] {
+            if serve_batched(&small_idx, &gate_wl.queries, shards, jobs) != serial {
+                eprintln!("FAIL: serve_batched(shards={shards}, jobs={jobs}) differs from serial");
+                batched_matches_serial = false;
+            }
+        }
+    }
+
+    let trace_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../serve/tests/snapshots/serve_trace.txt");
+    let trace_replay_matches = match std::fs::read_to_string(trace_path) {
+        Ok(committed) => {
+            let live = csn_core::serve::standard_trace();
+            if live != committed {
+                eprintln!("FAIL: standard query trace diverged from {trace_path}");
+                false
+            } else {
+                true
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: cannot read committed trace {trace_path}: {e}");
+            false
+        }
+    };
+
+    // --- Bench pass at `nodes`: compact CSR, full index, Zipf workload,
+    // request-loop QPS plus a serial latency pass. No temporal store here —
+    // the contact generator is O(n²·horizon) and journeys are gated above.
+    let (big, t_graph) =
+        timed(|| BaStream::new(nodes, 3, 1).expect("BA params").to_compact_csr().expect("u32"));
+    let cfg = ServeConfig::default();
+    let (idx, build_secs) = timed(|| ServeIndex::build(big, &cfg));
+    let wl_cfg = WorkloadConfig {
+        queries: 50_000.min(nodes * 10),
+        users: 1_000_000,
+        zipf_users: 1.1,
+        zipf_nodes: 0.9,
+        seed: 2821,
+        safety_space: 1usize << idx.safety_dims(),
+        journey_horizon: 0,
+    };
+    let wl = wl_cfg.generate(nodes);
+    let (batch, shards) = (1024usize, 64usize);
+    let qps = measure_qps(&idx, &wl.queries, batch, shards, cores);
+    let lat = measure_latency(&idx, &wl.queries, 20_000);
+
+    let gates = ServeGates {
+        landmark_bounds_sandwich,
+        exact_matches_bfs,
+        batched_matches_serial,
+        trace_replay_matches,
+    };
+    let all_ok = gates.all_ok();
+    let doc = BenchServe {
+        schema: SERVE_SCHEMA.to_string(),
+        git_rev: git_rev(),
+        detected_cores: cores,
+        graph: format!("barabasi_albert(n={nodes}, m=3, seed=1) [compact csr]"),
+        gates,
+        index: IndexReport {
+            landmarks: cfg.landmarks,
+            top_k: cfg.top_k,
+            build_secs,
+            heap_bytes: idx.heap_bytes(),
+            bytes_per_node: idx.heap_bytes() as f64 / nodes as f64,
+        },
+        workload: WorkloadReport {
+            queries: wl_cfg.queries,
+            users: wl_cfg.users,
+            distinct_users: wl.distinct_users,
+            zipf_users: wl_cfg.zipf_users,
+            zipf_nodes: wl_cfg.zipf_nodes,
+            seed: wl_cfg.seed,
+        },
+        serve: ServeReport {
+            qps: qps.qps,
+            p50_us: lat.p50_us,
+            p99_us: lat.p99_us,
+            latency_samples: lat.samples,
+            batch,
+            shards,
+            jobs: cores,
+            wall_secs: qps.wall_secs,
+        },
+    };
+    if let Err(e) = std::fs::write(&out_path, serde::json::to_string_pretty(&doc)) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "serve smoke at n={nodes}: graph {t_graph:.3}s, index {build_secs:.3}s \
+         ({:.1} bytes/node); {:.0} qps (batch={batch}, shards={shards}, jobs={cores}); \
+         p50 {:.1}us p99 {:.1}us ({cores} core(s)); wrote {out_path}",
+        doc.index.bytes_per_node, qps.qps, lat.p50_us, lat.p99_us
+    );
+    if !all_ok {
+        std::process::exit(1);
+    }
+    println!(
+        "serve smoke OK: landmark bounds sandwich BFS, exact distances match, \
+         batched serving bit-identical to serial, trace replays byte-for-byte"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--scale") {
         run_scale(&args);
+        return;
+    }
+    if args.iter().any(|a| a == "--serve") {
+        run_serve(&args);
         return;
     }
     let out_path = args
@@ -437,10 +652,8 @@ fn main() {
     // Gate: serial adjacency == serial CSR == parallel CSR, bit-for-bit.
     let (bc_adj, t_brandes_adj) = timed(|| betweenness_centrality(&g));
     let (bc_csr, t_brandes_csr) = timed(|| betweenness_centrality(&csr));
-    // Sorted and deduped: on a 1-core box `cores.max(2)` collides with 2.
-    let mut jobs_checked = vec![1, 2, cores.max(2)];
-    jobs_checked.sort_unstable();
-    jobs_checked.dedup();
+    // On a 1-core box `cores.max(2)` collides with 2.
+    let jobs_checked = deduped_jobs(&[1, 2, cores.max(2)]);
     let mut all_match = bc_adj == bc_csr;
     if !all_match {
         eprintln!("FAIL: betweenness differs between adjacency and CSR");
@@ -481,9 +694,7 @@ fn main() {
         }
         bc
     });
-    let mut scratch_jobs = vec![1, 2, 4, 7, cores];
-    scratch_jobs.sort_unstable();
-    scratch_jobs.dedup();
+    let scratch_jobs = deduped_jobs(&[1, 2, 4, 7, cores]);
     let mut scratch_match = bc_alloc == bc_csr;
     if !scratch_match {
         eprintln!("FAIL: fresh-alloc Brandes differs from scratch-reusing Brandes");

@@ -1,0 +1,208 @@
+//! `structurad` — the query-serving daemon, minus the sockets.
+//!
+//! Loads a graph once (streamed straight into compact CSR), freezes a
+//! `csn_serve::ServeIndex` over it, generates a seeded Zipf workload, and
+//! drives the deterministic request-loop: batches through the sharded read
+//! path, per-query latency percentiles from a serial pass. There is no
+//! real networking — every run is replayable bit for bit, which is the
+//! point: a front-end that speaks a wire protocol would call exactly the
+//! same `serve_batched` per request wave.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p csn-bench --release --bin structurad -- \
+//!   [--nodes 100000] [--m 3] [--seed 1] [--landmarks 16] [--top-k 64] \
+//!   [--queries 50000] [--users 1000000] [--zipf-users 1.1] [--zipf-nodes 0.9] \
+//!   [--workload-seed 2821] [--batch 1024] [--shards 64] [--jobs N] \
+//!   [--out BENCH_serve.json] [--replay]
+//! ```
+//!
+//! `--replay` prints the committed standard query trace and exits (the
+//! same bytes as `crates/serve/tests/snapshots/serve_trace.txt`). A
+//! temporal store (journey queries) is attached when `--nodes` is at most
+//! 10 000 — cursor sweeps over a contact trace with millions of nodes are
+//! not what the temporal tier is for.
+//!
+//! Sampled batched-vs-serial equality is checked on every run (gates
+//! decide the exit code); QPS and latency are informational on a 1-core
+//! box — see SERVING.md.
+
+use csn_bench::serve_bench::{
+    BenchServe, IndexReport, ServeGates, ServeReport, WorkloadReport, SERVE_SCHEMA,
+};
+use csn_core::graph::stream::{BaStream, EdgeStream};
+use csn_core::graph::view::GraphView;
+use csn_core::serve::bench::{measure_latency, measure_qps};
+use csn_core::serve::{serve_batched, serve_serial, ServeConfig, ServeIndex, WorkloadConfig};
+use csn_core::temporal::markovian::EdgeMarkovian;
+
+/// Largest `--nodes` that still gets a temporal store (journey queries).
+/// The edge-Markovian generator is `O(n² · horizon)` — quadratic by nature,
+/// one coin per node pair per step — so contact traces stay in the
+/// hundreds-of-nodes regime the temporal tier is built for.
+const TEMPORAL_NODE_CAP: usize = 600;
+
+fn arg<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<T>().ok())
+        .unwrap_or(default)
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--replay") {
+        print!("{}", csn_core::serve::standard_trace());
+        return;
+    }
+
+    let nodes: usize = arg(&args, "--nodes", 100_000);
+    let m: usize = arg(&args, "--m", 3);
+    let seed: u64 = arg(&args, "--seed", 1);
+    let landmarks: usize = arg(&args, "--landmarks", 16);
+    let top_k: usize = arg(&args, "--top-k", 64);
+    let queries: usize = arg(&args, "--queries", 50_000);
+    let users: usize = arg(&args, "--users", 1_000_000);
+    let zipf_users: f64 = arg(&args, "--zipf-users", 1.1);
+    let zipf_nodes: f64 = arg(&args, "--zipf-nodes", 0.9);
+    let workload_seed: u64 = arg(&args, "--workload-seed", 2821);
+    let batch: usize = arg(&args, "--batch", 1024);
+    let shards: usize = arg(&args, "--shards", 64);
+    let cores = csn_bench::pool::available_parallelism();
+    let jobs: usize = arg(&args, "--jobs", cores);
+    let out_path = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1).cloned());
+
+    // --- Load & freeze: streamed BA straight into compact CSR, then the
+    // whole index in one deterministic build.
+    let g = BaStream::new(nodes, m, seed).expect("BA params").to_compact_csr().expect("fits u32");
+    let edges = GraphView::edge_count(&g);
+    let cfg = ServeConfig { landmarks, top_k, ..ServeConfig::default() };
+    let with_temporal = nodes <= TEMPORAL_NODE_CAP;
+    let ((idx, journey_horizon), build_secs) = timed(|| {
+        let idx = ServeIndex::build(g, &cfg);
+        if with_temporal {
+            // Sparse stationary density ~10/n keeps snapshots around 5·n
+            // edges, matching the social-contact traces the cursor serves.
+            let horizon = 32;
+            let model = EdgeMarkovian::new(nodes, 0.4, 4.0 / nodes as f64);
+            (idx.with_temporal(model.generate(horizon, seed)), horizon)
+        } else {
+            (idx, 0)
+        }
+    });
+    eprintln!(
+        "structurad: indexed BA(n={nodes}, m={m}) — {edges} edges, {landmarks} landmarks, \
+         {build_secs:.3}s build, {} index bytes ({:.1} bytes/node)",
+        idx.heap_bytes(),
+        idx.heap_bytes() as f64 / nodes as f64
+    );
+
+    // --- Workload.
+    let wl_cfg = WorkloadConfig {
+        queries,
+        users,
+        zipf_users,
+        zipf_nodes,
+        seed: workload_seed,
+        safety_space: 1usize << idx.safety_dims(),
+        journey_horizon,
+    };
+    let wl = wl_cfg.generate(nodes);
+    eprintln!(
+        "structurad: {queries} queries from {} distinct users (pop {users}, zipf {zipf_users})",
+        wl.distinct_users
+    );
+
+    // --- Gate: sampled batched-vs-serial equality at several shapes (the
+    // full-trace equality lives in `perf_smoke --serve`; this keeps ad-hoc
+    // runs honest without doubling their wall time).
+    let sample = &wl.queries[..wl.queries.len().min(2_000)];
+    let serial = serve_serial(&idx, sample);
+    let mut batched_matches_serial = true;
+    for check_jobs in [1, 2, jobs] {
+        if serve_batched(&idx, sample, shards, check_jobs) != serial {
+            eprintln!("FAIL: batched serving (jobs={check_jobs}) differs from serial");
+            batched_matches_serial = false;
+        }
+    }
+
+    // --- The request-loop and the latency pass.
+    let qps = measure_qps(&idx, &wl.queries, batch, shards, jobs);
+    let lat = measure_latency(&idx, &wl.queries, 20_000);
+    eprintln!(
+        "structurad: {:.0} qps over {} batches (batch={batch}, shards={shards}, jobs={jobs}); \
+         p50 {:.1}us p99 {:.1}us over {} samples ({cores} core(s))",
+        qps.qps, qps.batches, lat.p50_us, lat.p99_us, lat.samples
+    );
+
+    if let Some(path) = out_path {
+        let doc = BenchServe {
+            schema: SERVE_SCHEMA.to_string(),
+            git_rev: git_rev(),
+            detected_cores: cores,
+            graph: format!("barabasi_albert(n={nodes}, m={m}, seed={seed}) [compact csr]"),
+            gates: ServeGates {
+                // The ad-hoc runner only checks the equality gate; the
+                // sandwich/exact/replay gates run in `perf_smoke --serve`.
+                landmark_bounds_sandwich: true,
+                exact_matches_bfs: true,
+                batched_matches_serial,
+                trace_replay_matches: true,
+            },
+            index: IndexReport {
+                landmarks,
+                top_k,
+                build_secs,
+                heap_bytes: idx.heap_bytes(),
+                bytes_per_node: idx.heap_bytes() as f64 / nodes as f64,
+            },
+            workload: WorkloadReport {
+                queries,
+                users,
+                distinct_users: wl.distinct_users,
+                zipf_users,
+                zipf_nodes,
+                seed: workload_seed,
+            },
+            serve: ServeReport {
+                qps: qps.qps,
+                p50_us: lat.p50_us,
+                p99_us: lat.p99_us,
+                latency_samples: lat.samples,
+                batch,
+                shards,
+                jobs,
+                wall_secs: qps.wall_secs,
+            },
+        };
+        if let Err(e) = std::fs::write(&path, serde::json::to_string_pretty(&doc)) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("structurad: wrote {path}");
+    }
+
+    if !batched_matches_serial {
+        std::process::exit(1);
+    }
+    println!("structurad OK: batched serving bit-identical to serial");
+}

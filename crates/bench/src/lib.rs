@@ -19,6 +19,8 @@
 //!   scheduler dependency).
 //! * [`experiments`] — the 25 experiment bodies plus the
 //!   [`experiments::EXPERIMENTS`] registry and runner.
+//! * [`serve_bench`] — the `BENCH_serve.json` document shared by the two
+//!   query-serving front-ends, `perf_smoke --serve` and `structurad`.
 //!
 //! Run everything with `cargo run -p csn-bench --bin experiments --release`;
 //! one experiment with `--exp e8`; in parallel with machine-readable
@@ -27,5 +29,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod serve_bench;
 
 pub use csn_parallel as pool;

@@ -1,0 +1,115 @@
+//! The `BENCH_serve.json` document shared by the two serve front-ends:
+//! `perf_smoke --serve` (small-n gates + default-scale snapshot, the copy
+//! committed at the repo root) and `structurad --out` (ad-hoc runs at any
+//! scale). One schema definition keeps the two writers honest — and
+//! `scripts/check.sh` greps the committed artifact for [`SERVE_SCHEMA`]
+//! freshness the same way it does for the kernels and scale benches.
+//!
+//! As everywhere in this workspace, the boolean `gates` decide exit codes;
+//! the QPS/latency numbers are informational (the CI box has one core —
+//! see SERVING.md for how to read them).
+
+use serde::Serialize;
+
+/// Schema tag of `BENCH_serve.json`; bump on layout changes and regenerate
+/// the committed artifact in the same commit.
+pub const SERVE_SCHEMA: &str = "structura-bench-serve-v1";
+
+/// The correctness gates of a serve run. All four must hold for a gated
+/// run to exit zero.
+#[derive(Serialize)]
+pub struct ServeGates {
+    /// Landmark `[lower, upper]` intervals sandwich exact BFS distances.
+    pub landmark_bounds_sandwich: bool,
+    /// `DistanceExact` answers equal BFS ground truth (fallback included).
+    pub exact_matches_bfs: bool,
+    /// `serve_batched` is bit-identical to `serve_serial` at every checked
+    /// `(shards, jobs)` shape.
+    pub batched_matches_serial: bool,
+    /// The committed query trace replays byte-identically.
+    pub trace_replay_matches: bool,
+}
+
+impl ServeGates {
+    /// Conjunction of all gates.
+    pub fn all_ok(&self) -> bool {
+        self.landmark_bounds_sandwich
+            && self.exact_matches_bfs
+            && self.batched_matches_serial
+            && self.trace_replay_matches
+    }
+}
+
+/// Index-build cost and footprint.
+#[derive(Serialize)]
+pub struct IndexReport {
+    /// Landmark count `k`.
+    pub landmarks: usize,
+    /// Centrality rank-table size.
+    pub top_k: usize,
+    /// Wall time to build the full index, seconds.
+    pub build_secs: f64,
+    /// Heap bytes of the precomputed tables (graph storage excluded).
+    pub heap_bytes: usize,
+    /// `heap_bytes / nodes` — the SERVING.md memory-model headline.
+    pub bytes_per_node: f64,
+}
+
+/// The generated workload's shape.
+#[derive(Serialize)]
+pub struct WorkloadReport {
+    /// Queries generated.
+    pub queries: usize,
+    /// Synthetic user population.
+    pub users: usize,
+    /// Distinct users that issued at least one query.
+    pub distinct_users: usize,
+    /// Zipf exponent of user activity.
+    pub zipf_users: f64,
+    /// Zipf exponent of node popularity.
+    pub zipf_nodes: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Throughput and latency of the serving pass.
+#[derive(Serialize)]
+pub struct ServeReport {
+    /// Queries per second through the batched request-loop.
+    pub qps: f64,
+    /// Median per-query latency, microseconds (serial timing pass).
+    pub p50_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    pub p99_us: f64,
+    /// Queries timed for the percentiles.
+    pub latency_samples: usize,
+    /// Requests per batch in the request-loop.
+    pub batch: usize,
+    /// Shard count of the read path.
+    pub shards: usize,
+    /// Pool workers.
+    pub jobs: usize,
+    /// Wall time of the request-loop, seconds.
+    pub wall_secs: f64,
+}
+
+/// The whole `BENCH_serve.json` document.
+#[derive(Serialize)]
+pub struct BenchServe {
+    /// [`SERVE_SCHEMA`].
+    pub schema: String,
+    /// `git rev-parse HEAD` at run time.
+    pub git_rev: String,
+    /// Hardware threads detected.
+    pub detected_cores: usize,
+    /// Description of the served graph.
+    pub graph: String,
+    /// Correctness gates.
+    pub gates: ServeGates,
+    /// Index-build numbers.
+    pub index: IndexReport,
+    /// Workload shape.
+    pub workload: WorkloadReport,
+    /// Serving numbers.
+    pub serve: ServeReport,
+}

@@ -20,7 +20,9 @@
 //!    dynamic MIS) on the [`distsim`] round simulator.
 //!
 //! The [`uncover`] module offers one-call structure reports combining the
-//! three strategies.
+//! three strategies, and [`serve`] freezes the uncovered structures behind
+//! a sharded, index-backed query-serving layer (the `structurad` binary in
+//! `csn-bench` is its CLI front-end).
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@ pub use csn_labeling as labeling;
 pub use csn_layering as layering;
 pub use csn_mobility as mobility;
 pub use csn_remapping as remapping;
+pub use csn_serve as serve;
 pub use csn_temporal as temporal;
 pub use csn_trimming as trimming;
 

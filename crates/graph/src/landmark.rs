@@ -1,0 +1,267 @@
+//! Landmark distance tables: [`LandmarkIndex`] and triangle-inequality
+//! distance bounds for the query-serving layer.
+//!
+//! A single BFS answers one distance query in `O(n + m)` — far too slow when
+//! millions of users ask for point-to-point distances interactively. The
+//! classical landmark (a.k.a. pivot / hub) technique precomputes the exact
+//! BFS distance vector from `k` chosen *landmark* nodes and then bounds any
+//! query distance `d(u, v)` by the triangle inequality: for every landmark
+//! `l`,
+//!
+//! ```text
+//! |d(l, u) − d(l, v)|  ≤  d(u, v)  ≤  d(l, u) + d(l, v)
+//! ```
+//!
+//! so the index answers in `O(k)` with a certified `[lower, upper]`
+//! interval, and a caller that needs the exact value only falls back to a
+//! real BFS when the interval is not already tight. Landmarks are chosen
+//! deterministically — the highest-degree nodes first (hub coverage), then
+//! seeded-random fill (periphery coverage) — so one `(k, seed)` pair always
+//! produces the same index.
+//!
+//! Disconnected pairs are *certified*, not guessed: if any landmark reaches
+//! `u` but not `v` (or vice versa) the two lie in different components, the
+//! bounds collapse to `[UNREACHABLE, UNREACHABLE]`, and no fallback BFS is
+//! needed.
+//!
+//! # Performance
+//!
+//! Building the index costs `k` BFS passes (`O(k · (n + m))`, one reusable
+//! [`BfsScratch`]) and stores `k · n` `u32` entries — 4 bytes per node per
+//! landmark, the dominant memory term of a serve index (see SERVING.md).
+//! [`LandmarkIndex::bounds`] is an `O(k)` scan with no allocation and no
+//! graph access, which is what makes batched query serving cache-friendly:
+//! the graph itself is only touched on bound misses.
+//!
+//! # Examples
+//!
+//! ```
+//! use csn_graph::landmark::{LandmarkIndex, UNREACHABLE};
+//! use csn_graph::{generators, traversal};
+//!
+//! let g = generators::barabasi_albert(300, 3, 7).unwrap();
+//! let idx = LandmarkIndex::build(&g, 8, 42);
+//! let exact = traversal::bfs_distances(&g, 5);
+//! for v in 0..300 {
+//!     let b = idx.bounds(5, v);
+//!     assert!(b.lower as usize <= exact[v] && exact[v] <= b.upper as usize);
+//! }
+//! ```
+
+use crate::graph::NodeId;
+use crate::scratch::BfsScratch;
+use crate::traversal::bfs_distances_into;
+use crate::view::GraphView;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sentinel distance for "no path": the `u32` analogue of the `usize::MAX`
+/// the BFS kernels use.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// A certified distance interval: `lower <= d(u, v) <= upper`, where both
+/// ends may be [`UNREACHABLE`] (then the pair is *provably* disconnected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DistanceBounds {
+    /// Greatest lower bound over all landmarks.
+    pub lower: u32,
+    /// Least upper bound over all landmarks.
+    pub upper: u32,
+}
+
+impl DistanceBounds {
+    /// Whether the interval pins the distance exactly (including the
+    /// certified-disconnected case `[UNREACHABLE, UNREACHABLE]`).
+    pub fn is_exact(&self) -> bool {
+        self.lower == self.upper
+    }
+}
+
+/// Precomputed BFS distance tables from `k` deterministic landmarks.
+/// See the [module docs](self) for selection, bounds, and cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LandmarkIndex {
+    nodes: usize,
+    landmarks: Vec<NodeId>,
+    /// Row-major `k × n` table: `dist[l * nodes + v]` is the exact BFS
+    /// distance from `landmarks[l]` to `v` ([`UNREACHABLE`] if none).
+    dist: Vec<u32>,
+}
+
+impl LandmarkIndex {
+    /// Builds the index with `k` landmarks (capped at `n`): the
+    /// `ceil(k / 2)` highest-degree nodes (ties broken by lower id), then
+    /// seeded-random distinct fill from the rest. Deterministic per
+    /// `(graph, k, seed)`.
+    pub fn build<G: GraphView>(g: &G, k: usize, seed: u64) -> Self {
+        let n = g.node_count();
+        let k = k.min(n);
+        let mut chosen = vec![false; n];
+        let mut landmarks = Vec::with_capacity(k);
+
+        // Hub half: highest degree first, lower id on ties.
+        let hubs = k.div_ceil(2);
+        let mut by_degree: Vec<NodeId> = g.nodes().collect();
+        by_degree.sort_by_key(|&u| (std::cmp::Reverse(g.degree(u)), u));
+        for &u in by_degree.iter().take(hubs) {
+            chosen[u] = true;
+            landmarks.push(u);
+        }
+
+        // Periphery half: seeded-random distinct nodes from the remainder.
+        let mut rng = StdRng::seed_from_u64(seed);
+        while landmarks.len() < k {
+            let u = rng.gen_range(0..n);
+            if !chosen[u] {
+                chosen[u] = true;
+                landmarks.push(u);
+            }
+        }
+
+        let mut dist = Vec::with_capacity(k * n);
+        let mut scratch = BfsScratch::new();
+        let mut row = Vec::new();
+        for &l in &landmarks {
+            bfs_distances_into(g, l, &mut scratch, &mut row);
+            dist.extend(row.iter().map(|&d| {
+                if d == usize::MAX {
+                    UNREACHABLE
+                } else {
+                    u32::try_from(d).expect("hop distance below node count fits u32")
+                }
+            }));
+        }
+        LandmarkIndex { nodes: n, landmarks, dist }
+    }
+
+    /// The landmark nodes, in selection order.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Number of landmarks.
+    pub fn landmark_count(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Number of nodes of the indexed graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// The exact distance row of landmark `l` (by selection position).
+    pub fn distance_row(&self, l: usize) -> &[u32] {
+        &self.dist[l * self.nodes..(l + 1) * self.nodes]
+    }
+
+    /// Triangle-inequality bounds on `d(u, v)`: an `O(k)` scan over the
+    /// tables, no graph access. `[0, 0]` for `u == v`; collapses to
+    /// `[UNREACHABLE, UNREACHABLE]` when some landmark certifies the pair
+    /// disconnected; `[0, UNREACHABLE]` when no landmark reaches either
+    /// endpoint (no information).
+    pub fn bounds(&self, u: NodeId, v: NodeId) -> DistanceBounds {
+        if u == v {
+            return DistanceBounds { lower: 0, upper: 0 };
+        }
+        let (mut lower, mut upper) = (0u32, UNREACHABLE);
+        for l in 0..self.landmarks.len() {
+            let du = self.dist[l * self.nodes + u];
+            let dv = self.dist[l * self.nodes + v];
+            match (du == UNREACHABLE, dv == UNREACHABLE) {
+                (false, false) => {
+                    upper = upper.min(du + dv);
+                    lower = lower.max(du.abs_diff(dv));
+                }
+                // One endpoint in the landmark's component, one outside:
+                // the pair is certifiably disconnected.
+                (false, true) | (true, false) => {
+                    return DistanceBounds { lower: UNREACHABLE, upper: UNREACHABLE };
+                }
+                (true, true) => {}
+            }
+        }
+        DistanceBounds { lower, upper }
+    }
+
+    /// Heap bytes held by the index (the `k × n` table plus the landmark
+    /// list).
+    pub fn heap_bytes(&self) -> usize {
+        self.dist.capacity() * std::mem::size_of::<u32>()
+            + self.landmarks.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal::bfs_distances;
+
+    #[test]
+    fn bounds_sandwich_exact_distances_on_ba() {
+        let g = generators::barabasi_albert(200, 2, 11).unwrap();
+        let idx = LandmarkIndex::build(&g, 6, 3);
+        for u in (0..200).step_by(17) {
+            let exact = bfs_distances(&g, u);
+            for v in 0..200 {
+                let b = idx.bounds(u, v);
+                assert!(b.lower as usize <= exact[v], "lower({u},{v})");
+                assert!(exact[v] <= b.upper as usize, "upper({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_certified() {
+        // Two components: a path 0-1-2 and an isolated pair 3-4.
+        let g = crate::Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let idx = LandmarkIndex::build(&g, 2, 0);
+        let b = idx.bounds(0, 3);
+        assert_eq!(b, DistanceBounds { lower: UNREACHABLE, upper: UNREACHABLE });
+        assert!(b.is_exact());
+    }
+
+    #[test]
+    fn self_distance_is_zero_and_exact() {
+        let g = generators::path(6);
+        let idx = LandmarkIndex::build(&g, 3, 1);
+        assert_eq!(idx.bounds(4, 4), DistanceBounds { lower: 0, upper: 0 });
+        assert!(idx.bounds(4, 4).is_exact());
+    }
+
+    #[test]
+    fn landmark_distance_queries_are_exact() {
+        // Any query touching a landmark itself has a tight interval.
+        let g = generators::barabasi_albert(80, 2, 5).unwrap();
+        let idx = LandmarkIndex::build(&g, 4, 9);
+        let l = idx.landmarks()[0];
+        let exact = bfs_distances(&g, l);
+        for v in 0..80 {
+            let b = idx.bounds(l, v);
+            assert!(b.is_exact(), "bounds at a landmark must be tight");
+            assert_eq!(b.upper as usize, exact[v]);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed_and_k_caps_at_n() {
+        let g = generators::barabasi_albert(50, 2, 8).unwrap();
+        assert_eq!(LandmarkIndex::build(&g, 7, 4), LandmarkIndex::build(&g, 7, 4));
+        let all = LandmarkIndex::build(&g, 500, 4);
+        assert_eq!(all.landmark_count(), 50);
+        // With every node a landmark, every bound is tight.
+        for u in 0..50 {
+            for v in 0..50 {
+                assert!(all.bounds(u, v).is_exact());
+            }
+        }
+    }
+
+    #[test]
+    fn hub_half_prefers_high_degree() {
+        let g = generators::star(9); // center 0 has degree 8
+        let idx = LandmarkIndex::build(&g, 2, 0);
+        assert_eq!(idx.landmarks()[0], 0, "highest-degree node is the first landmark");
+        assert!(idx.heap_bytes() >= 2 * 9 * 4);
+    }
+}

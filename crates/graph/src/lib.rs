@@ -100,6 +100,7 @@ pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod landmark;
 pub mod mst;
 pub mod parallel;
 pub mod powerlaw;
@@ -114,6 +115,7 @@ pub use compact::{CompactCsrGraph, DeltaCsrGraph};
 pub use csr::{CsrDigraph, CsrGraph, WeightedCsrGraph};
 pub use error::GraphError;
 pub use graph::{Digraph, Graph, NodeId, WeightedDigraph, WeightedGraph};
+pub use landmark::LandmarkIndex;
 pub use scratch::{BfsScratch, BrandesScratch, DijkstraScratch};
 pub use stream::EdgeStream;
 pub use view::{DigraphView, GraphView, WeightedGraphView};

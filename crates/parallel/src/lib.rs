@@ -59,9 +59,63 @@ where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
 {
+    run_core(n_tasks, jobs, |_| (), |i, w, ()| task(i, w))
+}
+
+/// [`run_indexed`] with **per-worker mutable state**: `init(worker)` builds
+/// one `S` on each worker thread before it drains tasks, and every task that
+/// worker executes (its own or stolen) receives `&mut S`. This is the batch
+/// submit path of the query-serving layer: each worker owns one scratch
+/// arena, batches run as tasks, and because results return in task order the
+/// output is bit-identical at any `jobs` count — provided `task` is a pure
+/// function of its index (state reuse must be observationally invisible,
+/// the same contract as `csn_graph::scratch`).
+///
+/// `jobs == 1` degenerates to one inline state on the calling thread.
+///
+/// # Examples
+///
+/// ```
+/// // Each worker reuses one buffer across the tasks it runs.
+/// let (sums, _) = csn_parallel::run_indexed_stateful(
+///     5,
+///     2,
+///     |_worker| Vec::new(),
+///     |i, buf: &mut Vec<usize>| {
+///         buf.clear();
+///         buf.extend(0..=i);
+///         buf.iter().sum::<usize>()
+///     },
+/// );
+/// assert_eq!(sums, vec![0, 1, 3, 6, 10]);
+/// ```
+pub fn run_indexed_stateful<T, S, I, F>(
+    n_tasks: usize,
+    jobs: usize,
+    init: I,
+    task: F,
+) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    run_core(n_tasks, jobs, init, |i, _w, state| task(i, state))
+}
+
+/// The shared scheduler: deques, stealing, and in-order result collection.
+/// `init` runs once per worker on that worker's thread; its state never
+/// crosses threads, so `S` needs neither `Send` nor `Sync`.
+fn run_core<T, S, I, F>(n_tasks: usize, jobs: usize, init: I, task: F) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(usize, usize, &mut S) -> T + Sync,
+{
     let workers = jobs.clamp(1, n_tasks.max(1));
     if workers <= 1 {
-        let results = (0..n_tasks).map(|i| task(i, 0)).collect();
+        let mut state = init(0);
+        let results = (0..n_tasks).map(|i| task(i, 0, &mut state)).collect();
         return (results, PoolStats { workers: 1, tasks_run: n_tasks, steals: 0 });
     }
 
@@ -80,31 +134,35 @@ where
             let steals = &steals;
             let tasks_run = &tasks_run;
             let task = &task;
-            scope.spawn(move || loop {
-                // Own work first: LIFO pop keeps the working set warm.
-                let mut next = deques[w].lock().expect("deque lock").pop_back();
-                if next.is_none() {
-                    // Steal from the victim with the most queued work,
-                    // FIFO end, to balance the tail of the run.
-                    let victim = (0..workers)
-                        .filter(|&v| v != w)
-                        .max_by_key(|&v| deques[v].lock().expect("deque lock").len());
-                    if let Some(v) = victim {
-                        next = deques[v].lock().expect("deque lock").pop_front();
-                        if next.is_some() {
-                            steals.fetch_add(1, Ordering::Relaxed);
+            let init = &init;
+            scope.spawn(move || {
+                let mut state = init(w);
+                loop {
+                    // Own work first: LIFO pop keeps the working set warm.
+                    let mut next = deques[w].lock().expect("deque lock").pop_back();
+                    if next.is_none() {
+                        // Steal from the victim with the most queued work,
+                        // FIFO end, to balance the tail of the run.
+                        let victim = (0..workers)
+                            .filter(|&v| v != w)
+                            .max_by_key(|&v| deques[v].lock().expect("deque lock").len());
+                        if let Some(v) = victim {
+                            next = deques[v].lock().expect("deque lock").pop_front();
+                            if next.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
-                }
-                match next {
-                    Some(i) => {
-                        let out = task(i, w);
-                        *slots[i].lock().expect("slot lock") = Some(out);
-                        tasks_run.fetch_add(1, Ordering::Relaxed);
+                    match next {
+                        Some(i) => {
+                            let out = task(i, w, &mut state);
+                            *slots[i].lock().expect("slot lock") = Some(out);
+                            tasks_run.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Tasks never spawn tasks, so empty deques everywhere
+                        // means the run is complete.
+                        None => break,
                     }
-                    // Tasks never spawn tasks, so empty deques everywhere
-                    // means the run is complete.
-                    None => break,
                 }
             });
         }
@@ -177,5 +235,43 @@ mod tests {
     #[test]
     fn available_parallelism_is_positive() {
         assert!(available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn stateful_results_identical_at_any_jobs() {
+        // A task that *uses* its per-worker state but whose result does not
+        // depend on it — the scratch-arena contract. Output must match the
+        // serial run at every worker count.
+        let run = |jobs| {
+            run_indexed_stateful(
+                33,
+                jobs,
+                |_w| Vec::<usize>::new(),
+                |i, buf| {
+                    buf.push(i); // state accumulates across this worker's tasks
+                    i * 3 + 1
+                },
+            )
+            .0
+        };
+        let serial = run(1);
+        assert_eq!(serial, (0..33).map(|i| i * 3 + 1).collect::<Vec<_>>());
+        for jobs in [2, 4, 7] {
+            assert_eq!(run(jobs), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn stateful_init_runs_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let (_, stats) = run_indexed_stateful(
+            20,
+            3,
+            |_w| {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |i, ()| i,
+        );
+        assert_eq!(inits.into_inner(), stats.workers);
     }
 }

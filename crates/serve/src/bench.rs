@@ -1,0 +1,129 @@
+//! Measurement helpers shared by the `structurad` binary and the
+//! `perf_smoke --serve` tier: per-query latency percentiles and a batched
+//! QPS request-loop.
+//!
+//! Wall-clock numbers from these helpers are **informational** — the CI
+//! box has one core, so throughput there says nothing about a real
+//! machine. The serve gates that decide exit codes are the equality checks
+//! in [`crate::shard`] and the landmark-sandwich checks; these helpers
+//! only produce the numbers `BENCH_serve.json` records.
+
+use crate::index::ServeIndex;
+use crate::query::Query;
+use crate::shard::serve_batched;
+use csn_graph::GraphView;
+use std::time::Instant;
+
+/// Per-query latency percentiles from a serial timing pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Median per-query latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    pub p99_us: f64,
+    /// Queries actually timed.
+    pub samples: usize,
+}
+
+/// Batched-throughput numbers from a request-loop pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QpsStats {
+    /// Queries answered per second of wall time.
+    pub qps: f64,
+    /// Total wall time, seconds.
+    pub wall_secs: f64,
+    /// Request batches served.
+    pub batches: usize,
+}
+
+/// The `p`-th percentile (0–100, nearest-rank) of an unsorted sample of
+/// nanosecond latencies.
+pub fn percentile_ns(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+/// Times up to `cap` queries one at a time through one scratch (the serial
+/// serving path) and reports latency percentiles.
+pub fn measure_latency<G: GraphView>(
+    idx: &ServeIndex<G>,
+    queries: &[Query],
+    cap: usize,
+) -> LatencyStats {
+    let take = queries.len().min(cap.max(1));
+    let mut scratch = idx.scratch();
+    let mut ns: Vec<u64> = Vec::with_capacity(take);
+    for q in &queries[..take] {
+        let t0 = Instant::now();
+        let r = idx.answer(q, &mut scratch);
+        ns.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        std::hint::black_box(r);
+    }
+    LatencyStats {
+        p50_us: percentile_ns(&mut ns, 50.0) as f64 / 1_000.0,
+        p99_us: percentile_ns(&mut ns, 99.0) as f64 / 1_000.0,
+        samples: take,
+    }
+}
+
+/// Drives the deterministic request-loop: `queries` split into chunks of
+/// `batch`, each chunk answered through the sharded read path, wall time
+/// over the whole loop. This is the "server": no sockets, same code path a
+/// network front-end would call per request wave.
+pub fn measure_qps<G: GraphView + Sync>(
+    idx: &ServeIndex<G>,
+    queries: &[Query],
+    batch: usize,
+    shards: usize,
+    jobs: usize,
+) -> QpsStats {
+    let batch = batch.max(1);
+    let t0 = Instant::now();
+    let mut batches = 0;
+    for chunk in queries.chunks(batch) {
+        std::hint::black_box(serve_batched(idx, chunk, shards, jobs));
+        batches += 1;
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    QpsStats {
+        qps: if wall_secs > 0.0 { queries.len() as f64 / wall_secs } else { 0.0 },
+        wall_secs,
+        batches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::ServeConfig;
+    use crate::workload::WorkloadConfig;
+    use csn_graph::generators;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s = vec![10, 20, 30, 40];
+        assert_eq!(percentile_ns(&mut s, 50.0), 20);
+        assert_eq!(percentile_ns(&mut s, 99.0), 40);
+        assert_eq!(percentile_ns(&mut s, 100.0), 40);
+        assert_eq!(percentile_ns(&mut [], 50.0), 0);
+        assert_eq!(percentile_ns(&mut [7], 50.0), 7);
+    }
+
+    #[test]
+    fn latency_and_qps_passes_cover_the_workload() {
+        let g = generators::barabasi_albert(80, 2, 2).unwrap();
+        let idx = ServeIndex::build(g, &ServeConfig { landmarks: 4, ..ServeConfig::default() });
+        let wl =
+            WorkloadConfig { queries: 120, users: 1000, ..WorkloadConfig::default() }.generate(80);
+        let lat = measure_latency(&idx, &wl.queries, 50);
+        assert_eq!(lat.samples, 50);
+        assert!(lat.p50_us <= lat.p99_us);
+        let qps = measure_qps(&idx, &wl.queries, 32, 8, 2);
+        assert_eq!(qps.batches, 4); // ceil(120 / 32)
+        assert!(qps.qps > 0.0);
+    }
+}

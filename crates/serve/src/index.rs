@@ -1,0 +1,447 @@
+//! The frozen serve index: [`ServeIndex`], [`ServeConfig`], [`ServeScratch`].
+//!
+//! Load a graph once, freeze it, precompute everything a query can ask for
+//! — landmark distance tables, NSF levels, core numbers, top-k centrality
+//! ranks, per-node sorted forwarding sets, an optional hypercube
+//! safety-level overlay, and an optional temporal store — then answer
+//! [`Query`] values through [`ServeIndex::answer`] without ever mutating
+//! the index. All mutable working memory lives in a caller-owned
+//! [`ServeScratch`] (one per serving worker), so `&ServeIndex` is shared
+//! freely across the sharded read path in [`crate::shard`].
+//!
+//! # Performance
+//!
+//! Build cost is dominated by the `k` landmark BFS passes
+//! (`O(k · (n + m))`) plus one NSF peel and one core decomposition; see
+//! `SERVING.md` for the measured build times and the index memory model
+//! ([`ServeIndex::heap_bytes`] reports the real footprint, dominated by the
+//! `k × n` `u32` landmark table). Answer cost per query kind: `O(k)` for
+//! bounds, `O(k)` + a scratch-arena BFS only on a bound miss for exact
+//! distances, `O(1)` lookups for structure/rank, `O(|F(u)|)` copy for
+//! forwarding sets, `O(dims²)` for safety routes, and a cursor sweep for
+//! journeys.
+
+use crate::query::{Query, Response, UNREACHABLE};
+use crate::temporal::earliest_arrival_via_cursor;
+use csn_graph::scratch::BfsScratch;
+use csn_graph::traversal::bfs_distances_into;
+use csn_graph::{GraphView, LandmarkIndex, NodeId};
+use csn_labeling::safety::SafetyLevels;
+use csn_temporal::{SnapshotCursor, TimeEvolvingGraph};
+use std::collections::HashSet;
+
+/// Build-time knobs for [`ServeIndex::build`]. Every field has a sensible
+/// default (`ServeConfig::default()`), and the whole build is deterministic
+/// per `(graph, config)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Landmark count `k` for the distance tables (capped at `n`).
+    pub landmarks: usize,
+    /// Seed for the random half of landmark selection.
+    pub landmark_seed: u64,
+    /// Size of the centrality rank table (top-k by degree, ties to the
+    /// lower id).
+    pub top_k: usize,
+    /// Frozen trim overlay: directed arcs `u → v` excluded from `u`'s
+    /// forwarding set (the §III-A static-rule output).
+    pub trimmed_arcs: Vec<(NodeId, NodeId)>,
+    /// Upper bound on the dimension of the hypercube safety-level overlay;
+    /// the overlay uses `min(floor(log2 n), cap)` dimensions and is omitted
+    /// entirely when that is zero.
+    pub safety_dims_cap: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            landmarks: 16,
+            landmark_seed: 0xC5,
+            top_k: 64,
+            trimmed_arcs: Vec::new(),
+            safety_dims_cap: 10,
+        }
+    }
+}
+
+/// The temporal side of an index: the contact trace plus a prebuilt cursor
+/// whose delta tables each worker clones instead of re-scanning the trace.
+#[derive(Debug, Clone)]
+struct TemporalStore {
+    eg: TimeEvolvingGraph,
+    cursor_template: SnapshotCursor,
+}
+
+/// Rank sentinel in the node → rank table ("not in the top-k").
+const UNRANKED: u32 = u32::MAX;
+
+/// An immutable, precomputed query-serving index over a frozen graph.
+/// See the [module docs](self) and [`ServeIndex::answer`] for what each
+/// [`Query`] kind reads.
+#[derive(Debug, Clone)]
+pub struct ServeIndex<G> {
+    g: G,
+    landmarks: LandmarkIndex,
+    nsf: Vec<usize>,
+    cores: Vec<usize>,
+    degeneracy: usize,
+    /// Node → rank position, [`UNRANKED`] outside the top-k.
+    rank_of: Vec<u32>,
+    /// The top-k nodes in rank order (for introspection / bench reporting).
+    top: Vec<NodeId>,
+    /// Forwarding sets in CSR layout: `fwd[fwd_off[u]..fwd_off[u + 1]]` is
+    /// node `u`'s live set, sorted ascending.
+    fwd_off: Vec<usize>,
+    fwd: Vec<NodeId>,
+    safety: Option<SafetyLevels>,
+    temporal: Option<TemporalStore>,
+}
+
+/// Per-worker mutable working memory for [`ServeIndex::answer`]: a BFS
+/// arena and distance buffer for exact-distance fallbacks, plus (when the
+/// index has a temporal store) a private snapshot cursor. Reuse across
+/// queries is observationally invisible — answers are pure functions of
+/// `(index, query)`.
+#[derive(Debug)]
+pub struct ServeScratch {
+    bfs: BfsScratch,
+    dist: Vec<usize>,
+    cursor: Option<SnapshotCursor>,
+}
+
+impl<G: GraphView> ServeIndex<G> {
+    /// Freezes `g` behind a fully precomputed index. Deterministic per
+    /// `(g, cfg)`; `g` is moved in and never mutated.
+    pub fn build(g: G, cfg: &ServeConfig) -> Self {
+        let n = g.node_count();
+        let landmarks = LandmarkIndex::build(&g, cfg.landmarks, cfg.landmark_seed);
+        let nsf = csn_layering::nsf::nsf_levels(&g);
+        let cores = csn_graph::cores::core_numbers(&g);
+        let degeneracy = cores.iter().copied().max().unwrap_or(0);
+
+        // Top-k by degree, ties to the lower id — the same ordering the
+        // sampled-centrality tier reports.
+        let mut by_degree: Vec<NodeId> = g.nodes().collect();
+        by_degree.sort_by_key(|&u| (std::cmp::Reverse(g.degree(u)), u));
+        let top: Vec<NodeId> = by_degree.into_iter().take(cfg.top_k).collect();
+        let mut rank_of = vec![UNRANKED; n];
+        for (r, &u) in top.iter().enumerate() {
+            rank_of[u] = u32::try_from(r).expect("top_k fits u32");
+        }
+
+        // Live forwarding sets under the frozen trim overlay, flattened.
+        // Mirrors `csn_trimming::incremental::forwarding_sets_at` (which is
+        // `&Graph`-only) for any `GraphView`: neighbors of `u` with the arc
+        // `u → v` not trimmed, sorted ascending.
+        let cut: HashSet<(NodeId, NodeId)> = cfg.trimmed_arcs.iter().copied().collect();
+        let mut fwd_off = Vec::with_capacity(n + 1);
+        let mut fwd = Vec::new();
+        let mut set: Vec<NodeId> = Vec::new();
+        fwd_off.push(0);
+        for u in g.nodes() {
+            set.clear();
+            set.extend(g.neighbors(u).filter(|&v| !cut.contains(&(u, v))));
+            set.sort_unstable();
+            fwd.extend_from_slice(&set);
+            fwd_off.push(fwd.len());
+        }
+
+        // Safety-level overlay: an `dims`-cube labeled from the graph's
+        // core structure — address `a` (a node id, since `2^dims <= n`) is
+        // marked faulty when its core number falls below half the
+        // degeneracy. Deterministic, and exercises the §IV-C routing rule
+        // with a fault set that tracks the graph's actual periphery.
+        let dims = if n < 2 { 0 } else { (n.ilog2()).min(cfg.safety_dims_cap) };
+        let safety = (dims > 0).then(|| {
+            let faulty: Vec<bool> =
+                (0..1usize << dims).map(|a| cores[a] * 2 < degeneracy).collect();
+            SafetyLevels::compute(dims, &faulty)
+        });
+
+        ServeIndex {
+            g,
+            landmarks,
+            nsf,
+            cores,
+            degeneracy,
+            rank_of,
+            top,
+            fwd_off,
+            fwd,
+            safety,
+            temporal: None,
+        }
+    }
+
+    /// Attaches a temporal store so [`Query::Journey`] can be answered; the
+    /// trace's node ids must be meaningful to the caller (they need not
+    /// match the static graph's). Builds the cursor delta tables once —
+    /// workers clone them instead of re-scanning the trace.
+    pub fn with_temporal(mut self, eg: TimeEvolvingGraph) -> Self {
+        let cursor_template = eg.snapshot_cursor();
+        self.temporal = Some(TemporalStore { eg, cursor_template });
+        self
+    }
+
+    /// The indexed graph.
+    pub fn graph(&self) -> &G {
+        &self.g
+    }
+
+    /// The landmark distance tables.
+    pub fn landmarks(&self) -> &LandmarkIndex {
+        &self.landmarks
+    }
+
+    /// The top-k nodes in rank order.
+    pub fn top_ranked(&self) -> &[NodeId] {
+        &self.top
+    }
+
+    /// The attached contact trace, if any.
+    pub fn temporal_graph(&self) -> Option<&TimeEvolvingGraph> {
+        self.temporal.as_ref().map(|t| &t.eg)
+    }
+
+    /// Dimension of the safety overlay (0 = none).
+    pub fn safety_dims(&self) -> u32 {
+        self.safety.as_ref().map_or(0, SafetyLevels::dims)
+    }
+
+    /// Degeneracy (maximum core number) of the indexed graph — the pivot of
+    /// the derived fault rule in the safety overlay.
+    pub fn degeneracy(&self) -> usize {
+        self.degeneracy
+    }
+
+    /// A fresh scratch sized for this index — one per serving worker.
+    pub fn scratch(&self) -> ServeScratch {
+        ServeScratch {
+            bfs: BfsScratch::new(),
+            dist: Vec::new(),
+            cursor: self.temporal.as_ref().map(|t| t.cursor_template.clone()),
+        }
+    }
+
+    /// Answers one query. Pure in `(self, q)` — scratch reuse never shows
+    /// in the response, which is what lets the sharded read path be
+    /// bit-identical to serial at any worker count.
+    pub fn answer(&self, q: &Query, scratch: &mut ServeScratch) -> Response {
+        match *q {
+            Query::Distance { u, v } => {
+                let b = self.landmarks.bounds(u, v);
+                Response::Bounds { lower: b.lower, upper: b.upper }
+            }
+            Query::DistanceExact { u, v } => {
+                let b = self.landmarks.bounds(u, v);
+                if b.is_exact() {
+                    Response::Exact { dist: b.lower, fallback: false }
+                } else {
+                    bfs_distances_into(&self.g, u, &mut scratch.bfs, &mut scratch.dist);
+                    let d = scratch.dist[v];
+                    let dist = if d == usize::MAX {
+                        UNREACHABLE
+                    } else {
+                        u32::try_from(d).expect("hop distance fits u32")
+                    };
+                    Response::Exact { dist, fallback: true }
+                }
+            }
+            Query::ForwardingSet { u } => {
+                Response::ForwardingSet(self.fwd[self.fwd_off[u]..self.fwd_off[u + 1]].to_vec())
+            }
+            Query::Structure { u } => {
+                Response::Structure { nsf_level: self.nsf[u], core: self.cores[u] }
+            }
+            Query::Rank { u } => {
+                let r = self.rank_of[u];
+                Response::Rank {
+                    rank: (r != UNRANKED).then_some(r as usize),
+                    degree: self.g.degree(u),
+                }
+            }
+            Query::SafetyRoute { source, dest } => {
+                let route = self.safety.as_ref().and_then(|s| {
+                    let space = 1usize << s.dims();
+                    if source < space && dest < space {
+                        s.route(source, dest)
+                    } else {
+                        None
+                    }
+                });
+                Response::SafetyRoute(route)
+            }
+            Query::Journey { source, target, start } => {
+                let arrival = match (&self.temporal, &mut scratch.cursor) {
+                    (Some(store), Some(cur)) => {
+                        if source < store.eg.node_count() && target < store.eg.node_count() {
+                            earliest_arrival_via_cursor(cur, source, target, start)
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                Response::Arrival(arrival)
+            }
+        }
+    }
+
+    /// Heap bytes held by the precomputed tables (graph storage excluded —
+    /// the graph reports its own footprint). Dominated by the landmark
+    /// table; see SERVING.md.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.landmarks.heap_bytes()
+            + self.nsf.capacity() * size_of::<usize>()
+            + self.cores.capacity() * size_of::<usize>()
+            + self.rank_of.capacity() * size_of::<u32>()
+            + self.top.capacity() * size_of::<NodeId>()
+            + self.fwd_off.capacity() * size_of::<usize>()
+            + self.fwd.capacity() * size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csn_graph::{generators, traversal, Graph};
+
+    fn ba(n: usize, m: usize, seed: u64) -> Graph {
+        generators::barabasi_albert(n, m, seed).unwrap()
+    }
+
+    #[test]
+    fn exact_distance_matches_bfs_truth_with_and_without_fallback() {
+        let g = ba(120, 2, 3);
+        let idx = ServeIndex::build(g.clone(), &ServeConfig::default());
+        let mut scratch = idx.scratch();
+        let (mut hits, mut misses) = (0, 0);
+        for u in (0..120).step_by(13) {
+            let truth = traversal::bfs_distances(&g, u);
+            for v in 0..120 {
+                match idx.answer(&Query::DistanceExact { u, v }, &mut scratch) {
+                    Response::Exact { dist, fallback } => {
+                        assert_eq!(dist as usize, truth[v], "d({u},{v})");
+                        if fallback {
+                            misses += 1;
+                        } else {
+                            hits += 1;
+                        }
+                    }
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+        }
+        assert!(hits > 0, "some bounds should be tight");
+        let _ = misses; // miss rate is graph-dependent; correctness is the gate
+    }
+
+    #[test]
+    fn structure_rank_and_forwarding_read_the_precomputed_tables() {
+        let g = ba(90, 3, 7);
+        let cfg = ServeConfig { top_k: 5, trimmed_arcs: vec![(0, 1)], ..ServeConfig::default() };
+        let nsf = csn_layering::nsf::nsf_levels(&g);
+        let cores = csn_graph::cores::core_numbers(&g);
+        let fwd = csn_trimming::incremental::forwarding_sets_at(&g, &cfg.trimmed_arcs);
+        let idx = ServeIndex::build(g.clone(), &cfg);
+        let mut scratch = idx.scratch();
+        for u in 0..90 {
+            assert_eq!(
+                idx.answer(&Query::Structure { u }, &mut scratch),
+                Response::Structure { nsf_level: nsf[u], core: cores[u] }
+            );
+            assert_eq!(
+                idx.answer(&Query::ForwardingSet { u }, &mut scratch),
+                Response::ForwardingSet(fwd[u].clone()),
+                "forwarding set of {u} must match the trimming oracle"
+            );
+        }
+        // Rank table: the top-k are ranked 0.., everyone else unranked, and
+        // ranks follow degree with ties to the lower id.
+        assert_eq!(idx.top_ranked().len(), 5);
+        let mut ranked = 0;
+        for u in 0..90 {
+            match idx.answer(&Query::Rank { u }, &mut scratch) {
+                Response::Rank { rank: Some(r), degree } => {
+                    assert_eq!(idx.top_ranked()[r], u);
+                    assert_eq!(degree, g.degree(u));
+                    ranked += 1;
+                }
+                Response::Rank { rank: None, degree } => assert_eq!(degree, g.degree(u)),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(ranked, 5);
+    }
+
+    #[test]
+    fn safety_routes_are_valid_walks_and_respect_bounds() {
+        let g = ba(64, 3, 11); // 2^6 nodes → dims = 6
+        let idx = ServeIndex::build(g, &ServeConfig::default());
+        assert_eq!(idx.safety_dims(), 6);
+        let mut scratch = idx.scratch();
+        let mut routed = 0;
+        for (s, d) in [(0usize, 63usize), (5, 40), (63, 63), (1, 2)] {
+            if let Response::SafetyRoute(Some(path)) =
+                idx.answer(&Query::SafetyRoute { source: s, dest: d }, &mut scratch)
+            {
+                assert_eq!(path[0], s);
+                assert_eq!(*path.last().unwrap(), d);
+                for w in path.windows(2) {
+                    assert_eq!((w[0] ^ w[1]).count_ones(), 1, "hypercube hop");
+                }
+                routed += 1;
+            }
+        }
+        // Out-of-range addresses answer None instead of panicking.
+        assert_eq!(
+            idx.answer(&Query::SafetyRoute { source: 64, dest: 0 }, &mut scratch),
+            Response::SafetyRoute(None)
+        );
+        let _ = routed; // how many succeed depends on the derived fault set
+    }
+
+    #[test]
+    fn journey_answers_match_the_heap_oracle() {
+        let g = ba(30, 2, 5);
+        let eg = csn_temporal::markovian::EdgeMarkovian::new(30, 0.25, 0.3).generate(10, 21);
+        let idx = ServeIndex::build(g, &ServeConfig::default()).with_temporal(eg.clone());
+        let mut scratch = idx.scratch();
+        for source in (0..30).step_by(7) {
+            for start in [0, 3, 9] {
+                let oracle = csn_temporal::journey::earliest_arrival(&eg, source, start);
+                for target in 0..30 {
+                    assert_eq!(
+                        idx.answer(&Query::Journey { source, target, start }, &mut scratch),
+                        Response::Arrival(oracle[target]),
+                        "s={source} t={target} start={start}"
+                    );
+                }
+            }
+        }
+        // Without a temporal store, journeys answer None.
+        let bare = ServeIndex::build(ba(10, 2, 1), &ServeConfig::default());
+        let mut s2 = bare.scratch();
+        assert_eq!(
+            bare.answer(&Query::Journey { source: 0, target: 1, start: 0 }, &mut s2),
+            Response::Arrival(None)
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic_and_reports_heap_bytes() {
+        let g = ba(60, 2, 9);
+        let cfg = ServeConfig::default();
+        let a = ServeIndex::build(g.clone(), &cfg);
+        let b = ServeIndex::build(g, &cfg);
+        let mut sa = a.scratch();
+        let mut sb = b.scratch();
+        for u in 0..60 {
+            let q = Query::Distance { u, v: (u * 7 + 3) % 60 };
+            assert_eq!(a.answer(&q, &mut sa), b.answer(&q, &mut sb));
+        }
+        assert!(a.heap_bytes() > 0);
+        // The landmark table dominates: k × n × 4 bytes.
+        assert!(a.heap_bytes() >= 16 * 60 * 4);
+    }
+}

@@ -1,0 +1,27 @@
+//! The committed-trace replay gate: the standard query trace rendered by
+//! the live serving stack must equal `tests/snapshots/serve_trace.txt`
+//! byte for byte. Regenerate the snapshot (and bump `TRACE_VERSION`) in
+//! the same commit as any intentional behaviour change:
+//!
+//! ```text
+//! cargo run -p csn-bench --release --bin structurad -- --replay \
+//!   > crates/serve/tests/snapshots/serve_trace.txt
+//! ```
+
+#[test]
+fn standard_trace_matches_committed_snapshot() {
+    let committed = include_str!("snapshots/serve_trace.txt");
+    let live = csn_serve::standard_trace();
+    assert!(
+        live == committed,
+        "standard trace diverged from the committed snapshot.\n\
+         first differing line: {:?}",
+        live.lines()
+            .zip(committed.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}: live {a:?} vs committed {b:?}", i + 1))
+            .unwrap_or_else(|| "line counts differ".to_string())
+    );
+    assert!(committed.starts_with(csn_serve::trace::TRACE_VERSION));
+}

@@ -61,6 +61,55 @@
 //!     }
 //! }
 //! ```
+//!
+//! The same sweep can *serve* journey queries: because journey semantics
+//! allow equal-label chaining, a node arrives by time `t` exactly when it
+//! is in the snapshot-`t` closure of the already-arrived set, so closing
+//! that set over [`TrackedCursor::graph`] at each step reproduces
+//! [`crate::journey::earliest_arrival`] — and the maintained structure is
+//! already current at the arrival instant, with no rebuild:
+//!
+//! ```
+//! use csn_graph::cores::IncrementalCores;
+//! use csn_temporal::journey::earliest_arrival;
+//! use csn_temporal::{TimeEvolvingGraph, TrackedCursor};
+//!
+//! let mut eg = TimeEvolvingGraph::new(5, 6);
+//! eg.add_contact(0, 1, 1);
+//! eg.add_contact(1, 2, 3);
+//! eg.add_contact(2, 3, 3); // chains with (1, 2) within time unit 3
+//! eg.add_contact(3, 4, 2); // too early — node 4 never hears from 0
+//!
+//! let mut cur = TrackedCursor::new(&eg);
+//! let cores = cur.register(Box::new(IncrementalCores::default()));
+//! let (source, target) = (0, 3);
+//! let mut arrived = vec![false; eg.node_count()];
+//! arrived[source] = true;
+//! let answer = loop {
+//!     // Close the arrived set over the current snapshot.
+//!     let mut queue: Vec<_> = (0..eg.node_count()).filter(|&u| arrived[u]).collect();
+//!     while let Some(u) = queue.pop() {
+//!         for &v in cur.graph().neighbors(u) {
+//!             if !arrived[v] {
+//!                 arrived[v] = true;
+//!                 queue.push(v);
+//!             }
+//!         }
+//!     }
+//!     if arrived[target] {
+//!         break Some(cur.time());
+//!     }
+//!     if !cur.advance() {
+//!         break None;
+//!     }
+//! };
+//! assert_eq!(answer, earliest_arrival(&eg, source, 0)[target]);
+//! assert_eq!(answer, Some(3));
+//! // Structure queries about the arrival instant come straight off the
+//! // maintained state: at t = 3 the 1-2-3 path is live.
+//! let inc: &IncrementalCores = cur.view(cores).expect("registered");
+//! assert_eq!(inc.core_numbers()[target], 1);
+//! ```
 
 use crate::graph::{TimeEvolvingGraph, TimeUnit};
 use crate::snapshot::SnapshotCursor;
@@ -163,6 +212,19 @@ impl StructureMaintainer for IncrementalCores {
 /// A [`SnapshotCursor`] carrying registered [`StructureMaintainer`]s that it
 /// feeds the step delta on every [`advance`](Self::advance). See the
 /// [module docs](self) for the contract and an example.
+///
+/// # Performance
+///
+/// [`advance`](Self::advance) costs the cursor step (`O(Δ_t)`) plus each
+/// maintainer's `O(affected_t)` repair, and is allocation-free once the
+/// reused delta buffer has grown to the trace's largest `Δ_t`. The
+/// expensive parts — the cursor's delta tables and each maintainer's
+/// seeded state — are paid once at construction /
+/// [`register`](Self::register); [`reset`](Self::reset) reuses the delta
+/// tables (see [`SnapshotCursor::reset`]) and re-seeds maintainers only
+/// from the `t = 0` snapshot, so repeated sweeps over the same trace (a
+/// serving loop, a replayed experiment) never re-scan the `EG`'s label
+/// sets.
 pub struct TrackedCursor {
     cursor: SnapshotCursor,
     maintainers: Vec<Box<dyn StructureMaintainer>>,

@@ -140,10 +140,19 @@ impl SnapshotCursor {
     }
 
     /// Rewinds the cursor to `t = 0`, rebuilding the maintained graph from
-    /// the already-precomputed `appearing_at(0)` events. Unlike constructing
-    /// a fresh cursor this does **not** re-scan the `EG`'s label sets — the
-    /// delta tables are reused as-is — so re-seeding maintainers for a
-    /// second sweep costs only `O(n + Δ_0)`.
+    /// the already-precomputed `appearing_at(0)` events.
+    ///
+    /// # Performance
+    ///
+    /// Unlike constructing a fresh cursor this does **not** re-scan the
+    /// `EG`'s label sets — the delta tables were computed once in
+    /// [`SnapshotCursor::new`] and are reused as-is — so starting a second
+    /// sweep costs only `O(n + Δ_0)` (one empty graph allocation plus the
+    /// `t = 0` insertions), not `O(n + contacts)`. This is what makes the
+    /// cursor a viable *per-request* scratch: `csn-serve` keeps one cursor
+    /// per worker and answers each journey query with `reset()` + an
+    /// `advance` sweep, amortizing the delta-table build across every query
+    /// the worker ever serves.
     ///
     /// ```
     /// use csn_temporal::TimeEvolvingGraph;

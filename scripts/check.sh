@@ -41,6 +41,15 @@ if [ "$want" != "$have" ]; then
   exit 1
 fi
 
+echo "==> BENCH_serve.json schema freshness"
+want=$(grep -oE 'structura-bench-serve-v[0-9]+' crates/bench/src/serve_bench.rs | head -n1)
+have=$(grep -oE 'structura-bench-serve-v[0-9]+' BENCH_serve.json | head -n1 || true)
+if [ "$want" != "$have" ]; then
+  echo "FAIL: BENCH_serve.json is stale (has '${have:-missing}', serve_bench writes '$want')" >&2
+  echo "      regenerate with: cargo run -p csn-bench --release --bin perf_smoke -- --serve" >&2
+  exit 1
+fi
+
 echo "==> perf smoke (scratch/parallel/cursor kernels bit-identical; incremental maintainers equal scratch with strictly fewer counted touches; timings to BENCH_csr.json + BENCH_kernels.json)"
 cargo run -p csn-bench --release --offline --quiet --bin perf_smoke
 
@@ -48,4 +57,8 @@ echo "==> scale smoke (small-n: streamed CSR + sampled-kernel ε-gates; committe
 cargo run -p csn-bench --release --offline --quiet --bin perf_smoke -- \
   --scale --scale-nodes 20000 --scale-out target/BENCH_scale_check.json
 
-echo "OK: fmt, clippy, doc, test, perf smoke, scale smoke all clean"
+echo "==> serve smoke (small-n: landmark sandwich + exact-fallback + batched==serial + trace replay; committed BENCH_serve.json untouched)"
+cargo run -p csn-bench --release --offline --quiet --bin perf_smoke -- \
+  --serve --serve-nodes 4000 --serve-out target/BENCH_serve_check.json
+
+echo "OK: fmt, clippy, doc, test, perf smoke, scale smoke, serve smoke all clean"
