@@ -45,6 +45,15 @@
 //!    `--serve-nodes` (default 10⁵) written to `BENCH_serve.json`
 //!    (or `--serve-out <path>`): QPS, p50/p99 latency, index build time
 //!    and bytes/node. See SERVING.md.
+//! 8. **Distsim tier (`--distsim`)** — also runs *instead of* the default
+//!    tiers: bitwise serial-vs-parallel gates for the deterministic
+//!    distsim stepper (Flood/Bellman–Ford/MIS/CDS-marking states and
+//!    `RunStats` bit-identical at jobs ∈ {1, 2, 4, 7}, a faulted run
+//!    equally bit-identical across jobs and across repeats, conservation
+//!    law at exit), then protocol throughput rows at n ∈ {10⁴, 10⁵, 10⁶}
+//!    capped by `--distsim-nodes` — rounds/s, messages/s, and the
+//!    simulator's bytes/node — written to `BENCH_distsim.json`
+//!    (or `--distsim-out <path>`). See DISTSIM.md.
 //!
 //! Usage: `cargo run -p csn-bench --release --bin perf_smoke \
 //!   [-- --out BENCH_csr.json --kernels-out BENCH_kernels.json]`
@@ -52,6 +61,8 @@
 //!   [--scale-nodes 1000000 --scale-out BENCH_scale.json]`
 //! or: `cargo run -p csn-bench --release --bin perf_smoke -- --serve \
 //!   [--serve-nodes 100000 --serve-out BENCH_serve.json]`
+//! or: `cargo run -p csn-bench --release --bin perf_smoke -- --distsim \
+//!   [--distsim-nodes 1000000 --distsim-out BENCH_distsim.json]`
 
 use csn_core::graph::centrality::{betweenness_centrality, brandes_delta};
 use csn_core::graph::generators;
@@ -623,6 +634,276 @@ fn run_serve(args: &[String]) {
     );
 }
 
+/// The `--distsim` tier: bitwise serial-vs-parallel gates for the
+/// deterministic distsim stepper (exit code), then protocol throughput at
+/// n ∈ {10⁴, 10⁵, 10⁶} ∩ [0, `nodes`] on BA topologies thawed from the
+/// compact-CSR streaming builder. Wall clock is recorded per
+/// `detected_cores` and never asserted (the CI box has one core); bitwise
+/// equality is the gate. See DISTSIM.md.
+fn run_distsim(args: &[String]) {
+    use csn_bench::distsim_bench::{
+        mis_priorities, BenchDistsim, BenchFlood, DistsimGates, ProtocolRow, DISTSIM_SCHEMA,
+    };
+    use csn_core::distsim::{ChurnSchedule, FaultModel, Protocol, RunStats, Simulator};
+    use csn_core::graph::stream::{BaStream, EdgeStream};
+    use csn_core::graph::Graph;
+    use csn_core::labeling::bellman_ford::BellmanFord;
+    use csn_core::labeling::protocols::{MarkingProtocol, MisProtocol};
+
+    let nodes = args
+        .iter()
+        .position(|a| a == "--distsim-nodes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1_000_000);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--distsim-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_distsim.json".to_string());
+    let cores = csn_bench::pool::available_parallelism();
+    let gate_jobs = deduped_jobs(&[1, 2, 4, 7]);
+
+    fn conserved(stats: &RunStats, in_flight: usize) -> bool {
+        stats.sent + stats.duplicated == stats.messages + stats.dropped + stats.shed + in_flight
+    }
+
+    /// Runs `protocol` fault-free at every job count and checks the runs
+    /// are bit-identical to serial (states + stats + in-flight) and that
+    /// the conservation law holds at exit.
+    fn gate_protocol<P: Protocol>(
+        name: &str,
+        g: &Graph,
+        protocol: &P,
+        max_rounds: usize,
+        jobs_list: &[usize],
+        bitwise_ok: &mut bool,
+        conservation_ok: &mut bool,
+    ) where
+        P::State: Clone + PartialEq,
+    {
+        let run = |jobs: usize| {
+            let mut sim = Simulator::new(g, protocol).with_jobs(jobs);
+            let stats = sim.run_until_quiet(max_rounds);
+            (stats, sim.states().to_vec(), sim.in_flight())
+        };
+        let serial = run(1);
+        if !conserved(&serial.0, serial.2) {
+            eprintln!("FAIL: {name}: conservation law violated: {:?}", serial.0);
+            *conservation_ok = false;
+        }
+        for &jobs in jobs_list {
+            let par = run(jobs);
+            if par != serial {
+                eprintln!(
+                    "FAIL: {name}: jobs={jobs} diverges from serial \
+                     (serial {:?} vs parallel {:?})",
+                    serial.0, par.0
+                );
+                *bitwise_ok = false;
+            }
+        }
+    }
+
+    // --- Bitwise gates on a small BA graph: exact state comparison is
+    // affordable, so every protocol family the scale rows run is checked.
+    let gn = 2000.min(nodes).max(8);
+    let gate_graph =
+        BaStream::new(gn, 3, 7).expect("BA params").to_compact_csr().expect("fits u32").thaw();
+    let mut parallel_matches_serial = true;
+    let mut conservation_holds = true;
+    gate_protocol(
+        "flood",
+        &gate_graph,
+        &BenchFlood,
+        200,
+        &gate_jobs,
+        &mut parallel_matches_serial,
+        &mut conservation_holds,
+    );
+    gate_protocol(
+        "bellman_ford",
+        &gate_graph,
+        &BellmanFord { dest: 0, horizon: 64 },
+        2000,
+        &gate_jobs,
+        &mut parallel_matches_serial,
+        &mut conservation_holds,
+    );
+    gate_protocol(
+        "mis",
+        &gate_graph,
+        &MisProtocol { priority: mis_priorities(gn) },
+        10_000,
+        &gate_jobs,
+        &mut parallel_matches_serial,
+        &mut conservation_holds,
+    );
+    gate_protocol(
+        "cds_marking",
+        &gate_graph,
+        &MarkingProtocol,
+        10,
+        &gate_jobs,
+        &mut parallel_matches_serial,
+        &mut conservation_holds,
+    );
+
+    // --- Faulted gates: the full fault model on the gate graph. One run is
+    // the reference; repeats (determinism) and other job counts (merge-order
+    // RNG discipline) must reproduce it bit-for-bit.
+    let fseed = 29u64;
+    let faults = FaultModel::lossy(0.3, fseed)
+        .with_delay(0.2)
+        .with_duplication(0.1)
+        .with_reorder()
+        .with_churn(ChurnSchedule::random(gn, 60, 0.01, 5, fseed).protect(0));
+    let faulted_run = |jobs: usize| {
+        let mut sim =
+            Simulator::with_faults(&gate_graph, &BenchFlood, faults.clone()).with_jobs(jobs);
+        let stats = sim.run_until_stable(400, 4);
+        (stats, sim.states().to_vec(), sim.in_flight())
+    };
+    let fref = faulted_run(1);
+    let faulted_run_deterministic = faulted_run(1) == fref;
+    if !faulted_run_deterministic {
+        eprintln!("FAIL: faulted flood runs diverge under one FaultModel seed");
+    }
+    let mut faulted_parallel_matches_serial = true;
+    for &jobs in &gate_jobs {
+        if faulted_run(jobs) != fref {
+            eprintln!("FAIL: faulted flood at jobs={jobs} diverges from serial");
+            faulted_parallel_matches_serial = false;
+        }
+    }
+    if !conserved(&fref.0, fref.2) {
+        eprintln!("FAIL: faulted flood: conservation law violated: {:?}", fref.0);
+        conservation_holds = false;
+    }
+
+    // --- Scale rows: fault-free protocol runs at cores-many jobs. Graph
+    // construction is excluded from the timed region; the simulator takes
+    // the graph by value so only one adjacency copy is resident.
+    fn scale_row<P: Protocol>(
+        name: &str,
+        g: Graph,
+        protocol: &P,
+        max_rounds: usize,
+        jobs: usize,
+    ) -> ProtocolRow {
+        let n = g.node_count();
+        let edges = g.edge_count();
+        let mut sim = Simulator::with_faults_owned(g, protocol, FaultModel::none()).with_jobs(jobs);
+        let (stats, wall) = timed(|| sim.run_until_quiet(max_rounds));
+        let heap = sim.heap_bytes();
+        let wall_div = wall.max(1e-9);
+        ProtocolRow {
+            protocol: name.to_string(),
+            nodes: n,
+            edges,
+            jobs,
+            rounds: stats.rounds,
+            messages: stats.messages,
+            converged: stats.quiescent,
+            wall_secs: wall,
+            rounds_per_sec: stats.rounds as f64 / wall_div,
+            messages_per_sec: stats.messages as f64 / wall_div,
+            sim_heap_bytes: heap,
+            bytes_per_node: heap as f64 / n as f64,
+        }
+    }
+
+    let mut scale_ns: Vec<usize> =
+        [10_000, 100_000, 1_000_000].into_iter().filter(|&x| x <= nodes).collect();
+    if scale_ns.is_empty() {
+        scale_ns.push(nodes);
+    }
+    // Payload-heavy protocols stop earlier: MIS states churn for ~log n
+    // announce phases, and CDS marking broadcasts whole neighbor lists
+    // (Σ deg² delivered entries — quadratic in hub degree), so their rows
+    // cap at 10⁵ / 10⁴ as documented in DISTSIM.md.
+    const MIS_CAP: usize = 100_000;
+    const CDS_CAP: usize = 10_000;
+    let mut protocols: Vec<ProtocolRow> = Vec::new();
+    for &n in &scale_ns {
+        let graph =
+            BaStream::new(n, 3, 1).expect("BA params").to_compact_csr().expect("fits u32").thaw();
+        protocols.push(scale_row("flood", graph.clone(), &BenchFlood, 200, cores));
+        eprintln!(
+            "distsim flood n={n}: {:.3}s, {:.0} msg/s",
+            protocols.last().unwrap().wall_secs,
+            protocols.last().unwrap().messages_per_sec
+        );
+        protocols.push(scale_row(
+            "bellman_ford",
+            graph.clone(),
+            &BellmanFord { dest: 0, horizon: 64 },
+            2000,
+            cores,
+        ));
+        eprintln!(
+            "distsim bellman_ford n={n}: {:.3}s, {:.0} msg/s",
+            protocols.last().unwrap().wall_secs,
+            protocols.last().unwrap().messages_per_sec
+        );
+        if n <= MIS_CAP {
+            protocols.push(scale_row(
+                "mis",
+                graph.clone(),
+                &MisProtocol { priority: mis_priorities(n) },
+                10_000,
+                cores,
+            ));
+            eprintln!(
+                "distsim mis n={n}: {:.3}s, {:.0} msg/s",
+                protocols.last().unwrap().wall_secs,
+                protocols.last().unwrap().messages_per_sec
+            );
+        }
+        if n <= CDS_CAP {
+            protocols.push(scale_row("cds_marking", graph, &MarkingProtocol, 10, cores));
+            eprintln!(
+                "distsim cds_marking n={n}: {:.3}s, {:.0} msg/s",
+                protocols.last().unwrap().wall_secs,
+                protocols.last().unwrap().messages_per_sec
+            );
+        }
+    }
+
+    let gates = DistsimGates {
+        parallel_matches_serial,
+        faulted_parallel_matches_serial,
+        faulted_run_deterministic,
+        conservation_holds,
+    };
+    let all_ok = gates.all_ok();
+    let doc = BenchDistsim {
+        schema: DISTSIM_SCHEMA.to_string(),
+        git_rev: git_rev(),
+        detected_cores: cores,
+        gate_graph: format!("barabasi_albert(n={gn}, m=3, seed=7) [thawed compact csr]"),
+        scale_graph: "barabasi_albert(n, m=3, seed=1) [thawed compact csr]".to_string(),
+        jobs_checked: gate_jobs,
+        gates,
+        protocols,
+    };
+    if let Err(e) = std::fs::write(&out_path, serde::json::to_string_pretty(&doc)) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "distsim smoke: {} scale rows ({cores} core(s)); wrote {out_path}",
+        doc.protocols.len()
+    );
+    if !all_ok {
+        std::process::exit(1);
+    }
+    println!(
+        "distsim smoke OK: parallel rounds bit-identical to serial at all job counts, \
+         faulted runs deterministic, conservation law holds"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--scale") {
@@ -631,6 +912,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--serve") {
         run_serve(&args);
+        return;
+    }
+    if args.iter().any(|a| a == "--distsim") {
+        run_distsim(&args);
         return;
     }
     let out_path = args

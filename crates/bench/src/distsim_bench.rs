@@ -1,0 +1,135 @@
+//! The `BENCH_distsim.json` document written by `perf_smoke --distsim`:
+//! protocol-layer throughput (rounds/s, messages/s, bytes/node) at
+//! 10⁴–10⁶ nodes over the deterministic parallel stepper of `csn-distsim`.
+//!
+//! As with every bench artifact in this workspace, the boolean `gates`
+//! decide exit codes — bitwise serial-vs-parallel equality at jobs ∈
+//! {1, 2, 4, 7} and faulted-run determinism — while the throughput numbers
+//! are informational (the CI box has one core; see DISTSIM.md for the
+//! memory model and how to read the rows). `scripts/check.sh` greps the
+//! committed artifact for [`DISTSIM_SCHEMA`] freshness the same way it
+//! does for the kernels/scale/serve benches.
+
+use csn_core::distsim::{Neighborhood, Outbox, Protocol};
+use csn_core::graph::NodeId;
+use serde::Serialize;
+
+/// Schema tag of `BENCH_distsim.json`; bump on layout changes and
+/// regenerate the committed artifact in the same commit.
+pub const DISTSIM_SCHEMA: &str = "structura-bench-distsim-v1";
+
+/// The correctness gates of a distsim bench run. All must hold for the
+/// run to exit zero.
+#[derive(Serialize)]
+pub struct DistsimGates {
+    /// Fault-free runs of every gate protocol are bit-identical (states +
+    /// `RunStats`) at jobs ∈ {1, 2, 4, 7}.
+    pub parallel_matches_serial: bool,
+    /// A faulted run (loss + delay + duplication + reorder + churn) is
+    /// bit-identical at jobs ∈ {1, 2, 4, 7}.
+    pub faulted_parallel_matches_serial: bool,
+    /// Two faulted runs with the same `FaultModel` are bit-identical.
+    pub faulted_run_deterministic: bool,
+    /// `sent + duplicated == messages + dropped + shed + in_flight` at
+    /// exit of every gated run.
+    pub conservation_holds: bool,
+}
+
+impl DistsimGates {
+    /// Conjunction of all gates.
+    pub fn all_ok(&self) -> bool {
+        self.parallel_matches_serial
+            && self.faulted_parallel_matches_serial
+            && self.faulted_run_deterministic
+            && self.conservation_holds
+    }
+}
+
+/// One protocol run at one scale.
+#[derive(Serialize)]
+pub struct ProtocolRow {
+    /// Protocol name (`flood`, `bellman_ford`, `mis`, `cds_marking`).
+    pub protocol: String,
+    /// Node count of the BA topology.
+    pub nodes: usize,
+    /// Edge count of the BA topology.
+    pub edges: usize,
+    /// Stepper workers used for this run.
+    pub jobs: usize,
+    /// Rounds executed until quiescence (or budget).
+    pub rounds: usize,
+    /// Messages delivered.
+    pub messages: usize,
+    /// Whether the protocol quiesced within its round budget.
+    pub converged: bool,
+    /// Wall time of the run, seconds (excludes graph construction).
+    pub wall_secs: f64,
+    /// `rounds / wall_secs`.
+    pub rounds_per_sec: f64,
+    /// `messages / wall_secs`.
+    pub messages_per_sec: f64,
+    /// Simulator heap after the run (queues, arenas, graph, contexts).
+    pub sim_heap_bytes: usize,
+    /// `sim_heap_bytes / nodes` — the DISTSIM.md memory-model headline.
+    pub bytes_per_node: f64,
+}
+
+/// The whole `BENCH_distsim.json` document.
+#[derive(Serialize)]
+pub struct BenchDistsim {
+    /// [`DISTSIM_SCHEMA`].
+    pub schema: String,
+    /// `git rev-parse HEAD` at run time.
+    pub git_rev: String,
+    /// Hardware threads detected; large-n rows run at this job count.
+    pub detected_cores: usize,
+    /// Description of the small graph the bitwise gates run on.
+    pub gate_graph: String,
+    /// Description of the topology family of the scale rows.
+    pub scale_graph: String,
+    /// Job counts the bitwise gates checked.
+    pub jobs_checked: Vec<usize>,
+    /// Correctness gates.
+    pub gates: DistsimGates,
+    /// Throughput rows, one per (protocol, n).
+    pub protocols: Vec<ProtocolRow>,
+}
+
+/// One-shot flood with a `()` payload — the minimal all-broadcast protocol,
+/// used by the bench tier to measure the stepper's own overhead (a round is
+/// allocation-free after warmup for a `Copy` message like this). Node 0
+/// owns a token; every node forwards once on first receipt.
+pub struct BenchFlood;
+
+impl Protocol for BenchFlood {
+    type State = (bool, bool);
+    type Msg = ();
+
+    fn init(&self, u: NodeId, _ctx: &Neighborhood) -> Self::State {
+        (u == 0, false)
+    }
+
+    fn round(
+        &self,
+        _u: NodeId,
+        state: &mut Self::State,
+        _ctx: &Neighborhood,
+        inbox: &[(NodeId, ())],
+        out: &mut Outbox<'_, ()>,
+    ) {
+        if !state.0 && !inbox.is_empty() {
+            state.0 = true;
+        }
+        if state.0 && !state.1 {
+            state.1 = true;
+            out.broadcast(());
+        }
+    }
+}
+
+/// Distinct per-node MIS priorities: an odd-constant multiplicative hash is
+/// a bijection on `u64`, so no two nodes tie (the protocol breaks remaining
+/// ties by id anyway, but distinct priorities exercise the common path).
+pub fn mis_priorities(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()
+}

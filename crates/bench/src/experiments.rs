@@ -1330,8 +1330,13 @@ pub fn e26_labeling_resilience(out: &mut Report) {
     use csn_core::graph::traversal::bfs_distances;
     use csn_core::labeling::bellman_ford;
     use csn_core::labeling::protocols::{
-        run_marking_protocol_reliable, run_marking_protocol_with, run_mis_protocol_with,
+        run_marking_protocol_par, run_marking_protocol_reliable_par, run_mis_protocol_par,
     };
+
+    // All sweeps step through the parallel wave-merge path; jobs is purely
+    // a wall-clock knob — the outcome is bit-identical to serial (the e26
+    // snapshot predates the parallel stepper and must not change).
+    let jobs = 4;
 
     let n = 60;
     let horizon = 64;
@@ -1358,8 +1363,15 @@ pub fn e26_labeling_resilience(out: &mut Report) {
     for &p in &[0.0f64, 0.1, 0.3, 0.5] {
         let (mut pct, mut rounds, mut sent, mut dropped) = (0.0, 0, 0, 0);
         for seed in 0..3u64 {
-            let (bf, stats) =
-                bellman_ford::run_resilient(&g, 0, horizon, 2000, 3, FaultModel::lossy(p, seed));
+            let (bf, stats) = bellman_ford::run_resilient_par(
+                &g,
+                0,
+                horizon,
+                2000,
+                3,
+                FaultModel::lossy(p, seed),
+                jobs,
+            );
             pct += exact(&bf.labels) / 3.0;
             rounds += stats.rounds;
             sent += stats.sent;
@@ -1384,7 +1396,7 @@ pub fn e26_labeling_resilience(out: &mut Report) {
     for &cp in &[0.005f64, 0.02] {
         let churn = ChurnSchedule::random(n, 80, cp, 6, 33).protect(0);
         let faults = FaultModel { seed: 33, ..FaultModel::none().with_churn(churn) };
-        let (bf, stats) = bellman_ford::run_resilient(&g, 0, horizon, 2000, 6, faults);
+        let (bf, stats) = bellman_ford::run_resilient_par(&g, 0, horizon, 2000, 6, faults, jobs);
         out.metric(format!("bf_exact_pct_crash{}", (cp * 1000.0) as u64), exact(&bf.labels));
         out.line(format!(
             "  {cp:>10.3} {:>11.1}% {:>10} {:>10} {:>10}",
@@ -1407,7 +1419,8 @@ pub fn e26_labeling_resilience(out: &mut Report) {
     for &p in &[0.0f64, 0.2, 0.4] {
         let (mut black, mut conflicts, mut uncovered) = (0usize, 0usize, 0usize);
         for seed in 10..13u64 {
-            let (mis, _) = run_mis_protocol_with(&g, &priority, 500, 3, FaultModel::lossy(p, seed));
+            let (mis, _) =
+                run_mis_protocol_par(&g, &priority, 500, 3, FaultModel::lossy(p, seed), jobs);
             black += mis.black.iter().filter(|&&b| b).count();
             conflicts += g.edges().filter(|&(u, v)| mis.black[u] && mis.black[v]).count();
             uncovered += g
@@ -1429,8 +1442,8 @@ pub fn e26_labeling_resilience(out: &mut Report) {
     // retransmissions and acks to decide exactly the centralized labels.
     let central = csn_core::labeling::cds::marking(&g);
     let faults = FaultModel::lossy(0.3, 4);
-    let (raw, raw_stats) = run_marking_protocol_with(&g, 300, 1, faults.clone());
-    let (rel, rel_stats, overhead) = run_marking_protocol_reliable(&g, 5000, faults);
+    let (raw, raw_stats) = run_marking_protocol_par(&g, 300, 1, faults.clone(), jobs);
+    let (rel, rel_stats, overhead) = run_marking_protocol_reliable_par(&g, 5000, faults, jobs);
     let wrong = |black: &[bool]| black.iter().zip(&central).filter(|(a, b)| a != b).count();
     out.line("CDS marking at drop 0.3, raw vs Reliable adapter:");
     out.line(format!(

@@ -21,12 +21,17 @@
 //!   [`experiments::EXPERIMENTS`] registry and runner.
 //! * [`serve_bench`] — the `BENCH_serve.json` document shared by the two
 //!   query-serving front-ends, `perf_smoke --serve` and `structurad`.
+//! * [`distsim_bench`] — the `BENCH_distsim.json` document of the
+//!   `perf_smoke --distsim` protocol tier: bitwise serial-vs-parallel
+//!   gates over the deterministic distsim stepper plus 10⁴–10⁶-node
+//!   throughput rows (see DISTSIM.md).
 //!
 //! Run everything with `cargo run -p csn-bench --bin experiments --release`;
 //! one experiment with `--exp e8`; in parallel with machine-readable
 //! reports via `--jobs 8 --json experiments_output/`. Per-experiment text
 //! is byte-identical between serial and parallel runs.
 
+pub mod distsim_bench;
 pub mod experiments;
 pub mod report;
 pub mod serve_bench;

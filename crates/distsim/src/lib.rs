@@ -15,7 +15,12 @@
 //! * *k-hop neighborhood views* ([`k_hop_view`]) — "it is assumed that each
 //!   node knows k-hop information for a small constant k",
 //! * a full fault-injection subsystem ([`FaultModel`]) and a reliability
-//!   adapter ([`Reliable`]) — see below.
+//!   adapter ([`Reliable`]) — see below,
+//! * **deterministic parallel round stepping** ([`Simulator::set_jobs`]):
+//!   per-round node execution fans out over `csn_parallel` in node-index
+//!   waves whose outboxes are merged in canonical order, so every
+//!   `(seed, jobs)` pair yields byte-identical [`RunStats`] and final
+//!   states — including under faults (see [`Simulator::step`]).
 //!
 //! # Fault model
 //!
@@ -42,9 +47,11 @@
 //! always a protocol bug; once churn or deltas have fired, stale sends to
 //! departed neighbors are expected and only counted.
 //!
-//! Every fault decision derives from [`FaultModel::seed`] in a fixed order,
-//! so a faulted run is fully deterministic: same model ⇒ bit-identical
-//! [`RunStats`] and final states (property-tested in `tests/fault_props.rs`).
+//! Every fault decision derives from [`FaultModel::seed`] in a fixed order
+//! — ascending receiver, messages in canonical send order — so a faulted
+//! run is fully deterministic: same model ⇒ bit-identical [`RunStats`] and
+//! final states at **any** job count (property-tested in
+//! `tests/fault_props.rs` and `tests/parallel_props.rs`).
 //!
 //! Because churn and faulty channels make strict quiescence unreliable
 //! (a [`Reliable`] node is silent *between* backoff expiries),
@@ -56,9 +63,12 @@
 //!
 //! A one-round "neighbor-designated dominating set" (§IV-A): every node
 //! votes for its highest-priority closed neighbor; voted nodes join the DS.
+//! Protocols emit through an [`Outbox`] sink, so the hot path stores
+//! messages straight into reusable flat arenas instead of returning a
+//! freshly allocated `Vec` per node per round.
 //!
 //! ```
-//! use csn_distsim::{Protocol, Simulator, Neighborhood, Envelope};
+//! use csn_distsim::{Protocol, Simulator, Neighborhood, Outbox};
 //! use csn_graph::{Graph, NodeId};
 //!
 //! struct Vote;
@@ -72,15 +82,16 @@
 //!         state: &mut Self::State,
 //!         ctx: &Neighborhood,
 //!         inbox: &[(NodeId, ())],
-//!     ) -> Vec<Envelope<()>> {
+//!         out: &mut Outbox<'_, ()>,
+//!     ) {
 //!         if !state.0 {
 //!             state.0 = true;
 //!             let winner = ctx.closed_neighbors().max().unwrap();
-//!             if winner == u { state.1 = true; return vec![]; }
-//!             return vec![Envelope::Unicast(winner, ())];
+//!             if winner == u { state.1 = true; return; }
+//!             out.unicast(winner, ());
+//!             return;
 //!         }
 //!         if !inbox.is_empty() { state.1 = true; }
-//!         vec![]
 //!     }
 //! }
 //!
@@ -96,12 +107,16 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 pub mod fault;
+mod queue;
 pub mod reliable;
 
 pub use fault::{snapshot_delta_events, ChurnSchedule, FaultEvent, FaultModel, TopologyDelta};
 pub use reliable::{stats_with_overhead, Reliable, ReliableMsg, ReliableOverhead, ReliableState};
+
+use queue::{FlatInbox, RouteScratch, Transmit, WaveSeg, WorkerOutbox, NONE};
 
 /// What a node sees locally: its id, its neighbors, and priorities.
 #[derive(Debug, Clone)]
@@ -135,6 +150,11 @@ impl Neighborhood {
 }
 
 /// An outgoing message: to one neighbor or to all of them.
+///
+/// Protocols normally emit through [`Outbox::unicast`] /
+/// [`Outbox::broadcast`]; the envelope form exists for adapters like
+/// [`Reliable`] that capture a wrapped protocol's emissions
+/// ([`Outbox::capturing`]) and rewrite them before they hit the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Envelope<M> {
     /// Send to a specific neighbor.
@@ -143,16 +163,104 @@ pub enum Envelope<M> {
     Broadcast(M),
 }
 
+enum Sink<'a, M> {
+    /// Validates and appends straight into a worker's transmit arena.
+    Direct {
+        from: u32,
+        neighbors: &'a [NodeId],
+        topology_dirty: bool,
+        stream: &'a mut Vec<Transmit<M>>,
+        sent: &'a mut u32,
+        misrouted: &'a mut u32,
+    },
+    /// Records raw envelopes for an adapter to inspect and rewrite.
+    Capture(&'a mut Vec<Envelope<M>>),
+}
+
+/// The emission sink handed to [`Protocol::round`].
+///
+/// In a [`Simulator`] round this writes validated transmits
+/// directly into the executing worker's flat arena — no per-node `Vec`, no
+/// per-message allocation. Unicast targets are checked against the sender's
+/// *current* neighbor list in all builds (misroutes counted, and asserted on
+/// static topologies in debug builds); broadcasts clone the payload once
+/// per neighbor in neighbor order, exactly as the serial delivery order
+/// requires.
+pub struct Outbox<'a, M> {
+    sink: Sink<'a, M>,
+}
+
+impl<'a, M: Clone> Outbox<'a, M> {
+    /// An outbox that records raw [`Envelope`]s instead of transmitting —
+    /// the hook adapters like [`Reliable`] use to run a wrapped protocol's
+    /// round and intercept its emissions.
+    pub fn capturing(buf: &'a mut Vec<Envelope<M>>) -> Self {
+        Outbox { sink: Sink::Capture(buf) }
+    }
+
+    /// Sends `msg` to the specific neighbor `to`.
+    ///
+    /// A target that is not currently a neighbor is rejected and counted in
+    /// [`RunStats::misrouted`] (delivering it would teleport information
+    /// past the LOCAL-model horizon). In debug builds a misroute on a
+    /// never-rewired topology panics, since there it is always a protocol
+    /// bug.
+    pub fn unicast(&mut self, to: NodeId, msg: M) {
+        match &mut self.sink {
+            Sink::Direct { from, neighbors, topology_dirty, stream, sent, misrouted } => {
+                if !neighbors.contains(&to) {
+                    debug_assert!(
+                        *topology_dirty,
+                        "node {} sent to non-neighbor {to} on a static topology",
+                        *from
+                    );
+                    **misrouted += 1;
+                    return;
+                }
+                stream.push(Transmit { from: *from, to: to as u32, msg });
+                **sent += 1;
+            }
+            Sink::Capture(buf) => buf.push(Envelope::Unicast(to, msg)),
+        }
+    }
+
+    /// Sends a copy of `msg` to every current neighbor, in neighbor order.
+    pub fn broadcast(&mut self, msg: M) {
+        match &mut self.sink {
+            Sink::Direct { from, neighbors, stream, sent, .. } => {
+                for &v in neighbors.iter() {
+                    stream.push(Transmit { from: *from, to: v as u32, msg: msg.clone() });
+                }
+                **sent += neighbors.len() as u32;
+            }
+            Sink::Capture(buf) => buf.push(Envelope::Broadcast(msg)),
+        }
+    }
+
+    /// Sends a pre-built [`Envelope`] (adapter convenience).
+    pub fn send(&mut self, env: Envelope<M>) {
+        match env {
+            Envelope::Unicast(to, msg) => self.unicast(to, msg),
+            Envelope::Broadcast(msg) => self.broadcast(msg),
+        }
+    }
+}
+
 /// A synchronous round-based protocol.
 ///
 /// Each round, every node consumes its inbox (messages sent to it in the
-/// previous round), may update its state, and emits messages delivered next
-/// round.
-pub trait Protocol {
+/// previous round), may update its state, and emits messages — delivered
+/// next round — through the [`Outbox`] sink.
+///
+/// The `Sync` / `Send` bounds let [`Simulator::step`] fan node execution
+/// out over worker threads ([`Simulator::set_jobs`]); results are
+/// bit-identical to the serial path at any job count, so protocols need no
+/// parallel-awareness beyond the bounds.
+pub trait Protocol: Sync {
     /// Per-node state.
-    type State;
+    type State: Send;
     /// Message type.
-    type Msg: Clone;
+    type Msg: Clone + Send + Sync;
 
     /// Initial state of node `u` (round 0 happens after init; nodes may
     /// inspect their 1-hop neighborhood, which radio neighbors know from
@@ -166,7 +274,8 @@ pub trait Protocol {
         state: &mut Self::State,
         ctx: &Neighborhood,
         inbox: &[(NodeId, Self::Msg)],
-    ) -> Vec<Envelope<Self::Msg>>;
+        out: &mut Outbox<'_, Self::Msg>,
+    );
 }
 
 /// Execution statistics.
@@ -223,6 +332,19 @@ pub struct RunStats {
     pub quiescent: bool,
 }
 
+/// Picks the node-wave width for one round: enough waves per worker
+/// (8×`jobs`, clamped to a sane grain) that stealing can balance uneven
+/// protocol work; one single wave on the serial path. The width never
+/// affects results — merge order is wave-ascending, which is node-ascending
+/// for every width.
+fn wave_size(n: usize, jobs: usize) -> usize {
+    if jobs <= 1 {
+        n.max(1)
+    } else {
+        n.div_ceil(jobs * 8).clamp(16, 4096)
+    }
+}
+
 /// The synchronous simulator.
 ///
 /// Owns its working copy of the graph so scheduled [`FaultEvent::Delta`]s
@@ -233,12 +355,18 @@ pub struct Simulator<'p, P: Protocol> {
     contexts: Vec<Neighborhood>,
     states: Vec<P::State>,
     alive: Vec<bool>,
-    inboxes: Vec<Vec<(NodeId, P::Msg)>>,
+    inbox: FlatInbox<P::Msg>,
     delayed: Vec<Vec<(NodeId, P::Msg)>>,
+    delayed_tmp: Vec<(NodeId, P::Msg)>,
+    in_flight_count: usize,
     faults: FaultModel,
     edge_drop: HashMap<(NodeId, NodeId), f64>,
     next_event: usize,
     topology_dirty: bool,
+    jobs: usize,
+    worker_outboxes: Vec<WorkerOutbox<P::Msg>>,
+    route: RouteScratch,
+    seg_order: Vec<(u32, u32)>,
     rng: StdRng,
     stats: RunStats,
 }
@@ -251,34 +379,71 @@ impl<'p, P: Protocol> Simulator<'p, P> {
 
     /// Creates a simulator with the given fault model. The event schedule
     /// is sorted by round (stably, preserving same-round order).
-    pub fn with_faults(graph: &Graph, protocol: &'p P, mut faults: FaultModel) -> Self {
+    pub fn with_faults(graph: &Graph, protocol: &'p P, faults: FaultModel) -> Self {
+        Self::with_faults_owned(graph.clone(), protocol, faults)
+    }
+
+    /// [`Simulator::with_faults`] taking ownership of the graph — at
+    /// million-node scale this avoids holding two copies of the adjacency
+    /// lists (the simulator needs its own mutable copy for topology deltas
+    /// either way).
+    pub fn with_faults_owned(graph: Graph, protocol: &'p P, mut faults: FaultModel) -> Self {
+        let n = graph.node_count();
+        assert!(n <= u32::MAX as usize, "simulator node ids must fit in u32");
         let contexts: Vec<Neighborhood> = graph
             .nodes()
             .map(|u| Neighborhood { node: u, neighbors: graph.neighbors(u).to_vec() })
             .collect();
         let states = contexts.iter().map(|c| protocol.init(c.node, c)).collect();
-        let n = graph.node_count();
         faults.schedule.sort_by_key(|(round, _)| *round);
         let edge_drop = faults
             .edge_drop
             .iter()
             .map(|&(u, v, p)| ((u.min(v), u.max(v)), p))
             .collect::<HashMap<_, _>>();
+        let mut inbox = FlatInbox::default();
+        inbox.ensure(n);
         Simulator {
-            graph: graph.clone(),
+            graph,
             protocol,
             contexts,
             states,
             alive: vec![true; n],
-            inboxes: vec![Vec::new(); n],
+            inbox,
             delayed: vec![Vec::new(); n],
+            delayed_tmp: Vec::new(),
+            in_flight_count: 0,
             rng: StdRng::seed_from_u64(faults.seed),
             edge_drop,
             faults,
             next_event: 0,
             topology_dirty: false,
+            jobs: 1,
+            worker_outboxes: Vec::new(),
+            route: RouteScratch::default(),
+            seg_order: Vec::new(),
             stats: RunStats::default(),
         }
+    }
+
+    /// Sets the worker count for round stepping (builder form). See
+    /// [`Simulator::set_jobs`].
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.set_jobs(jobs);
+        self
+    }
+
+    /// Sets the worker count for round stepping. `1` (the default) runs
+    /// nodes inline on the calling thread; any value produces bit-identical
+    /// results — see [`Simulator::step`] — so this is purely a wall-clock
+    /// knob.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// The configured stepping worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// State of node `u`.
@@ -307,19 +472,69 @@ impl<'p, P: Protocol> Simulator<'p, P> {
     }
 
     /// Messages queued by delay faults, not yet delivered to any inbox.
+    /// O(1): the count is maintained alongside the queues (the full scan
+    /// survives as a debug-build cross-check).
     pub fn in_flight(&self) -> usize {
-        self.delayed.iter().map(Vec::len).sum()
+        debug_assert_eq!(
+            self.in_flight_count,
+            self.delayed.iter().map(Vec::len).sum::<usize>(),
+            "maintained in-flight counter diverged from the queues"
+        );
+        self.in_flight_count
     }
 
     /// Messages awaiting processing: undelivered delayed messages plus
-    /// delivered-but-unconsumed inbox entries.
+    /// delivered-but-unconsumed inbox entries. O(1) via maintained counters
+    /// (debug builds cross-check against a queue scan).
     pub fn pending_messages(&self) -> usize {
-        self.inboxes.iter().map(Vec::len).sum::<usize>() + self.in_flight()
+        debug_assert_eq!(
+            self.inbox.total(),
+            (0..self.graph.node_count()).map(|u| self.inbox.get(u).len()).sum::<usize>(),
+            "maintained inbox total diverged from the slices"
+        );
+        self.inbox.total() + self.in_flight()
     }
 
     /// Whether scheduled fault events remain to be applied.
     pub fn events_pending(&self) -> bool {
         self.next_event < self.faults.schedule.len()
+    }
+
+    /// Heap bytes owned by the simulator's queues, scratch arenas, graph,
+    /// and neighborhoods, plus the inline size of the state array. Heap
+    /// owned *behind* `Protocol::State` / `Protocol::Msg` payloads (e.g. a
+    /// state's `HashMap`) is not traversed — this measures the simulator's
+    /// own footprint, the DISTSIM.md bytes/node model.
+    pub fn heap_bytes(&self) -> usize {
+        let graph_bytes: usize = self
+            .graph
+            .nodes()
+            .map(|u| std::mem::size_of_val(self.graph.neighbors(u)))
+            .sum::<usize>()
+            + self.graph.node_count() * std::mem::size_of::<Vec<NodeId>>();
+        let ctx_bytes: usize = self
+            .contexts
+            .iter()
+            .map(|c| c.neighbors.capacity() * std::mem::size_of::<NodeId>())
+            .sum::<usize>()
+            + self.contexts.capacity() * std::mem::size_of::<Neighborhood>();
+        let delayed_bytes: usize = self
+            .delayed
+            .iter()
+            .map(|q| q.capacity() * std::mem::size_of::<(NodeId, P::Msg)>())
+            .sum::<usize>()
+            + self.delayed.capacity() * std::mem::size_of::<Vec<(NodeId, P::Msg)>>()
+            + self.delayed_tmp.capacity() * std::mem::size_of::<(NodeId, P::Msg)>();
+        let outbox_bytes: usize = self.worker_outboxes.iter().map(WorkerOutbox::heap_bytes).sum();
+        graph_bytes
+            + ctx_bytes
+            + delayed_bytes
+            + outbox_bytes
+            + self.inbox.heap_bytes()
+            + self.route.heap_bytes()
+            + self.seg_order.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.states.capacity() * std::mem::size_of::<P::State>()
+            + self.alive.capacity()
     }
 
     /// Replaces all node states (warm start), e.g. to continue a converged
@@ -375,8 +590,9 @@ impl<'p, P: Protocol> Simulator<'p, P> {
                         // Undelivered messages are shed; inbox entries were
                         // already counted as delivered, so they just vanish.
                         self.stats.shed += self.delayed[u].len();
+                        self.in_flight_count -= self.delayed[u].len();
                         self.delayed[u].clear();
-                        self.inboxes[u].clear();
+                        self.inbox.clear_node(u);
                     }
                 }
                 FaultEvent::Recover(u) => {
@@ -400,89 +616,217 @@ impl<'p, P: Protocol> Simulator<'p, P> {
     /// Executes one synchronous round: applies due fault events, runs every
     /// live node, validates and delivers messages through the fault model.
     /// Returns the number of messages accepted for transmission.
+    ///
+    /// # Performance
+    ///
+    /// The round runs in four phases:
+    ///
+    /// 1. **Wave stepping (parallel).** Nodes are partitioned into
+    ///    ascending-index waves and fanned out over
+    ///    `csn_parallel::run_indexed_stateful_with_worker`; each worker
+    ///    appends validated transmits to its own flat arena
+    ///    (`queue::WorkerOutbox`), recording one segment per wave. With
+    ///    `jobs == 1` (the default) this degenerates to an inline loop on
+    ///    the calling thread.
+    /// 2. **Canonical merge (serial).** Segments are replayed in wave
+    ///    order — which is sender-ascending, emission-order-within-sender,
+    ///    regardless of which worker ran which wave or of the wave width —
+    ///    building per-receiver delivery chains. This is the
+    ///    `betweenness_par` wave-ordered-merge trick applied to messages.
+    /// 3. **Delivery (serial).** Receivers are visited in ascending order;
+    ///    per receiver, delayed messages are re-examined first (queue
+    ///    order), then fresh messages in chain order. Every fault RNG draw
+    ///    therefore happens in exactly the serial order, so loss, delay,
+    ///    duplication, reorder shuffles, and churn interact bit-identically
+    ///    at any job count.
+    /// 4. **Accounting.** Per-wave `sent`/`misrouted` counters are summed
+    ///    in wave order.
+    ///
+    /// All message storage is epoch-stamped flat arenas reused across
+    /// rounds (the flat arenas of the private `queue` module): after
+    /// warmup, a round of a `Copy`-message
+    /// protocol (e.g. a 1M-node flood) performs no per-message heap
+    /// allocation — the only per-round allocations are O(waves) scheduler
+    /// bookkeeping and the pool's result slots. Messages with owned
+    /// payloads (`Vec`, etc.) still clone per delivered copy.
+    ///
+    /// The CI box is 1-core, so committed benches record wall clock per
+    /// `detected_cores` without asserting speedups; bit-identity across
+    /// `jobs` is the gate (see `BENCH_distsim.json` and DISTSIM.md).
     pub fn step(&mut self) -> usize {
         self.apply_due_events();
         let n = self.graph.node_count();
-        let mut outgoing: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-        let inboxes = std::mem::replace(&mut self.inboxes, vec![Vec::new(); n]);
-        let mut sent = 0;
-        for u in 0..n {
-            if !self.alive[u] {
-                continue;
-            }
-            let envs = self.protocol.round(u, &mut self.states[u], &self.contexts[u], &inboxes[u]);
-            for env in envs {
-                match env {
-                    Envelope::Unicast(to, msg) => {
-                        // LOCAL-model validation in all builds: delivering
-                        // to a non-neighbor would teleport information.
-                        if to >= n || !self.graph.has_edge(u, to) {
-                            debug_assert!(
-                                self.topology_dirty,
-                                "node {u} sent to non-neighbor {to} on a static topology"
-                            );
-                            self.stats.misrouted += 1;
+        let jobs = self.jobs;
+        let wave = wave_size(n, jobs);
+        let n_waves = n.div_ceil(wave.max(1));
+        let workers = jobs.clamp(1, n_waves.max(1));
+
+        // --- Phase 1: wave-parallel stepping into per-worker arenas.
+        let mut outboxes = std::mem::take(&mut self.worker_outboxes);
+        if outboxes.len() < workers {
+            outboxes.resize_with(workers, WorkerOutbox::default);
+        }
+        for ob in &mut outboxes {
+            ob.reset();
+        }
+        {
+            let cells: Vec<Mutex<&mut WorkerOutbox<P::Msg>>> =
+                outboxes.iter_mut().take(workers).map(Mutex::new).collect();
+            let chunks: Vec<Mutex<&mut [P::State]>> =
+                self.states.chunks_mut(wave.max(1)).map(Mutex::new).collect();
+            let contexts = &self.contexts;
+            let alive = &self.alive;
+            let inbox = &self.inbox;
+            let protocol = self.protocol;
+            let topology_dirty = self.topology_dirty;
+            csn_parallel::run_indexed_stateful_with_worker(
+                n_waves,
+                jobs,
+                |w| cells[w].lock().expect("outbox cell"),
+                |wi, _w, ob| {
+                    let base = wi * wave;
+                    let hi = (base + wave).min(n);
+                    let mut chunk = chunks[wi].lock().expect("state chunk");
+                    let seg_start = ob.stream.len() as u32;
+                    let (mut sent, mut misrouted) = (0u32, 0u32);
+                    for u in base..hi {
+                        if !alive[u] {
                             continue;
                         }
-                        outgoing[to].push((u, msg));
-                        sent += 1;
+                        let ctx = &contexts[u];
+                        let mut out = Outbox {
+                            sink: Sink::Direct {
+                                from: u as u32,
+                                neighbors: &ctx.neighbors,
+                                topology_dirty,
+                                stream: &mut ob.stream,
+                                sent: &mut sent,
+                                misrouted: &mut misrouted,
+                            },
+                        };
+                        protocol.round(u, &mut chunk[u - base], ctx, inbox.get(u), &mut out);
                     }
-                    Envelope::Broadcast(msg) => {
-                        for &v in self.graph.neighbors(u) {
-                            outgoing[v].push((u, msg.clone()));
-                            sent += 1;
-                        }
-                    }
+                    assert!(ob.stream.len() <= u32::MAX as usize, "outbox stream overflow");
+                    let seg_end = ob.stream.len() as u32;
+                    ob.segs.push(WaveSeg {
+                        wave: wi as u32,
+                        start: seg_start,
+                        end: seg_end,
+                        sent,
+                        misrouted,
+                    });
+                },
+            );
+        }
+        debug_assert_eq!(
+            outboxes.iter().map(|o| o.segs.len()).sum::<usize>(),
+            n_waves,
+            "every wave must produce exactly one segment"
+        );
+
+        // --- Phase 2: canonical merge. Wave order == sender order, so the
+        // per-receiver chains list messages exactly as the serial
+        // simulator's outgoing queues would.
+        let mut route = std::mem::take(&mut self.route);
+        route.begin(n);
+        self.seg_order.clear();
+        self.seg_order.resize(n_waves, (0, 0));
+        for (w, ob) in outboxes.iter().enumerate() {
+            for (si, seg) in ob.segs.iter().enumerate() {
+                self.seg_order[seg.wave as usize] = (w as u32, si as u32);
+            }
+        }
+        let mut sent = 0usize;
+        for &(w, si) in self.seg_order.iter() {
+            let ob = &outboxes[w as usize];
+            let seg = ob.segs[si as usize];
+            sent += seg.sent as usize;
+            self.stats.misrouted += seg.misrouted as usize;
+            for j in seg.start..seg.end {
+                route.append(ob.stream[j as usize].to as usize, w, j);
+            }
+        }
+        if self.in_flight_count > 0 {
+            // Receivers holding only delayed messages still take their
+            // re-examination draws; fold them into the touched set.
+            for v in 0..n {
+                if !self.delayed[v].is_empty() {
+                    route.touch(v);
                 }
             }
         }
-        // Deliver: shed mail to crashed nodes, re-examine delayed messages
-        // (geometric delay), then run each fresh message through loss /
-        // duplication / delay, and optionally reorder the inbox.
-        for v in 0..n {
+        route.touched.sort_unstable();
+
+        // --- Phase 3: serial delivery in ascending receiver order — the
+        // exact RNG draw order of the serial path: shed mail to crashed
+        // nodes, re-examine delayed messages (geometric delay), then run
+        // each fresh message through loss / duplication / delay, and
+        // optionally reorder the inbox.
+        self.inbox.begin_round(n);
+        let delay_prob = self.faults.delay_prob;
+        let dup_prob = self.faults.duplicate_prob;
+        let reorder = self.faults.reorder;
+        for ti in 0..route.touched.len() {
+            let v = route.touched[ti] as usize;
             if !self.alive[v] {
-                self.stats.shed += outgoing[v].len();
-                outgoing[v].clear();
+                // Crashed receivers shed their fresh mail without draws;
+                // their delayed queues are empty by the crash invariant.
+                let mut c = route.head_of(v);
+                while c != NONE {
+                    self.stats.shed += 1;
+                    c = route.next[c as usize];
+                }
                 continue;
             }
-            let mut inbox = Vec::new();
-            for (from, msg) in std::mem::take(&mut self.delayed[v]) {
-                if self.rng.gen::<f64>() < self.faults.delay_prob {
-                    self.delayed[v].push((from, msg));
-                } else {
-                    inbox.push((from, msg));
+            let open_at = self.inbox.open(v);
+            if !self.delayed[v].is_empty() {
+                std::mem::swap(&mut self.delayed[v], &mut self.delayed_tmp);
+                self.in_flight_count -= self.delayed_tmp.len();
+                for (from, msg) in self.delayed_tmp.drain(..) {
+                    if self.rng.gen::<f64>() < delay_prob {
+                        self.delayed[v].push((from, msg));
+                        self.in_flight_count += 1;
+                    } else {
+                        self.inbox.push(from, msg);
+                    }
                 }
             }
-            for (from, msg) in outgoing[v].drain(..) {
+            let mut c = route.head_of(v);
+            while c != NONE {
+                let (w, j) = route.loc[c as usize];
+                c = route.next[c as usize];
+                let t = &outboxes[w as usize].stream[j as usize];
+                let from = t.from as usize;
                 let p_drop = self.drop_prob_for(from, v);
                 if p_drop > 0.0 && self.rng.gen::<f64>() < p_drop {
                     self.stats.dropped += 1;
                     continue;
                 }
-                let copies = if self.faults.duplicate_prob > 0.0
-                    && self.rng.gen::<f64>() < self.faults.duplicate_prob
-                {
+                let copies = if dup_prob > 0.0 && self.rng.gen::<f64>() < dup_prob {
                     self.stats.duplicated += 1;
                     2
                 } else {
                     1
                 };
                 for _ in 0..copies {
-                    if self.faults.delay_prob > 0.0
-                        && self.rng.gen::<f64>() < self.faults.delay_prob
-                    {
-                        self.delayed[v].push((from, msg.clone()));
+                    if delay_prob > 0.0 && self.rng.gen::<f64>() < delay_prob {
+                        self.delayed[v].push((from, t.msg.clone()));
+                        self.in_flight_count += 1;
                     } else {
-                        inbox.push((from, msg.clone()));
+                        self.inbox.push(from, t.msg.clone());
                     }
                 }
             }
-            if self.faults.reorder && inbox.len() > 1 {
-                inbox.shuffle(&mut self.rng);
+            if reorder {
+                let tail = self.inbox.tail_mut(open_at);
+                if tail.len() > 1 {
+                    tail.shuffle(&mut self.rng);
+                }
             }
-            self.stats.messages += inbox.len();
-            self.inboxes[v] = inbox;
+            self.stats.messages += self.inbox.close(v, open_at);
         }
+        self.route = route;
+        self.worker_outboxes = outboxes;
         self.stats.rounds += 1;
         self.stats.sent += sent;
         sent
@@ -508,6 +852,15 @@ impl<'p, P: Protocol> Simulator<'p, P> {
     /// in-flight or unconsumed messages and no outstanding events. A
     /// 0-round call on an idle simulator therefore truthfully reports
     /// quiescence.
+    ///
+    /// # Performance
+    ///
+    /// Each round costs one [`Simulator::step`] (see its performance notes
+    /// for the parallel wave/merge pipeline) plus an O(1) stability check —
+    /// [`Simulator::pending_messages`] reads maintained counters, so the
+    /// convergence detector adds no per-node scan. Results are
+    /// bit-identical at any [`Simulator::set_jobs`] value; on the 1-core CI
+    /// box the parallel path is exercised for correctness, not speed.
     pub fn run_until_stable(&mut self, max_rounds: usize, window: usize) -> RunStats {
         let window = window.max(1);
         let mut streak = 0usize;
@@ -587,15 +940,15 @@ mod tests {
             state: &mut Self::State,
             _ctx: &Neighborhood,
             inbox: &[(NodeId, ())],
-        ) -> Vec<Envelope<()>> {
+            out: &mut Outbox<'_, ()>,
+        ) {
             if !state.0 && !inbox.is_empty() {
                 state.0 = true;
             }
             if state.0 && !state.1 {
                 state.1 = true;
-                return vec![Envelope::Broadcast(())];
+                out.broadcast(());
             }
-            vec![]
         }
     }
 
@@ -615,15 +968,15 @@ mod tests {
             state: &mut Self::State,
             ctx: &Neighborhood,
             inbox: &[(NodeId, ())],
-        ) -> Vec<Envelope<()>> {
+            out: &mut Outbox<'_, ()>,
+        ) {
             if !state.0 && !inbox.is_empty() {
                 state.0 = true;
             }
             if state.0 && state.1 != ctx.neighbors() {
                 state.1 = ctx.neighbors().to_vec();
-                return vec![Envelope::Broadcast(())];
+                out.broadcast(());
             }
-            vec![]
         }
     }
 
@@ -650,6 +1003,44 @@ mod tests {
         assert!(stats.messages > 0);
         assert_eq!(stats.sent, stats.messages, "fault-free: every send delivered");
         assert_conservation(&sim);
+    }
+
+    #[test]
+    fn parallel_stepping_is_bit_identical_to_serial() {
+        let g = generators::erdos_renyi(40, 0.12, 17).unwrap();
+        let run = |jobs: usize| {
+            let mut sim = Simulator::new(&g, &Flood).with_jobs(jobs);
+            let stats = sim.run_until_quiet(100);
+            (stats, sim.states().to_vec())
+        };
+        let (serial_stats, serial_states) = run(1);
+        for jobs in [2, 4, 7] {
+            let (stats, states) = run(jobs);
+            assert_eq!(stats, serial_stats, "jobs={jobs}: RunStats diverged");
+            assert_eq!(states, serial_states, "jobs={jobs}: states diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_faulted_stepping_matches_serial() {
+        let g = generators::erdos_renyi(30, 0.15, 8).unwrap();
+        let faults = FaultModel {
+            seed: 77,
+            ..FaultModel::lossy(0.3, 77)
+                .with_delay(0.2)
+                .with_duplication(0.1)
+                .with_reorder()
+                .with_churn(ChurnSchedule::random(30, 40, 0.02, 5, 77).protect(0))
+        };
+        let run = |jobs: usize| {
+            let mut sim = Simulator::with_faults(&g, &Flood, faults.clone()).with_jobs(jobs);
+            let stats = sim.run_until_stable(200, 4);
+            (stats, sim.states().to_vec(), sim.in_flight())
+        };
+        let serial = run(1);
+        for jobs in [2, 4, 7] {
+            assert_eq!(run(jobs), serial, "jobs={jobs}: faulted run diverged from serial");
+        }
     }
 
     #[test]
@@ -806,11 +1197,10 @@ mod tests {
                 _state: &mut Self::State,
                 _ctx: &Neighborhood,
                 _inbox: &[(NodeId, ())],
-            ) -> Vec<Envelope<()>> {
+                out: &mut Outbox<'_, ()>,
+            ) {
                 if u == 0 {
-                    vec![Envelope::Unicast(3, ())] // 3 is two hops away
-                } else {
-                    vec![]
+                    out.unicast(3, ()); // 3 is two hops away
                 }
             }
         }
@@ -835,8 +1225,11 @@ mod tests {
                 state: &mut Self::State,
                 _ctx: &Neighborhood,
                 _inbox: &[(NodeId, ())],
-            ) -> Vec<Envelope<()>> {
-                state.iter().map(|&v| Envelope::Unicast(v, ())).collect()
+                out: &mut Outbox<'_, ()>,
+            ) {
+                for i in 0..state.len() {
+                    out.unicast(state[i], ());
+                }
             }
         }
         let g = generators::path(2);
@@ -902,5 +1295,21 @@ mod tests {
         assert!(stats.messages >= 4);
         assert!(stats.quiescent);
         assert_eq!(stats.sent, stats.messages);
+    }
+
+    #[test]
+    fn pending_counters_are_maintained_through_delay_and_churn() {
+        // Exercise in_flight/pending_messages (whose debug_asserts
+        // cross-check the maintained counters against full queue scans)
+        // at every round of a delayed, churning run.
+        let g = generators::erdos_renyi(20, 0.2, 3).unwrap();
+        let faults = FaultModel { seed: 5, ..FaultModel::none().with_delay(0.6) }
+            .with_churn(ChurnSchedule::random(20, 30, 0.05, 3, 5).protect(0));
+        let mut sim = Simulator::with_faults(&g, &Flood, faults);
+        for _ in 0..40 {
+            sim.step();
+            let _ = sim.pending_messages();
+        }
+        assert_conservation(&sim);
     }
 }

@@ -1,0 +1,331 @@
+//! Flat, epoch-stamped message storage for the parallel stepper.
+//!
+//! The hot path of [`crate::Simulator::step`] must not allocate per round
+//! once warmed up, so every queue here is a flat `Vec` with offset indexing
+//! — the `csn_graph::scratch` epoch-stamp idiom applied to messages:
+//!
+//! * [`WorkerOutbox`] — one per pool worker; node waves append
+//!   [`Transmit`]s to a single stream and record a [`WaveSeg`] per wave so
+//!   the merge phase can replay the streams in canonical wave order.
+//! * [`FlatInbox`] — the per-node inboxes of one round, packed into one
+//!   buffer with `(start, len)` offsets and a per-node epoch stamp; stale
+//!   entries from previous rounds are never cleared, just out-stamped.
+//! * [`RouteScratch`] — per-receiver chains over the merged transmit
+//!   streams, built in canonical order (wave ascending = sender ascending,
+//!   emission order within a sender) so delivery walks each receiver's
+//!   messages exactly as the serial simulator would.
+//!
+//! Everything is `pub(crate)`: this is plumbing for `lib.rs`, not API.
+
+use csn_graph::NodeId;
+
+/// Chain terminator / "no fresh messages" sentinel.
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// One validated, accepted message in a worker's outbox stream.
+#[derive(Debug, Clone)]
+pub(crate) struct Transmit<M> {
+    /// Sending node.
+    pub from: u32,
+    /// Receiving node (validated to be a current neighbor of `from`).
+    pub to: u32,
+    /// Payload.
+    pub msg: M,
+}
+
+/// The contiguous slice of a worker's stream produced by one node wave,
+/// plus the wave's accounting (summed into [`crate::RunStats`] at merge).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WaveSeg {
+    /// Wave index (waves partition `0..n` in ascending node order).
+    pub wave: u32,
+    /// First stream index of this wave's transmits.
+    pub start: u32,
+    /// One past the last stream index.
+    pub end: u32,
+    /// Messages accepted for transmission in this wave.
+    pub sent: u32,
+    /// Unicasts to non-neighbors rejected in this wave.
+    pub misrouted: u32,
+}
+
+/// Per-worker envelope arena: a transmit stream plus the wave segments that
+/// partition it. Reset (capacity kept) at the start of every round.
+#[derive(Debug)]
+pub(crate) struct WorkerOutbox<M> {
+    pub stream: Vec<Transmit<M>>,
+    pub segs: Vec<WaveSeg>,
+}
+
+impl<M> Default for WorkerOutbox<M> {
+    fn default() -> Self {
+        WorkerOutbox { stream: Vec::new(), segs: Vec::new() }
+    }
+}
+
+impl<M> WorkerOutbox<M> {
+    /// Clears the round's contents, keeping both allocations.
+    pub fn reset(&mut self) {
+        self.stream.clear();
+        self.segs.clear();
+    }
+
+    /// Owned heap bytes (payload heap behind `M` not traversed).
+    pub fn heap_bytes(&self) -> usize {
+        self.stream.capacity() * std::mem::size_of::<Transmit<M>>()
+            + self.segs.capacity() * std::mem::size_of::<WaveSeg>()
+    }
+}
+
+/// All per-node inboxes of one round in a single buffer.
+///
+/// `open(v)` / `push` / `close(v)` must be called with each receiver's
+/// entries contiguous (delivery processes one receiver at a time, ascending)
+/// — `get(u)` then serves `&buf[start[u]..start[u] + len[u]]` for the
+/// current epoch and `&[]` for anything stale.
+#[derive(Debug)]
+pub(crate) struct FlatInbox<M> {
+    epoch: u64,
+    stamp: Vec<u64>,
+    start: Vec<u32>,
+    len: Vec<u32>,
+    buf: Vec<(NodeId, M)>,
+    total: usize,
+}
+
+impl<M> Default for FlatInbox<M> {
+    fn default() -> Self {
+        FlatInbox {
+            epoch: 1,
+            stamp: Vec::new(),
+            start: Vec::new(),
+            len: Vec::new(),
+            buf: Vec::new(),
+            total: 0,
+        }
+    }
+}
+
+impl<M> FlatInbox<M> {
+    /// Grows the per-node arrays to cover `n` nodes (stamps start stale).
+    pub fn ensure(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.start.resize(n, 0);
+            self.len.resize(n, 0);
+        }
+    }
+
+    /// Starts a fresh round: every node's inbox becomes empty in O(1).
+    pub fn begin_round(&mut self, n: usize) {
+        self.ensure(n);
+        self.epoch += 1;
+        self.buf.clear();
+        self.total = 0;
+    }
+
+    /// Node `u`'s inbox for the current round.
+    pub fn get(&self, u: NodeId) -> &[(NodeId, M)] {
+        if self.stamp.get(u) == Some(&self.epoch) {
+            let s = self.start[u] as usize;
+            &self.buf[s..s + self.len[u] as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// Opens receiver `v`'s slice; returns the buffer offset to pass to
+    /// [`FlatInbox::close`] (and to [`FlatInbox::tail_mut`] for reordering).
+    pub fn open(&mut self, v: NodeId) -> usize {
+        self.stamp[v] = self.epoch;
+        self.start[v] = self.buf.len() as u32;
+        self.buf.len()
+    }
+
+    /// Appends one entry to the currently open receiver.
+    pub fn push(&mut self, from: NodeId, msg: M) {
+        self.buf.push((from, msg));
+    }
+
+    /// The entries pushed since `open` returned `open_at` — the open
+    /// receiver's inbox, mutable for deterministic reorder shuffles.
+    pub fn tail_mut(&mut self, open_at: usize) -> &mut [(NodeId, M)] {
+        &mut self.buf[open_at..]
+    }
+
+    /// Seals the open receiver's slice; returns its length.
+    pub fn close(&mut self, v: NodeId, open_at: usize) -> usize {
+        let len = self.buf.len() - open_at;
+        self.len[v] = len as u32;
+        self.total += len;
+        len
+    }
+
+    /// Empties node `v`'s inbox (crash shedding) without touching the
+    /// shared buffer.
+    pub fn clear_node(&mut self, v: NodeId) {
+        if self.stamp.get(v) == Some(&self.epoch) {
+            self.total -= self.len[v] as usize;
+            self.len[v] = 0;
+        }
+    }
+
+    /// Total delivered-but-unconsumed entries (maintained, O(1)).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Owned heap bytes (payload heap behind `M` not traversed).
+    pub fn heap_bytes(&self) -> usize {
+        self.stamp.capacity() * 8
+            + self.start.capacity() * 4
+            + self.len.capacity() * 4
+            + self.buf.capacity() * std::mem::size_of::<(NodeId, M)>()
+    }
+}
+
+/// Per-receiver delivery chains over the merged worker streams.
+///
+/// [`RouteScratch::append`] is called once per transmit in canonical order;
+/// each receiver's chain therefore lists its messages in exactly the order
+/// the serial simulator's `outgoing[v]` held them, and `touched` collects
+/// every receiver with work this round (sorted ascending by the caller
+/// before delivery so RNG draws happen in serial order).
+#[derive(Debug, Default)]
+pub(crate) struct RouteScratch {
+    epoch: u64,
+    stamp: Vec<u64>,
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    /// `next[g]` chains global transmit `g` to the same receiver's next.
+    pub next: Vec<u32>,
+    /// `loc[g]` = (worker, stream index) of global transmit `g`.
+    pub loc: Vec<(u32, u32)>,
+    /// Receivers with fresh or delayed messages this round.
+    pub touched: Vec<u32>,
+}
+
+impl RouteScratch {
+    /// Starts a fresh round over `n` nodes.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.head.resize(n, NONE);
+            self.tail.resize(n, NONE);
+        }
+        self.epoch += 1;
+        self.next.clear();
+        self.loc.clear();
+        self.touched.clear();
+    }
+
+    /// Appends the transmit at `(worker, stream_idx)` to receiver `v`'s
+    /// chain, preserving call order within the chain.
+    pub fn append(&mut self, v: NodeId, worker: u32, stream_idx: u32) {
+        let g = self.loc.len() as u32;
+        assert!(g != NONE, "more than u32::MAX transmits in one round");
+        self.loc.push((worker, stream_idx));
+        self.next.push(NONE);
+        if self.stamp[v] == self.epoch {
+            if self.tail[v] == NONE {
+                self.head[v] = g; // touched via `touch` first, chain empty
+            } else {
+                self.next[self.tail[v] as usize] = g;
+            }
+        } else {
+            self.stamp[v] = self.epoch;
+            self.head[v] = g;
+            self.touched.push(v as u32);
+        }
+        self.tail[v] = g;
+    }
+
+    /// Marks `v` touched with no fresh messages (delayed-queue holders).
+    pub fn touch(&mut self, v: NodeId) {
+        if self.stamp[v] != self.epoch {
+            self.stamp[v] = self.epoch;
+            self.head[v] = NONE;
+            self.tail[v] = NONE;
+            self.touched.push(v as u32);
+        }
+    }
+
+    /// Head of `v`'s chain this round ([`NONE`] if no fresh messages).
+    pub fn head_of(&self, v: NodeId) -> u32 {
+        if self.stamp[v] == self.epoch {
+            self.head[v]
+        } else {
+            NONE
+        }
+    }
+
+    /// Owned heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.stamp.capacity() * 8
+            + self.head.capacity() * 4
+            + self.tail.capacity() * 4
+            + self.next.capacity() * 4
+            + self.loc.capacity() * 8
+            + self.touched.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_inbox_round_trips_and_restamps() {
+        let mut ib: FlatInbox<u32> = FlatInbox::default();
+        ib.begin_round(4);
+        let at = ib.open(2);
+        ib.push(0, 10);
+        ib.push(1, 11);
+        assert_eq!(ib.close(2, at), 2);
+        assert_eq!(ib.get(2), &[(0, 10), (1, 11)]);
+        assert_eq!(ib.get(1), &[] as &[(NodeId, u32)]);
+        assert_eq!(ib.total(), 2);
+        ib.clear_node(2);
+        assert_eq!(ib.get(2), &[] as &[(NodeId, u32)]);
+        assert_eq!(ib.total(), 0);
+        // Next round: everything stale without any per-node clearing.
+        ib.begin_round(4);
+        assert_eq!(ib.get(2), &[] as &[(NodeId, u32)]);
+        let at = ib.open(0);
+        ib.push(3, 7);
+        ib.close(0, at);
+        assert_eq!(ib.get(0), &[(3, 7)]);
+    }
+
+    #[test]
+    fn route_scratch_chains_preserve_append_order() {
+        let mut rs = RouteScratch::default();
+        rs.begin(3);
+        rs.append(1, 0, 0);
+        rs.append(2, 0, 1);
+        rs.append(1, 1, 0);
+        rs.touch(0);
+        rs.touch(1); // already touched: no-op
+        assert_eq!(rs.touched, vec![1, 2, 0]);
+        let mut chain = Vec::new();
+        let mut c = rs.head_of(1);
+        while c != NONE {
+            chain.push(rs.loc[c as usize]);
+            c = rs.next[c as usize];
+        }
+        assert_eq!(chain, vec![(0, 0), (1, 0)]);
+        assert_eq!(rs.head_of(0), NONE);
+        rs.begin(3);
+        assert_eq!(rs.head_of(1), NONE, "epoch bump stales all chains");
+    }
+
+    #[test]
+    fn touch_then_append_links_the_chain() {
+        let mut rs = RouteScratch::default();
+        rs.begin(2);
+        rs.touch(0);
+        rs.append(0, 0, 5);
+        assert_eq!(rs.head_of(0), 0);
+        assert_eq!(rs.touched, vec![0]);
+    }
+}

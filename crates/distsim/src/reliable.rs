@@ -13,6 +13,13 @@
 //! per-node counters, and [`stats_with_overhead`] folds the retransmission
 //! total into [`RunStats::retransmissions`] so experiment reports carry it.
 //!
+//! The adapter runs the wrapped protocol against a *capturing* [`Outbox`]
+//! ([`Outbox::capturing`]) and rewrites the recorded [`Envelope`]s into
+//! sequenced unicasts on the real sink — the wrapped protocol never knows
+//! it is being made reliable, and the wire emission order (acks, then data,
+//! then retransmissions) is fixed, which the deterministic parallel stepper
+//! relies on.
+//!
 //! Because a node with unacknowledged payloads is *silent* between backoff
 //! expiries, strict quiescence ("a round sent nothing") is no longer a
 //! convergence signal — use [`crate::Simulator::run_until_stable`] with a
@@ -22,7 +29,7 @@
 //!
 //! ```
 //! use csn_distsim::{FaultModel, Reliable, Simulator, stats_with_overhead};
-//! use csn_distsim::{Envelope, Neighborhood, Protocol};
+//! use csn_distsim::{Neighborhood, Outbox, Protocol};
 //! use csn_graph::{generators, NodeId};
 //!
 //! // One-shot flood: node 0's token must reach everyone despite 60% loss.
@@ -37,10 +44,10 @@
 //!         s: &mut Self::State,
 //!         _ctx: &Neighborhood,
 //!         inbox: &[(NodeId, ())],
-//!     ) -> Vec<Envelope<()>> {
+//!         out: &mut Outbox<'_, ()>,
+//!     ) {
 //!         if !s.0 && !inbox.is_empty() { s.0 = true; }
-//!         if s.0 && !s.1 { s.1 = true; return vec![Envelope::Broadcast(())]; }
-//!         vec![]
+//!         if s.0 && !s.1 { s.1 = true; out.broadcast(()); }
 //!     }
 //! }
 //!
@@ -55,7 +62,7 @@
 //! assert_eq!(stats.retransmissions, overhead.retransmissions);
 //! ```
 
-use crate::{Envelope, Neighborhood, Protocol, RunStats, Simulator};
+use crate::{Envelope, Neighborhood, Outbox, Protocol, RunStats, Simulator};
 use csn_graph::NodeId;
 use std::collections::HashSet;
 
@@ -114,7 +121,7 @@ impl<S, M> ReliableState<S, M> {
 
     fn send_data(
         &mut self,
-        out: &mut Vec<Envelope<ReliableMsg<M>>>,
+        out: &mut Outbox<'_, ReliableMsg<M>>,
         to: NodeId,
         payload: M,
         timeout: usize,
@@ -130,7 +137,7 @@ impl<S, M> ReliableState<S, M> {
             attempts: 0,
             due: self.clock + timeout,
         });
-        out.push(Envelope::Unicast(to, ReliableMsg::Data { seq, payload }));
+        out.unicast(to, ReliableMsg::Data { seq, payload });
     }
 }
 
@@ -220,14 +227,14 @@ impl<P: Protocol> Protocol for Reliable<P> {
         state: &mut Self::State,
         ctx: &Neighborhood,
         inbox: &[(NodeId, Self::Msg)],
-    ) -> Vec<Envelope<Self::Msg>> {
+        out: &mut Outbox<'_, Self::Msg>,
+    ) {
         state.clock += 1;
-        let mut out = Vec::new();
         let mut inner_inbox = Vec::new();
         for (from, msg) in inbox {
             match msg {
                 ReliableMsg::Data { seq, payload } => {
-                    out.push(Envelope::Unicast(*from, ReliableMsg::Ack { seq: *seq }));
+                    out.unicast(*from, ReliableMsg::Ack { seq: *seq });
                     state.acks_sent += 1;
                     if state.seen.insert((*from, *seq)) {
                         inner_inbox.push((*from, payload.clone()));
@@ -240,15 +247,23 @@ impl<P: Protocol> Protocol for Reliable<P> {
                 }
             }
         }
-        for env in self.inner.round(u, &mut state.inner, ctx, &inner_inbox) {
+        let mut captured: Vec<Envelope<P::Msg>> = Vec::new();
+        self.inner.round(
+            u,
+            &mut state.inner,
+            ctx,
+            &inner_inbox,
+            &mut Outbox::capturing(&mut captured),
+        );
+        for env in captured {
             match env {
                 Envelope::Unicast(to, m) => {
-                    state.send_data(&mut out, to, m, self.timeout_after(0));
+                    state.send_data(out, to, m, self.timeout_after(0));
                 }
                 Envelope::Broadcast(m) => {
                     for i in 0..ctx.degree() {
                         let v = ctx.neighbors()[i];
-                        state.send_data(&mut out, v, m.clone(), self.timeout_after(0));
+                        state.send_data(out, v, m.clone(), self.timeout_after(0));
                     }
                 }
             }
@@ -257,8 +272,7 @@ impl<P: Protocol> Protocol for Reliable<P> {
         // departed neighbors (churn).
         let clock = state.clock;
         let mut gave_up = 0usize;
-        let mut retx: Vec<Envelope<Self::Msg>> = Vec::new();
-        let mut retx_count = 0usize;
+        let mut retx: Vec<(NodeId, u64, P::Msg)> = Vec::new();
         state.outstanding.retain_mut(|o| {
             if !ctx.neighbors().contains(&o.to) {
                 gave_up += 1;
@@ -271,18 +285,15 @@ impl<P: Protocol> Protocol for Reliable<P> {
                 }
                 o.attempts += 1;
                 o.due = clock + self.timeout_after(o.attempts);
-                retx.push(Envelope::Unicast(
-                    o.to,
-                    ReliableMsg::Data { seq: o.seq, payload: o.payload.clone() },
-                ));
-                retx_count += 1;
+                retx.push((o.to, o.seq, o.payload.clone()));
             }
             true
         });
         state.gave_up += gave_up;
-        state.retransmissions += retx_count;
-        out.extend(retx);
-        out
+        state.retransmissions += retx.len();
+        for (to, seq, payload) in retx {
+            out.unicast(to, ReliableMsg::Data { seq, payload });
+        }
     }
 }
 

@@ -10,9 +10,7 @@
 //! 3. **Reliability** — `Reliable<Flood>` with a persistent retry policy
 //!    reaches every live node for any `drop_prob < 1`.
 
-use csn_distsim::{
-    ChurnSchedule, Envelope, FaultModel, Neighborhood, Protocol, Reliable, Simulator,
-};
+use csn_distsim::{ChurnSchedule, FaultModel, Neighborhood, Outbox, Protocol, Reliable, Simulator};
 use csn_graph::{generators, Graph, NodeId};
 use proptest::prelude::*;
 
@@ -31,15 +29,15 @@ impl Protocol for Flood {
         state: &mut Self::State,
         _ctx: &Neighborhood,
         inbox: &[(NodeId, ())],
-    ) -> Vec<Envelope<()>> {
+        out: &mut Outbox<'_, ()>,
+    ) {
         if !state.0 && !inbox.is_empty() {
             state.0 = true;
         }
         if state.0 && !state.1 {
             state.1 = true;
-            return vec![Envelope::Broadcast(())];
+            out.broadcast(());
         }
-        vec![]
     }
 }
 

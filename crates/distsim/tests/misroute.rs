@@ -5,7 +5,7 @@
 //! the same misroute panics instead; see the `should_panic` unit test).
 #![cfg(not(debug_assertions))]
 
-use csn_distsim::{Envelope, Neighborhood, Protocol, Simulator};
+use csn_distsim::{Neighborhood, Outbox, Protocol, Simulator};
 use csn_graph::{generators, NodeId};
 
 /// Node 0 unicasts to node 3 (two hops away) every round; everyone records
@@ -23,14 +23,13 @@ impl Protocol for Teleporter {
         state: &mut bool,
         _ctx: &Neighborhood,
         inbox: &[(NodeId, ())],
-    ) -> Vec<Envelope<()>> {
+        out: &mut Outbox<'_, ()>,
+    ) {
         if !inbox.is_empty() {
             *state = true;
         }
         if u == 0 {
-            vec![Envelope::Unicast(3, ())]
-        } else {
-            vec![]
+            out.unicast(3, ());
         }
     }
 }
@@ -62,11 +61,10 @@ fn out_of_range_targets_are_counted_not_panicking() {
             _state: &mut Self::State,
             _ctx: &Neighborhood,
             _inbox: &[(NodeId, ())],
-        ) -> Vec<Envelope<()>> {
+            out: &mut Outbox<'_, ()>,
+        ) {
             if u == 0 {
-                vec![Envelope::Unicast(999, ())]
-            } else {
-                vec![]
+                out.unicast(999, ());
             }
         }
     }

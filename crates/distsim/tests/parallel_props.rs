@@ -1,0 +1,221 @@
+//! Property tests for the deterministic parallel stepper (ISSUE 9
+//! satellite): at every jobs ∈ {1, 2, 4, 7}, a run is **bit-identical** to
+//! the serial one — same final states, same [`RunStats`], same in-flight
+//! count — because outboxes are merged in canonical wave order and every
+//! fault RNG draw happens in serial delivery order regardless of which
+//! worker stepped which node.
+//!
+//! Covered regimes:
+//! 1. fault-free flooding (pure merge-order check),
+//! 2. the full fault gauntlet — loss, delay, duplication, reorder, per-edge
+//!    overrides, and random churn,
+//! 3. `apply_delta` topology churn driven between rounds by the caller,
+//! 4. the [`Reliable`] adapter (capture-and-rewrite emission path) over a
+//!    lossy channel.
+
+use csn_distsim::{
+    ChurnSchedule, FaultEvent, FaultModel, Neighborhood, Outbox, Protocol, Reliable, RunStats,
+    Simulator, TopologyDelta,
+};
+use csn_graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+
+const JOBS: [usize; 4] = [1, 2, 4, 7];
+
+/// One-shot flood: node 0 owns a token; every node forwards on first
+/// receipt. State: `(has_token, has_sent)`.
+struct Flood;
+impl Protocol for Flood {
+    type State = (bool, bool);
+    type Msg = ();
+    fn init(&self, u: NodeId, _ctx: &Neighborhood) -> Self::State {
+        (u == 0, false)
+    }
+    fn round(
+        &self,
+        _u: NodeId,
+        state: &mut Self::State,
+        _ctx: &Neighborhood,
+        inbox: &[(NodeId, ())],
+        out: &mut Outbox<'_, ()>,
+    ) {
+        if !state.0 && !inbox.is_empty() {
+            state.0 = true;
+        }
+        if state.0 && !state.1 {
+            state.1 = true;
+            out.broadcast(());
+        }
+    }
+}
+
+/// Re-floods whenever the neighborhood changed since the last broadcast —
+/// keeps traffic flowing across `apply_delta` churn so the merge path stays
+/// loaded. State: `(has_token, last_served_neighbors)`.
+struct AdaptiveFlood;
+impl Protocol for AdaptiveFlood {
+    type State = (bool, Vec<NodeId>);
+    type Msg = ();
+    fn init(&self, u: NodeId, _ctx: &Neighborhood) -> Self::State {
+        (u == 0, Vec::new())
+    }
+    fn round(
+        &self,
+        _u: NodeId,
+        state: &mut Self::State,
+        ctx: &Neighborhood,
+        inbox: &[(NodeId, ())],
+        out: &mut Outbox<'_, ()>,
+    ) {
+        if !state.0 && !inbox.is_empty() {
+            state.0 = true;
+        }
+        if state.0 && state.1 != ctx.neighbors() {
+            state.1 = ctx.neighbors().to_vec();
+            out.broadcast(());
+        }
+    }
+}
+
+/// A connected graph: a cycle plus `chords` arbitrary extra edges.
+fn cycle_with_chords(n: usize, chords: &[(usize, usize)]) -> Graph {
+    let mut g = generators::cycle(n);
+    for &(a, b) in chords {
+        let (u, v) = (a % n, b % n);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+fn assert_conservation(stats: &RunStats, in_flight: usize) {
+    assert_eq!(
+        stats.sent + stats.duplicated,
+        stats.messages + stats.dropped + stats.shed + in_flight,
+        "conservation law violated: {stats:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn faultfree_parallel_matches_serial(params in (
+        (6usize..48, 0u64..1_000_000),
+        proptest::collection::vec((0usize..48, 0usize..48), 0..8),
+    )) {
+        let ((n, _seed), chords) = params;
+        let g = cycle_with_chords(n, &chords);
+        let run = |jobs: usize| {
+            let mut sim = Simulator::new(&g, &Flood).with_jobs(jobs);
+            let stats = sim.run_until_quiet(200);
+            (stats, sim.states().to_vec())
+        };
+        let serial = run(1);
+        for jobs in JOBS {
+            prop_assert_eq!(&run(jobs), &serial, "jobs={} diverged", jobs);
+        }
+        assert_conservation(&serial.0, 0);
+    }
+
+    #[test]
+    fn faulted_parallel_matches_serial(params in (
+        (8usize..32, 0u64..1_000_000),
+        (0.0f64..0.6, 0.0f64..0.5, 0.0f64..0.4),
+        0.0f64..0.08,
+    )) {
+        let ((n, seed), (drop, delay, dup), crash) = params;
+        let g = generators::erdos_renyi(n, 0.2, seed ^ 0xA5A5).unwrap();
+        let faults = FaultModel::lossy(drop, seed)
+            .with_delay(delay)
+            .with_duplication(dup)
+            .with_reorder()
+            .with_edge_drop(0, 1 % n.max(1), drop / 2.0)
+            .with_churn(ChurnSchedule::random(n, 60, crash, 4, seed).protect(0));
+        let run = |jobs: usize| {
+            let mut sim = Simulator::with_faults(&g, &Flood, faults.clone()).with_jobs(jobs);
+            let stats = sim.run_until_stable(120, 3);
+            (stats, sim.states().to_vec(), sim.in_flight())
+        };
+        let serial = run(1);
+        for jobs in JOBS {
+            prop_assert_eq!(&run(jobs), &serial, "jobs={} diverged under faults", jobs);
+        }
+        assert_conservation(&serial.0, serial.2);
+    }
+
+    #[test]
+    fn delta_churn_parallel_matches_serial(params in (
+        (8usize..32, 0u64..1_000_000),
+        proptest::collection::vec(
+            (1usize..20, (0usize..32, 0usize..32), 0usize..2),
+            1..8,
+        ),
+        0.0f64..0.3,
+    )) {
+        let ((n, seed), edits, delay) = params;
+        let g = generators::erdos_renyi(n, 0.25, seed ^ 0x5A5A).unwrap();
+        // Half the deltas arrive on the fault schedule, half via
+        // apply_delta between rounds — both must merge identically.
+        let mut scheduled = FaultModel { seed, ..FaultModel::none() }.with_delay(delay);
+        let mut manual: Vec<(usize, TopologyDelta)> = Vec::new();
+        for (i, &(round, (a, b), add)) in edits.iter().enumerate() {
+            let add = add == 1;
+            let (u, v) = (a % n, b % n);
+            if u == v {
+                continue;
+            }
+            let delta = if add {
+                TopologyDelta { add: vec![(u, v)], remove: vec![] }
+            } else {
+                TopologyDelta { add: vec![], remove: vec![(u, v)] }
+            };
+            if i % 2 == 0 {
+                scheduled = scheduled.with_event(round, FaultEvent::Delta(delta));
+            } else {
+                manual.push((round, delta));
+            }
+        }
+        let run = |jobs: usize| {
+            let mut sim =
+                Simulator::with_faults(&g, &AdaptiveFlood, scheduled.clone()).with_jobs(jobs);
+            for round in 0..40 {
+                for (at, delta) in &manual {
+                    if *at == round {
+                        sim.apply_delta(delta);
+                    }
+                }
+                sim.step();
+            }
+            (sim.stats(), sim.states().to_vec(), sim.in_flight())
+        };
+        let serial = run(1);
+        for jobs in JOBS {
+            prop_assert_eq!(&run(jobs), &serial, "jobs={} diverged under deltas", jobs);
+        }
+    }
+
+    #[test]
+    fn reliable_parallel_matches_serial(params in (
+        (6usize..16, 0u64..1_000_000),
+        proptest::collection::vec((0usize..16, 0usize..16), 0..4),
+        0.0f64..0.6,
+    )) {
+        let ((n, seed), chords, drop) = params;
+        let g = cycle_with_chords(n, &chords);
+        let reliable = Reliable::new(Flood);
+        let run = |jobs: usize| {
+            let mut sim = Simulator::with_faults(&g, &reliable, FaultModel::lossy(drop, seed))
+                .with_jobs(jobs);
+            let stats = sim.run_until_stable(2000, 2 * reliable.backoff_cap + 1);
+            let flood: Vec<(bool, bool)> = sim.states().iter().map(|s| s.inner).collect();
+            let retx: usize = sim.states().iter().map(|s| s.retransmissions).sum();
+            (stats, flood, retx, sim.in_flight())
+        };
+        let serial = run(1);
+        for jobs in JOBS {
+            prop_assert_eq!(&run(jobs), &serial, "jobs={} diverged under Reliable", jobs);
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! convergence as the canonical weakness of distributed solutions; the
 //! count-to-infinity behavior after a failure is reproduced here.
 
-use csn_distsim::{Envelope, FaultModel, Neighborhood, Protocol, RunStats, Simulator};
+use csn_distsim::{FaultModel, Neighborhood, Outbox, Protocol, RunStats, Simulator};
 use csn_graph::{Graph, NodeId};
 
 /// Distance label: hop count to the destination, capped at `horizon`
@@ -20,14 +20,21 @@ pub struct DistanceLabel {
     pub next_hop: Option<NodeId>,
 }
 
-struct BellmanFord {
-    dest: NodeId,
-    horizon: usize,
+/// The distance-vector protocol itself, public so benches and experiments
+/// can drive a [`Simulator`] directly (e.g. to compare full per-node states
+/// across job counts).
+pub struct BellmanFord {
+    /// Destination every node labels its distance to.
+    pub dest: NodeId,
+    /// Distance cap — the distance-vector's "infinity".
+    pub horizon: usize,
 }
 
-#[derive(Debug, Clone)]
-struct BfState {
-    label: DistanceLabel,
+/// Per-node state of [`BellmanFord`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfState {
+    /// The node's current distance label.
+    pub label: DistanceLabel,
     /// Last advertised distance (to avoid re-broadcasting unchanged labels).
     advertised: Option<usize>,
     /// Latest estimate heard from each neighbor.
@@ -53,7 +60,8 @@ impl Protocol for BellmanFord {
         state: &mut BfState,
         _ctx: &Neighborhood,
         inbox: &[(NodeId, usize)],
-    ) -> Vec<Envelope<usize>> {
+        out: &mut Outbox<'_, usize>,
+    ) {
         for &(from, d) in inbox {
             state.table.insert(from, d);
         }
@@ -72,9 +80,7 @@ impl Protocol for BellmanFord {
         }
         if state.advertised != Some(state.label.dist) {
             state.advertised = Some(state.label.dist);
-            vec![Envelope::Broadcast(state.label.dist)]
-        } else {
-            vec![]
+            out.broadcast(state.label.dist);
         }
     }
 }
@@ -119,8 +125,24 @@ pub fn run_resilient(
     window: usize,
     faults: FaultModel,
 ) -> (BfOutcome, RunStats) {
+    run_resilient_par(g, dest, horizon, max_rounds, window, faults, 1)
+}
+
+/// [`run_resilient`] with the round stepper fanned out over `jobs` workers
+/// — bit-identical outcome and stats at any job count (the deterministic
+/// wave-merge of [`csn_distsim::Simulator::step`]), so this is purely a
+/// wall-clock knob for large-n experiment sweeps.
+pub fn run_resilient_par(
+    g: &Graph,
+    dest: NodeId,
+    horizon: usize,
+    max_rounds: usize,
+    window: usize,
+    faults: FaultModel,
+    jobs: usize,
+) -> (BfOutcome, RunStats) {
     let protocol = BellmanFord { dest, horizon };
-    let mut sim = Simulator::with_faults(g, &protocol, faults);
+    let mut sim = Simulator::with_faults(g, &protocol, faults).with_jobs(jobs);
     let stats = sim.run_until_stable(max_rounds, window);
     let outcome = BfOutcome {
         labels: sim.states().iter().map(|s| s.label).collect(),

@@ -9,7 +9,7 @@
 //! exactly on fault-free networks.
 
 use csn_distsim::{
-    stats_with_overhead, Envelope, FaultModel, Neighborhood, Protocol, Reliable, ReliableOverhead,
+    stats_with_overhead, FaultModel, Neighborhood, Outbox, Protocol, Reliable, ReliableOverhead,
     RunStats, Simulator,
 };
 use csn_graph::{Graph, NodeId};
@@ -43,7 +43,7 @@ pub struct MisProtocol {
 }
 
 /// Internal per-node bookkeeping.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MisNodeState {
     /// Current color.
     pub color: MisState,
@@ -67,7 +67,8 @@ impl Protocol for MisProtocol {
         state: &mut MisNodeState,
         _ctx: &Neighborhood,
         inbox: &[(NodeId, MisMsg)],
-    ) -> Vec<Envelope<MisMsg>> {
+        out: &mut Outbox<'_, MisMsg>,
+    ) {
         // Digest last round's messages.
         let mut heard_declare = false;
         let mut best: Option<(u64, NodeId)> = None;
@@ -83,24 +84,22 @@ impl Protocol for MisProtocol {
             }
         }
         state.best_white_heard = best;
-        match state.color {
-            MisState::White => {
-                if heard_declare {
-                    state.color = MisState::Gray;
-                    return vec![];
-                }
-                if state.announced {
-                    let me = (self.priority[u], u);
-                    let is_max = state.best_white_heard.is_none_or(|b| me > b);
-                    if is_max {
-                        state.color = MisState::Black;
-                        return vec![Envelope::Broadcast(MisMsg::Declare)];
-                    }
-                }
-                state.announced = true;
-                vec![Envelope::Broadcast(MisMsg::StillWhite(self.priority[u]))]
+        if state.color == MisState::White {
+            if heard_declare {
+                state.color = MisState::Gray;
+                return;
             }
-            _ => vec![],
+            if state.announced {
+                let me = (self.priority[u], u);
+                let is_max = state.best_white_heard.is_none_or(|b| me > b);
+                if is_max {
+                    state.color = MisState::Black;
+                    out.broadcast(MisMsg::Declare);
+                    return;
+                }
+            }
+            state.announced = true;
+            out.broadcast(MisMsg::StillWhite(self.priority[u]));
         }
     }
 }
@@ -137,8 +136,21 @@ pub fn run_mis_protocol_with(
     window: usize,
     faults: FaultModel,
 ) -> (ProtocolOutcome, RunStats) {
+    run_mis_protocol_par(g, priority, max_rounds, window, faults, 1)
+}
+
+/// [`run_mis_protocol_with`] stepping rounds on `jobs` workers —
+/// bit-identical outcome at any job count (deterministic wave-merge).
+pub fn run_mis_protocol_par(
+    g: &Graph,
+    priority: &[u64],
+    max_rounds: usize,
+    window: usize,
+    faults: FaultModel,
+    jobs: usize,
+) -> (ProtocolOutcome, RunStats) {
     let protocol = MisProtocol { priority: priority.to_vec() };
-    let mut sim = Simulator::with_faults(g, &protocol, faults);
+    let mut sim = Simulator::with_faults(g, &protocol, faults).with_jobs(jobs);
     let stats = sim.run_until_stable(max_rounds, window);
     let outcome = ProtocolOutcome {
         black: sim.states().iter().map(|s| s.color == MisState::Black).collect(),
@@ -154,7 +166,7 @@ pub fn run_mis_protocol_with(
 pub struct MarkingProtocol;
 
 /// Per-node state of the marking protocol.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MarkingState {
     /// Decided black?
     pub black: bool,
@@ -178,13 +190,15 @@ impl Protocol for MarkingProtocol {
         state: &mut MarkingState,
         ctx: &Neighborhood,
         inbox: &[(NodeId, Vec<NodeId>)],
-    ) -> Vec<Envelope<Vec<NodeId>>> {
+        out: &mut Outbox<'_, Vec<NodeId>>,
+    ) {
         for (from, list) in inbox {
             state.tables.push((*from, list.clone()));
         }
         if !state.sent {
             state.sent = true;
-            return vec![Envelope::Broadcast(ctx.neighbors().to_vec())];
+            out.broadcast(ctx.neighbors().to_vec());
+            return;
         }
         if !state.decided && state.tables.len() == ctx.degree() {
             state.decided = true;
@@ -206,7 +220,6 @@ impl Protocol for MarkingProtocol {
                 }
             }
         }
-        vec![]
     }
 }
 
@@ -230,7 +243,19 @@ pub fn run_marking_protocol_with(
     window: usize,
     faults: FaultModel,
 ) -> (ProtocolOutcome, RunStats) {
-    let mut sim = Simulator::with_faults(g, &MarkingProtocol, faults);
+    run_marking_protocol_par(g, max_rounds, window, faults, 1)
+}
+
+/// [`run_marking_protocol_with`] stepping rounds on `jobs` workers —
+/// bit-identical outcome at any job count (deterministic wave-merge).
+pub fn run_marking_protocol_par(
+    g: &Graph,
+    max_rounds: usize,
+    window: usize,
+    faults: FaultModel,
+    jobs: usize,
+) -> (ProtocolOutcome, RunStats) {
+    let mut sim = Simulator::with_faults(g, &MarkingProtocol, faults).with_jobs(jobs);
     let stats = sim.run_until_stable(max_rounds, window);
     let outcome = ProtocolOutcome {
         black: sim.states().iter().map(|s| s.black).collect(),
@@ -248,8 +273,19 @@ pub fn run_marking_protocol_reliable(
     max_rounds: usize,
     faults: FaultModel,
 ) -> (ProtocolOutcome, RunStats, ReliableOverhead) {
+    run_marking_protocol_reliable_par(g, max_rounds, faults, 1)
+}
+
+/// [`run_marking_protocol_reliable`] stepping rounds on `jobs` workers —
+/// bit-identical outcome at any job count (deterministic wave-merge).
+pub fn run_marking_protocol_reliable_par(
+    g: &Graph,
+    max_rounds: usize,
+    faults: FaultModel,
+    jobs: usize,
+) -> (ProtocolOutcome, RunStats, ReliableOverhead) {
     let reliable = Reliable::persistent(MarkingProtocol);
-    let mut sim = Simulator::with_faults(g, &reliable, faults);
+    let mut sim = Simulator::with_faults(g, &reliable, faults).with_jobs(jobs);
     let window = 2 * reliable.backoff_cap + 1;
     sim.run_until_stable(max_rounds, window);
     let (stats, overhead) = stats_with_overhead(&sim);

@@ -103,6 +103,46 @@ where
     run_core(n_tasks, jobs, init, |i, _w, state| task(i, state))
 }
 
+/// [`run_indexed_stateful`] with the executing worker's index exposed to the
+/// task as well: `task(i, worker, &mut state)`. This is the shape the
+/// deterministic distsim stepper needs — each worker owns one outbox arena
+/// (selected by `worker`), tasks are node-index waves, and the caller merges
+/// the per-worker arenas in wave order afterwards so the result is
+/// bit-identical to serial at any job count (the `betweenness_par` trick).
+///
+/// `jobs == 1` degenerates to one inline state on the calling thread with
+/// `worker == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let hits = std::sync::Mutex::new(vec![0usize; 2]);
+/// let (out, stats) = csn_parallel::run_indexed_stateful_with_worker(
+///     6,
+///     2,
+///     |_worker| (),
+///     |i, worker, ()| {
+///         hits.lock().unwrap()[worker] += 1;
+///         i + 1
+///     },
+/// );
+/// assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+/// assert_eq!(hits.into_inner().unwrap().iter().sum::<usize>(), stats.tasks_run);
+/// ```
+pub fn run_indexed_stateful_with_worker<T, S, I, F>(
+    n_tasks: usize,
+    jobs: usize,
+    init: I,
+    task: F,
+) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(usize, usize, &mut S) -> T + Sync,
+{
+    run_core(n_tasks, jobs, init, task)
+}
+
 /// The shared scheduler: deques, stealing, and in-order result collection.
 /// `init` runs once per worker on that worker's thread; its state never
 /// crosses threads, so `S` needs neither `Send` nor `Sync`.
@@ -259,6 +299,24 @@ mod tests {
         for jobs in [2, 4, 7] {
             assert_eq!(run(jobs), serial, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn stateful_with_worker_sees_consistent_worker_index() {
+        // Whatever worker runs a task, the index it reports must address the
+        // state that `init` built for that worker — the per-worker outbox
+        // arena contract of the distsim stepper.
+        let (out, stats) = run_indexed_stateful_with_worker(
+            40,
+            3,
+            |w| w,
+            |i, w, state| {
+                assert_eq!(*state, w, "task {i} ran with a foreign worker's state");
+                i * 2
+            },
+        );
+        assert_eq!(out, (0..40).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(stats.tasks_run, 40);
     }
 
     #[test]

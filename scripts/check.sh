@@ -15,7 +15,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 
 echo "==> cargo test"
 # Includes the e26 resilience snapshot gate (serial == parallel rendered
-# text) and the fault_props proptest suite in csn-distsim.
+# text) and the fault_props + parallel_props proptest suites in csn-distsim
+# (jobs-invariance of the deterministic wave-merged stepper).
 cargo test --workspace --offline -q
 
 echo "==> cargo test -p csn-distsim --release (misroute validation without debug asserts)"
@@ -50,6 +51,15 @@ if [ "$want" != "$have" ]; then
   exit 1
 fi
 
+echo "==> BENCH_distsim.json schema freshness"
+want=$(grep -oE 'structura-bench-distsim-v[0-9]+' crates/bench/src/distsim_bench.rs | head -n1)
+have=$(grep -oE 'structura-bench-distsim-v[0-9]+' BENCH_distsim.json | head -n1 || true)
+if [ "$want" != "$have" ]; then
+  echo "FAIL: BENCH_distsim.json is stale (has '${have:-missing}', distsim_bench writes '$want')" >&2
+  echo "      regenerate with: cargo run -p csn-bench --release --bin perf_smoke -- --distsim" >&2
+  exit 1
+fi
+
 echo "==> perf smoke (scratch/parallel/cursor kernels bit-identical; incremental maintainers equal scratch with strictly fewer counted touches; timings to BENCH_csr.json + BENCH_kernels.json)"
 cargo run -p csn-bench --release --offline --quiet --bin perf_smoke
 
@@ -61,4 +71,8 @@ echo "==> serve smoke (small-n: landmark sandwich + exact-fallback + batched==se
 cargo run -p csn-bench --release --offline --quiet --bin perf_smoke -- \
   --serve --serve-nodes 4000 --serve-out target/BENCH_serve_check.json
 
-echo "OK: fmt, clippy, doc, test, perf smoke, scale smoke, serve smoke all clean"
+echo "==> distsim smoke (small-n: parallel rounds bitwise == serial for flood/BF/MIS/CDS + faulted determinism; committed BENCH_distsim.json untouched)"
+cargo run -p csn-bench --release --offline --quiet --bin perf_smoke -- \
+  --distsim --distsim-nodes 2000 --distsim-out target/BENCH_distsim_check.json
+
+echo "OK: fmt, clippy, doc, test, perf smoke, scale smoke, serve smoke, distsim smoke all clean"
