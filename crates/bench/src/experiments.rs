@@ -184,6 +184,18 @@ pub const EXPERIMENTS: &[Experiment] = &[
         paper_artifact: "§IV-C",
         run: e26_labeling_resilience,
     },
+    Experiment {
+        id: "e27",
+        title: "Pub-sub flooding on a Gnutella-like overlay under churn",
+        paper_artifact: "§II-A P2P overlays + §IV-C",
+        run: e27_pubsub_churn,
+    },
+    Experiment {
+        id: "e28",
+        title: "Generalized-hypercube routing under faults: F-space distances and disjoint paths",
+        paper_artifact: "§III-C + §IV-A",
+        run: e28_hypercube_routing,
+    },
 ];
 
 /// Selects the experiments whose id equals `filter` (empty = all), in
@@ -1471,4 +1483,173 @@ pub fn e26_labeling_resilience(out: &mut Report) {
     out.metric("marking_raw_wrong", wrong(&raw.black) as f64);
     out.metric("marking_reliable_wrong", wrong(&rel.black) as f64);
     out.metric("marking_reliable_retx", overhead.retransmissions as f64);
+}
+
+/// e27 — topic-flood pub-sub on a Gnutella-like overlay while nodes crash
+/// and rejoin (§II-A's P2P setting meets §IV-C's view inconsistency): the
+/// delivery ratio degrades gracefully with the crash rate, and the whole
+/// sweep is bit-identical between serial and parallel stepping.
+pub fn e27_pubsub_churn(out: &mut Report) {
+    use crate::scenario_bench::PubSub;
+    use csn_core::distsim::{ChurnSchedule, FaultModel, Simulator};
+    use csn_core::graph::stream::{EdgeStream, GnutellaStream};
+
+    let n = 1_500;
+    let topics = 8;
+    let overlay = GnutellaStream::new(n, 3, 64, 0.05, 27)
+        .expect("params")
+        .to_compact_csr()
+        .expect("fits u32")
+        .thaw();
+    let protocol = PubSub { topics };
+    out.line(format!(
+        "Gnutella-like overlay: n={n}, m={}, {topics} topics (publishers 0..{topics}, \
+         every node subscribes to topic u mod {topics})",
+        overlay.edge_count()
+    ));
+
+    // Fault-free flood: every node receives every topic.
+    let mut sim = Simulator::new(&overlay, &protocol);
+    let stats = sim.run_until_quiet(200);
+    out.line(format!(
+        "fault-free flood: {} rounds, {} messages, delivery ratio {:.4}",
+        stats.rounds,
+        stats.messages,
+        protocol.delivery_ratio(sim.states())
+    ));
+    out.metric("pubsub_faultfree_delivery", protocol.delivery_ratio(sim.states()));
+
+    // Churn sweep: publishers protected, everyone else crashes with the
+    // row's per-round probability and rejoins amnesiac 4 rounds later.
+    out.line("under churn (publishers protected, 4 rounds down, drop 0.05, delay 0.1):");
+    out.line(format!(
+        "  {:>11} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "crash prob", "rounds", "messages", "dropped", "shed", "delivery"
+    ));
+    for &cp in &[0.0f64, 0.002, 0.01, 0.03] {
+        let mut churn = ChurnSchedule::random(n, 80, cp, 4, 27);
+        for p in 0..topics {
+            churn = churn.protect(p);
+        }
+        let faults = FaultModel::lossy(0.05, 27).with_delay(0.1).with_churn(churn);
+        let run = |jobs: usize| {
+            let mut sim =
+                Simulator::with_faults(&overlay, &protocol, faults.clone()).with_jobs(jobs);
+            let stats = sim.run_until_stable(400, 4);
+            (stats, sim.states().to_vec(), sim.in_flight())
+        };
+        let (stats, states, in_flight) = run(1);
+        assert_eq!(run(4), (stats, states.clone(), in_flight), "parallel diverged at cp={cp}");
+        assert_eq!(
+            stats.sent + stats.duplicated,
+            stats.messages + stats.dropped + stats.shed + in_flight,
+            "message conservation at cp={cp}"
+        );
+        let delivery = protocol.delivery_ratio(&states);
+        out.metric(format!("pubsub_delivery_crash{}", (cp * 1000.0) as u64), delivery);
+        out.line(format!(
+            "  {cp:>11.3} {:>8} {:>10} {:>10} {:>10} {delivery:>10.4}",
+            stats.rounds, stats.messages, stats.dropped, stats.shed
+        ));
+    }
+    out.line("(each row checked bit-identical at jobs=4 and message-conserving)");
+}
+
+/// e28 — routing on the generalized hypercube (§III-C): the distributed
+/// Bellman–Ford distance labels equal the F-space feature distance
+/// exactly when fault-free, degrade measurably under loss and churn, and
+/// the d node-disjoint F-space paths tolerate d − 1 faulty relays.
+pub fn e28_hypercube_routing(out: &mut Report) {
+    use crate::scenario_bench::{generalized_hypercube, hypercube_profile};
+    use csn_core::distsim::{ChurnSchedule, FaultModel};
+    use csn_core::labeling::bellman_ford;
+    use csn_core::remapping::fspace::{feature_distance, node_disjoint_paths};
+
+    let radix = [4usize, 4, 4];
+    let g = generalized_hypercube(&radix);
+    let n = g.node_count();
+    let horizon = radix.len() + 1;
+    let p0 = hypercube_profile(0, &radix);
+    out.line(format!(
+        "generalized hypercube, radix {radix:?}: n={n}, m={}, degree {} per node",
+        g.edge_count(),
+        radix.iter().map(|r| r - 1).sum::<usize>()
+    ));
+
+    let exact = |labels: &[bellman_ford::DistanceLabel]| {
+        let hits = (0..n)
+            .filter(|&v| labels[v].dist == feature_distance(&hypercube_profile(v, &radix), &p0))
+            .count();
+        100.0 * hits as f64 / n as f64
+    };
+
+    // Fault-free: graph distance IS the feature distance, and the
+    // distributed labels find it in (diameter + 1)-ish rounds.
+    let bf = bellman_ford::run(&g, 0, horizon, 100);
+    out.line(format!(
+        "fault-free Bellman–Ford to node 0: {} rounds, {:.1}% of labels equal the \
+         F-space feature distance",
+        bf.rounds,
+        exact(&bf.labels)
+    ));
+    out.metric("hypercube_faultfree_exact_pct", exact(&bf.labels));
+
+    // Loss and churn sweep (dest protected under churn).
+    out.line("faulted runs (dest protected, window 3, checked bit-identical at jobs=4):");
+    out.line(format!(
+        "  {:>22} {:>8} {:>10} {:>10} {:>12}",
+        "faults", "rounds", "sent", "dropped", "exact lbls"
+    ));
+    let rows: [(&str, FaultModel); 3] = [
+        ("drop 0.2", FaultModel::lossy(0.2, 28)),
+        ("drop 0.4 + delay 0.2", FaultModel::lossy(0.4, 28).with_delay(0.2)),
+        (
+            "drop 0.1 + churn .01",
+            FaultModel::lossy(0.1, 28)
+                .with_churn(ChurnSchedule::random(n, 60, 0.01, 3, 28).protect(0)),
+        ),
+    ];
+    for (name, faults) in rows {
+        let (bf, stats) =
+            bellman_ford::run_resilient_par(&g, 0, horizon, 2000, 3, faults.clone(), 1);
+        let par = bellman_ford::run_resilient_par(&g, 0, horizon, 2000, 3, faults, 4);
+        assert_eq!(par, (bf.clone(), stats), "parallel diverged under {name}");
+        out.metric(
+            format!("hypercube_exact_pct_{}", name.replace([' ', '.', '+'], "")),
+            exact(&bf.labels),
+        );
+        out.line(format!(
+            "  {name:>22} {:>8} {:>10} {:>10} {:>11.1}%",
+            stats.rounds,
+            stats.sent,
+            stats.dropped,
+            exact(&bf.labels)
+        ));
+    }
+
+    // Disjoint-path fault tolerance: between profiles at feature distance
+    // d there are d node-disjoint paths, so any d − 1 faulty relays leave
+    // a working route (§III-C's motivation for the F-space remap).
+    out.line("node-disjoint F-space paths from profile [0, 0, 0]:");
+    out.line(format!(
+        "  {:>12} {:>6} {:>15} {:>22}",
+        "dest profile", "dist", "disjoint paths", "survives d-1 faults"
+    ));
+    for v in [1usize, 5, 21, 42, 63] {
+        let pv = hypercube_profile(v, &radix);
+        let d = feature_distance(&p0, &pv);
+        let paths = node_disjoint_paths(&p0, &pv);
+        assert_eq!(paths.len(), d, "expected {d} disjoint paths to {pv:?}");
+        // Fault one relay on each path but the last; some path must avoid
+        // every faulted relay (pigeonhole over disjointness).
+        let survives = if d < 2 {
+            true
+        } else {
+            let faulty: Vec<_> = paths[..d - 1].iter().map(|p| p[1].clone()).collect();
+            paths.iter().any(|p| p[1..p.len() - 1].iter().all(|hop| !faulty.contains(hop)))
+        };
+        assert!(survives, "no path to {pv:?} survives {} faults", d.saturating_sub(1));
+        out.line(format!("  {:>12} {d:>6} {:>15} {:>22}", format!("{pv:?}"), paths.len(), "yes"));
+    }
+    out.metric("hypercube_disjoint_pairs_checked", 5.0);
 }

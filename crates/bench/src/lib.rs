@@ -2,7 +2,7 @@
 //!
 //! The paper is a position paper: its "evaluation" is the set of worked
 //! figures and checkable claims. The [`experiments`] module regenerates
-//! each of them (experiment ids `e1`–`e25`, indexed in DESIGN.md) through
+//! each of them (experiment ids `e1`–`e28`, indexed in DESIGN.md) through
 //! a registry of report-producing experiment functions; the Criterion
 //! benches under `benches/` cover the performance-flavored questions
 //! (algorithm scaling).
@@ -17,7 +17,7 @@
 //!   work-stealing thread pool on `std::thread::scope` (shared with the
 //!   parallel algorithm kernels in `csn-graph`; the workspace takes no
 //!   scheduler dependency).
-//! * [`experiments`] — the 25 experiment bodies plus the
+//! * [`experiments`] — the 28 experiment bodies plus the
 //!   [`experiments::EXPERIMENTS`] registry and runner.
 //! * [`serve_bench`] — the `BENCH_serve.json` document shared by the two
 //!   query-serving front-ends, `perf_smoke --serve` and `structurad`.
@@ -25,6 +25,12 @@
 //!   `perf_smoke --distsim` protocol tier: bitwise serial-vs-parallel
 //!   gates over the deterministic distsim stepper plus 10⁴–10⁶-node
 //!   throughput rows (see DISTSIM.md).
+//! * [`scenario_bench`] — the `BENCH_scenario.json` document of the
+//!   `perf_smoke --scenario` city-scale scenario tier: grid-vs-naive
+//!   contact-detection gates, million-contact trace throughput, the DTN
+//!   ladder and TOUR forwarding end-to-end on the city trace, pub-sub
+//!   under churn, and generalized-hypercube routing under faults (see
+//!   SCENARIOS.md).
 //!
 //! Run everything with `cargo run -p csn-bench --bin experiments --release`;
 //! one experiment with `--exp e8`; in parallel with machine-readable
@@ -34,6 +40,7 @@
 pub mod distsim_bench;
 pub mod experiments;
 pub mod report;
+pub mod scenario_bench;
 pub mod serve_bench;
 
 pub use csn_parallel as pool;

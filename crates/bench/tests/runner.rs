@@ -13,6 +13,15 @@ const E4_SNAPSHOT: &str = include_str!("snapshots/e4.txt");
 /// gates that faulted simulator runs stay deterministic per seed.
 const E26_SNAPSHOT: &str = include_str!("snapshots/e26.txt");
 
+/// Reference capture of the pub-sub-under-churn experiment (regenerate
+/// with `-- --exp e27`); gates churn-faulted flood determinism.
+const E27_SNAPSHOT: &str = include_str!("snapshots/e27.txt");
+
+/// Reference capture of the hypercube-routing experiment (regenerate with
+/// `-- --exp e28`); gates the F-space distance identity and the faulted
+/// Bellman-Ford sweeps.
+const E28_SNAPSHOT: &str = include_str!("snapshots/e28.txt");
+
 #[test]
 fn e4_render_matches_reference_capture_and_repeats() {
     let e4 = EXPERIMENTS.iter().find(|e| e.id == "e4").expect("e4 registered");
@@ -32,8 +41,19 @@ fn e26_render_matches_reference_capture_and_repeats() {
 }
 
 #[test]
+fn e27_e28_render_match_reference_captures_and_repeat() {
+    for (id, snapshot) in [("e27", E27_SNAPSHOT), ("e28", E28_SNAPSHOT)] {
+        let exp = EXPERIMENTS.iter().find(|e| e.id == id).expect("registered");
+        let first = run_experiment(exp);
+        let second = run_experiment(exp);
+        assert_eq!(first.render(), snapshot, "{id} text drifted from the committed capture");
+        assert_eq!(first.render(), second.render(), "{id} is not run-to-run deterministic");
+    }
+}
+
+#[test]
 fn registry_ids_are_unique_and_canonical() {
-    assert_eq!(EXPERIMENTS.len(), 26);
+    assert_eq!(EXPERIMENTS.len(), 28);
     for (i, exp) in EXPERIMENTS.iter().enumerate() {
         assert_eq!(exp.id, format!("e{}", i + 1));
         assert!(!exp.title.is_empty());
@@ -42,12 +62,12 @@ fn registry_ids_are_unique_and_canonical() {
 }
 
 #[test]
-fn jobs4_runs_all_26_exactly_once_without_output_corruption() {
+fn jobs4_runs_all_28_exactly_once_without_output_corruption() {
     let outcome = run_reports(&RunOptions { filter: String::new(), jobs: 4 });
-    assert_eq!(outcome.reports.len(), 26);
-    assert_eq!(outcome.summary.experiments, 26);
+    assert_eq!(outcome.reports.len(), 28);
+    assert_eq!(outcome.summary.experiments, 28);
     assert_eq!(outcome.summary.workers_used, 4);
-    assert_eq!(outcome.summary.timings.len(), 26);
+    assert_eq!(outcome.summary.timings.len(), 28);
 
     for (exp, report) in EXPERIMENTS.iter().zip(&outcome.reports) {
         // Exactly once, in registry order.
@@ -67,4 +87,8 @@ fn jobs4_runs_all_26_exactly_once_without_output_corruption() {
     assert_eq!(e4.render(), E4_SNAPSHOT, "parallel e4 text differs from serial capture");
     let e26 = outcome.reports.iter().find(|r| r.id == "e26").expect("e26 ran");
     assert_eq!(e26.render(), E26_SNAPSHOT, "parallel e26 text differs from serial capture");
+    let e27 = outcome.reports.iter().find(|r| r.id == "e27").expect("e27 ran");
+    assert_eq!(e27.render(), E27_SNAPSHOT, "parallel e27 text differs from serial capture");
+    let e28 = outcome.reports.iter().find(|r| r.id == "e28").expect("e28 ran");
+    assert_eq!(e28.render(), E28_SNAPSHOT, "parallel e28 text differs from serial capture");
 }

@@ -17,6 +17,12 @@
 //!   the closer the distance, the higher the contact frequency."
 //! * [`stats`] — inter-contact / contact-duration statistics, exponential
 //!   fitting, and Kolmogorov–Smirnov distances.
+//! * [`stream`] — streaming contact emission ([`stream::ContactStream`])
+//!   so million-contact city traces build without materializing every
+//!   event; wraps both generators and adds explicit-pair Poisson glue.
+//! * [`scenario`] — the composed vehicular/pedestrian city scenario
+//!   ([`scenario::CityScenario`]), the substrate of the `--scenario` perf
+//!   tier and SCENARIOS.md.
 //!
 //! # Examples
 //!
@@ -31,8 +37,12 @@
 //! ```
 
 pub mod rwp;
+pub mod scenario;
 pub mod social;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 
+pub use scenario::CityScenario;
+pub use stream::{ContactStream, PairPoissonStream, RwpStream, SocialStream};
 pub use trace::{ContactEvent, ContactTrace};

@@ -7,10 +7,58 @@
 //! The paper: "a random waypoint mobility without a boundary does not meet
 //! the exponential distribution for either contact duration or inter-contact
 //! time" — experiment E17 measures exactly this with [`crate::stats`].
+//!
+//! # Performance
+//!
+//! Contact detection supports two interchangeable back ends gated bitwise
+//! against each other (see [`ContactDetection`]): the O(n²) all-pairs scan
+//! and a uniform-cell grid index in the [`csn_graph::stream::GeometricStream`]
+//! idiom — cells at least one radio range wide, so every in-range pair lies
+//! in a 3×3 cell neighborhood. Per step the grid costs O(n + open + near)
+//! instead of O(n²): the open-contact set is swept for closures in
+//! canonical pair order and only spatially-near pairs are tested for
+//! openings. City-scale traces (n in the thousands, millions of contacts)
+//! are built through [`crate::stream::RwpStream`] without materializing
+//! the event vector; throughput is recorded in `BENCH_scenario.json` (see
+//! SCENARIOS.md).
 
 use crate::trace::{ContactEvent, ContactTrace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// How `simulate`/`simulate_unbounded` find in-range pairs each step.
+///
+/// Both back ends produce *byte-identical* traces: they test the identical
+/// floating-point predicate on the identical post-advance positions, emit
+/// closures in canonical pair order, and [`ContactTrace::new`]'s
+/// `(start, u, v)` sort canonicalizes whatever discovery order remains.
+/// The mobility proptest suite and the `--scenario` perf gate assert the
+/// equality on small n every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContactDetection {
+    /// Grid for `n >= 64`, naive below (the grid's constant factor only
+    /// pays off once the quadratic term dominates).
+    #[default]
+    Auto,
+    /// The O(n²) all-pairs reference scan.
+    Naive,
+    /// The uniform-cell grid index.
+    Grid,
+}
+
+impl ContactDetection {
+    /// Nodes at which [`ContactDetection::Auto`] switches to the grid.
+    pub const AUTO_GRID_THRESHOLD: usize = 64;
+
+    fn use_grid(self, n: usize) -> bool {
+        match self {
+            ContactDetection::Auto => n >= Self::AUTO_GRID_THRESHOLD,
+            ContactDetection::Naive => false,
+            ContactDetection::Grid => true,
+        }
+    }
+}
 
 /// Configuration of a random-waypoint simulation on the unit square.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,64 +84,38 @@ impl RandomWaypoint {
         RandomWaypoint { n, range: 0.1, v_min: 0.01, v_max: 0.05, pause_max: 2.0, dt: 0.5 }
     }
 
+    pub(crate) fn validate(&self) {
+        assert!(self.n > 0 && self.range > 0.0 && self.dt > 0.0, "bad parameters");
+        assert!(0.0 < self.v_min && self.v_min <= self.v_max, "bad speed range");
+    }
+
     /// Simulates `duration` seconds and returns the contact trace.
     ///
     /// # Panics
     ///
     /// Panics if parameters are non-positive or `v_min > v_max`.
     pub fn simulate(&self, duration: f64, seed: u64) -> ContactTrace {
-        assert!(self.n > 0 && self.range > 0.0 && self.dt > 0.0, "bad parameters");
-        assert!(0.0 < self.v_min && self.v_min <= self.v_max, "bad speed range");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut state: Vec<NodeState> = (0..self.n)
-            .map(|_| NodeState {
-                pos: (rng.gen(), rng.gen()),
-                dest: (rng.gen(), rng.gen()),
-                speed: rng.gen_range(self.v_min..=self.v_max),
-                pause_left: 0.0,
-            })
-            .collect();
-        let steps = (duration / self.dt).ceil() as usize;
-        // Track open contacts per pair.
-        let mut open: std::collections::HashMap<(usize, usize), f64> =
-            std::collections::HashMap::new();
+        self.simulate_with(duration, seed, ContactDetection::Auto)
+    }
+
+    /// [`RandomWaypoint::simulate`] with an explicit contact-detection back
+    /// end (the bitwise grid-vs-naive gates use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are non-positive or `v_min > v_max`.
+    pub fn simulate_with(
+        &self,
+        duration: f64,
+        seed: u64,
+        detection: ContactDetection,
+    ) -> ContactTrace {
+        self.validate();
         let mut events = Vec::new();
-        for step in 0..steps {
-            let now = step as f64 * self.dt;
-            for s in &mut state {
-                s.advance(self.dt, self.v_min, self.v_max, self.pause_max, &mut rng);
-            }
-            for u in 0..self.n {
-                for v in (u + 1)..self.n {
-                    let dx = state[u].pos.0 - state[v].pos.0;
-                    let dy = state[u].pos.1 - state[v].pos.1;
-                    let within = (dx * dx + dy * dy).sqrt() <= self.range;
-                    let key = (u, v);
-                    match (within, open.contains_key(&key)) {
-                        (true, false) => {
-                            open.insert(key, now);
-                        }
-                        (false, true) => {
-                            let start = open.remove(&key).expect("checked");
-                            events.push(ContactEvent { u, v, start, end: now });
-                        }
-                        _ => {}
-                    }
-                }
-            }
-        }
-        // Close contacts still open at the end of the simulation.
-        for ((u, v), start) in open {
-            let end = steps as f64 * self.dt;
-            if end > start {
-                events.push(ContactEvent { u, v, start, end });
-            }
-        }
+        run_walk(self, Walk::Bounded, duration, seed, detection, &mut |e| events.push(e));
         ContactTrace::new(self.n, duration, events)
     }
-}
 
-impl RandomWaypoint {
     /// Random waypoint **without a boundary** (§II-B): each waypoint is a
     /// uniform-direction trip of length `trip_min..trip_max` from the
     /// current position, so nodes diffuse over the open plane. The paper's
@@ -111,77 +133,65 @@ impl RandomWaypoint {
         trip_max: f64,
         seed: u64,
     ) -> ContactTrace {
-        assert!(self.n > 0 && self.range > 0.0 && self.dt > 0.0, "bad parameters");
-        assert!(0.0 < self.v_min && self.v_min <= self.v_max, "bad speed range");
+        self.simulate_unbounded_with(duration, trip_min, trip_max, seed, ContactDetection::Auto)
+    }
+
+    /// [`RandomWaypoint::simulate_unbounded`] with an explicit
+    /// contact-detection back end.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive parameters or `trip_min > trip_max`.
+    pub fn simulate_unbounded_with(
+        &self,
+        duration: f64,
+        trip_min: f64,
+        trip_max: f64,
+        seed: u64,
+        detection: ContactDetection,
+    ) -> ContactTrace {
+        self.validate();
         assert!(0.0 < trip_min && trip_min <= trip_max, "bad trip range");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let new_dest = |pos: (f64, f64), rng: &mut StdRng| {
-            let theta = rng.gen::<f64>() * std::f64::consts::TAU;
-            let len = rng.gen_range(trip_min..=trip_max);
-            (pos.0 + len * theta.cos(), pos.1 + len * theta.sin())
-        };
-        let mut state: Vec<NodeState> = (0..self.n)
-            .map(|_| {
-                let pos = (rng.gen::<f64>(), rng.gen::<f64>());
-                NodeState {
-                    pos,
-                    dest: new_dest(pos, &mut rng),
-                    speed: rng.gen_range(self.v_min..=self.v_max),
-                    pause_left: 0.0,
-                }
-            })
-            .collect();
-        let steps = (duration / self.dt).ceil() as usize;
-        let mut open: std::collections::HashMap<(usize, usize), f64> =
-            std::collections::HashMap::new();
         let mut events = Vec::new();
-        for step in 0..steps {
-            let now = step as f64 * self.dt;
-            for s in &mut state {
-                if s.pause_left > 0.0 {
-                    s.pause_left -= self.dt;
-                    continue;
-                }
-                let dx = s.dest.0 - s.pos.0;
-                let dy = s.dest.1 - s.pos.1;
-                let d = (dx * dx + dy * dy).sqrt();
-                let travel = s.speed * self.dt;
-                if d <= travel {
-                    s.pos = s.dest;
-                    s.dest = new_dest(s.pos, &mut rng);
-                    s.speed = rng.gen_range(self.v_min..=self.v_max);
-                    s.pause_left = rng.gen::<f64>() * self.pause_max;
-                } else {
-                    s.pos.0 += dx / d * travel;
-                    s.pos.1 += dy / d * travel;
-                }
-            }
-            for u in 0..self.n {
-                for v in (u + 1)..self.n {
-                    let dx = state[u].pos.0 - state[v].pos.0;
-                    let dy = state[u].pos.1 - state[v].pos.1;
-                    let within = (dx * dx + dy * dy).sqrt() <= self.range;
-                    let key = (u, v);
-                    match (within, open.contains_key(&key)) {
-                        (true, false) => {
-                            open.insert(key, now);
-                        }
-                        (false, true) => {
-                            let start = open.remove(&key).expect("checked");
-                            events.push(ContactEvent { u, v, start, end: now });
-                        }
-                        _ => {}
-                    }
-                }
-            }
-        }
-        for ((u, v), start) in open {
-            let end = steps as f64 * self.dt;
-            if end > start {
-                events.push(ContactEvent { u, v, start, end });
-            }
-        }
+        run_walk(
+            self,
+            Walk::Unbounded { trip_min, trip_max },
+            duration,
+            seed,
+            detection,
+            &mut |e| events.push(e),
+        );
         ContactTrace::new(self.n, duration, events)
+    }
+}
+
+/// Which waypoint law the walk follows; both share one movement integrator
+/// ([`NodeState::advance`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Walk {
+    /// Waypoints uniform in the unit square (positions stay in `[0, 1]²`).
+    Bounded,
+    /// Waypoints at a uniform angle and `trip_min..=trip_max` distance from
+    /// the current position (positions diffuse over the open plane).
+    Unbounded {
+        /// Minimum trip length.
+        trip_min: f64,
+        /// Maximum trip length.
+        trip_max: f64,
+    },
+}
+
+impl Walk {
+    /// Draws the next waypoint. Exactly two RNG draws in either variant.
+    fn pick_dest(&self, pos: (f64, f64), rng: &mut StdRng) -> (f64, f64) {
+        match *self {
+            Walk::Bounded => (rng.gen(), rng.gen()),
+            Walk::Unbounded { trip_min, trip_max } => {
+                let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+                let len = rng.gen_range(trip_min..=trip_max);
+                (pos.0 + len * theta.cos(), pos.1 + len * theta.sin())
+            }
+        }
     }
 }
 
@@ -194,24 +204,282 @@ struct NodeState {
 }
 
 impl NodeState {
-    fn advance(&mut self, dt: f64, v_min: f64, v_max: f64, pause_max: f64, rng: &mut StdRng) {
+    /// One `dt` of movement under `model`'s speeds and pauses: pause if
+    /// pausing, otherwise move toward the destination, re-drawing waypoint,
+    /// speed, and pause on arrival via `walk`. Both the bounded and the
+    /// unbounded simulation step through this single integrator.
+    fn advance(&mut self, model: &RandomWaypoint, walk: Walk, rng: &mut StdRng) {
         if self.pause_left > 0.0 {
-            self.pause_left -= dt;
+            self.pause_left -= model.dt;
             return;
         }
         let dx = self.dest.0 - self.pos.0;
         let dy = self.dest.1 - self.pos.1;
         let d = (dx * dx + dy * dy).sqrt();
-        let travel = self.speed * dt;
+        let travel = self.speed * model.dt;
         if d <= travel {
             // Arrive; choose the next waypoint, speed, and pause.
             self.pos = self.dest;
-            self.dest = (rng.gen(), rng.gen());
-            self.speed = rng.gen_range(v_min..=v_max);
-            self.pause_left = rng.gen::<f64>() * pause_max;
+            self.dest = walk.pick_dest(self.pos, rng);
+            self.speed = rng.gen_range(model.v_min..=model.v_max);
+            self.pause_left = rng.gen::<f64>() * model.pause_max;
         } else {
             self.pos.0 += dx / d * travel;
             self.pos.1 += dy / d * travel;
+        }
+    }
+}
+
+/// The in-range predicate. One shared function so the naive scan and the
+/// grid agree bitwise: `(-dx)² == dx²` exactly in IEEE 754, so which
+/// endpoint is subtracted from which cannot matter.
+#[inline]
+fn within_range(a: (f64, f64), b: (f64, f64), range: f64) -> bool {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    (dx * dx + dy * dy).sqrt() <= range
+}
+
+/// Runs a random-waypoint walk, streaming contact events to `emit`.
+///
+/// Timestamps are stamped *post-advance*: step `k` moves every node from
+/// time `k·dt` to `(k+1)·dt` and then scans positions, so observed
+/// openings/closures carry `now = (k+1)·dt` — the time of the positions
+/// being scanned. (The pre-fix code stamped `k·dt`, lagging every contact
+/// boundary one `dt` behind the motion.) The final step's stamp and any
+/// contacts still open at the end are clamped to `duration`, so every event
+/// lies inside `[0, duration]` even when `duration / dt` is fractional.
+///
+/// Open contacts live in a `BTreeMap` keyed by the canonical `(u, v)` pair
+/// (`u < v`), so closure sweeps and the end-of-trace drain emit in pair
+/// order — deterministic across processes, unlike a `HashMap` drain.
+pub(crate) fn run_walk(
+    model: &RandomWaypoint,
+    walk: Walk,
+    duration: f64,
+    seed: u64,
+    detection: ContactDetection,
+    emit: &mut dyn FnMut(ContactEvent),
+) {
+    let n = model.n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state: Vec<NodeState> = (0..n)
+        .map(|_| {
+            let pos = (rng.gen::<f64>(), rng.gen::<f64>());
+            NodeState {
+                pos,
+                dest: walk.pick_dest(pos, &mut rng),
+                speed: rng.gen_range(model.v_min..=model.v_max),
+                pause_left: 0.0,
+            }
+        })
+        .collect();
+    let steps = (duration / model.dt).ceil() as usize;
+    let mut open: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut grid = if detection.use_grid(n) {
+        Some(ContactGrid::new(n, model.range, matches!(walk, Walk::Bounded)))
+    } else {
+        None
+    };
+    let mut closing: Vec<(usize, usize)> = Vec::new();
+    for step in 0..steps {
+        for s in &mut state {
+            s.advance(model, walk, &mut rng);
+        }
+        // The positions scanned below are the time-(step+1)·dt positions;
+        // stamp them as such, clamped to the horizon on the final
+        // (possibly fractional) step.
+        let now = (((step + 1) as f64) * model.dt).min(duration);
+        match &mut grid {
+            Some(grid) => {
+                // Close pass: sweep open contacts (ascending pair order)
+                // for pairs that left range — the 3×3 neighborhood scan
+                // below cannot see pairs that moved far apart.
+                closing.clear();
+                for (&key, _) in open.iter() {
+                    if !within_range(state[key.0].pos, state[key.1].pos, model.range) {
+                        closing.push(key);
+                    }
+                }
+                for &key in &closing {
+                    let start = open.remove(&key).expect("swept from open");
+                    if now > start {
+                        emit(ContactEvent { u: key.0, v: key.1, start, end: now });
+                    }
+                }
+                // Open pass: only spatially-near pairs can newly be in
+                // range.
+                grid.rebuild(&state);
+                grid.for_each_near_pair(&state, model.range, &mut |u, v| {
+                    open.entry((u, v)).or_insert(now);
+                });
+            }
+            None => {
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        let within = within_range(state[u].pos, state[v].pos, model.range);
+                        let key = (u, v);
+                        match (within, open.contains_key(&key)) {
+                            (true, false) => {
+                                open.insert(key, now);
+                            }
+                            (false, true) => {
+                                let start = open.remove(&key).expect("checked");
+                                if now > start {
+                                    emit(ContactEvent { u, v, start, end: now });
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Close contacts still open at the end of the simulation, clamped to
+    // the trace horizon (steps·dt overshoots `duration` whenever
+    // duration/dt is fractional). BTreeMap drains in canonical pair order.
+    for ((u, v), start) in open {
+        if duration > start {
+            emit(ContactEvent { u, v, start, end: duration });
+        }
+    }
+}
+
+/// Uniform-cell spatial index over current node positions.
+///
+/// Cells are at least one radio range wide, so every in-range pair lies in
+/// a 3×3 cell neighborhood of either endpoint. Two layouts share the
+/// interface:
+///
+/// * **dense** (bounded walks, positions in `[0, 1]²`) — counting sort
+///   into a `side × side` row grid, rebuilt allocation-free each step in
+///   the [`csn_graph::stream::GeometricStream`] idiom;
+/// * **sparse** (unbounded walks, positions diffuse arbitrarily far) —
+///   integer cell coordinates into a rebuilt hash map of buckets, since a
+///   dense grid over the walk's growing bounding box would outgrow O(n).
+struct ContactGrid {
+    /// Dense layout: cells per axis (0 = sparse layout).
+    side: usize,
+    cell_width: f64,
+    /// Dense: node ids sorted by cell, rows delimited by `cell_start`.
+    order: Vec<u32>,
+    cell_start: Vec<u32>,
+    counts: Vec<u32>,
+    /// Sparse: bucket per occupied integer cell.
+    buckets: std::collections::HashMap<(i64, i64), Vec<u32>>,
+}
+
+impl ContactGrid {
+    fn new(n: usize, range: f64, bounded: bool) -> Self {
+        if bounded {
+            // Width >= range for 3×3 correctness; cap the cell count at
+            // O(n) so the per-step counting sort stays linear.
+            let max_side = ((n as f64).sqrt().ceil() as usize + 1).max(1);
+            let side = ((1.0 / range).floor() as usize).clamp(1, max_side);
+            ContactGrid {
+                side,
+                cell_width: 1.0 / side as f64,
+                order: vec![0; n],
+                cell_start: Vec::new(),
+                counts: vec![0; side * side + 1],
+                buckets: std::collections::HashMap::new(),
+            }
+        } else {
+            ContactGrid {
+                side: 0,
+                cell_width: range,
+                order: Vec::new(),
+                cell_start: Vec::new(),
+                counts: Vec::new(),
+                buckets: std::collections::HashMap::new(),
+            }
+        }
+    }
+
+    fn dense_cell(&self, pos: (f64, f64)) -> usize {
+        let side = self.side;
+        let cx = ((pos.0 * side as f64) as usize).min(side - 1);
+        let cy = ((pos.1 * side as f64) as usize).min(side - 1);
+        cy * side + cx
+    }
+
+    fn sparse_cell(&self, pos: (f64, f64)) -> (i64, i64) {
+        ((pos.0 / self.cell_width).floor() as i64, (pos.1 / self.cell_width).floor() as i64)
+    }
+
+    fn rebuild(&mut self, state: &[NodeState]) {
+        if self.side > 0 {
+            self.counts.iter_mut().for_each(|c| *c = 0);
+            for s in state {
+                let c = self.dense_cell(s.pos);
+                self.counts[c + 1] += 1;
+            }
+            for i in 1..self.counts.len() {
+                self.counts[i] += self.counts[i - 1];
+            }
+            self.cell_start.clone_from(&self.counts);
+            let mut cursor = std::mem::take(&mut self.counts);
+            for (i, s) in state.iter().enumerate() {
+                let c = self.dense_cell(s.pos);
+                self.order[cursor[c] as usize] = i as u32;
+                cursor[c] += 1;
+            }
+            self.counts = cursor;
+        } else {
+            // Rebuild buckets, reusing allocations where cells repeat.
+            self.buckets.values_mut().for_each(Vec::clear);
+            for (i, s) in state.iter().enumerate() {
+                self.buckets.entry(self.sparse_cell(s.pos)).or_default().push(i as u32);
+            }
+            self.buckets.retain(|_, b| !b.is_empty());
+        }
+    }
+
+    /// Visits every unordered pair `(u, v)`, `u < v`, whose distance is
+    /// within `range`, each exactly once. Visit order is
+    /// grid-layout-dependent; callers needing canonical order sort (the
+    /// open-contact `BTreeMap` and [`ContactTrace::new`] both do).
+    fn for_each_near_pair(
+        &self,
+        state: &[NodeState],
+        range: f64,
+        visit: &mut dyn FnMut(usize, usize),
+    ) {
+        if self.side > 0 {
+            let side = self.side;
+            for u in 0..state.len() {
+                let pos = state[u].pos;
+                let cx = ((pos.0 * side as f64) as usize).min(side - 1);
+                let cy = ((pos.1 * side as f64) as usize).min(side - 1);
+                for ny in cy.saturating_sub(1)..=(cy + 1).min(side - 1) {
+                    for nx in cx.saturating_sub(1)..=(cx + 1).min(side - 1) {
+                        let c = ny * side + nx;
+                        for i in self.cell_start[c]..self.cell_start[c + 1] {
+                            let v = self.order[i as usize] as usize;
+                            // Each pair once, from the lower id.
+                            if v > u && within_range(state[u].pos, state[v].pos, range) {
+                                visit(u, v);
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            for u in 0..state.len() {
+                let (cx, cy) = self.sparse_cell(state[u].pos);
+                for ny in (cy - 1)..=(cy + 1) {
+                    for nx in (cx - 1)..=(cx + 1) {
+                        let Some(bucket) = self.buckets.get(&(nx, ny)) else { continue };
+                        for &v in bucket {
+                            let v = v as usize;
+                            if v > u && within_range(state[u].pos, state[v].pos, range) {
+                                visit(u, v);
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -233,12 +501,55 @@ mod tests {
 
     #[test]
     fn contacts_are_well_formed() {
+        // Fractional duration / dt: 200.0 / 0.5 is exact, so force a
+        // fractional horizon explicitly to exercise the end clamp.
         let m = RandomWaypoint::default_config(10);
-        let t = m.simulate(200.0, 9);
+        for duration in [200.0, 199.75] {
+            let t = m.simulate(duration, 9);
+            assert!(t.is_well_formed());
+            for e in t.events() {
+                assert!(e.duration() > 0.0);
+                assert!(e.start >= 0.0 && e.end <= duration, "event exceeds horizon: {e:?}");
+                assert!(e.u < 10 && e.v < 10 && e.u != e.v);
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_contacts_are_well_formed() {
+        let m = RandomWaypoint::default_config(10);
+        let t = m.simulate_unbounded(199.75, 0.1, 0.5, 9);
+        assert!(t.is_well_formed());
         for e in t.events() {
-            assert!(e.duration() > 0.0);
-            assert!(e.start >= 0.0 && e.end <= 200.0 + m.dt);
-            assert!(e.u < 10 && e.v < 10 && e.u != e.v);
+            assert!(e.end <= 199.75, "event exceeds horizon: {e:?}");
+        }
+    }
+
+    #[test]
+    fn timestamps_are_post_advance() {
+        // With the post-advance stamp, the earliest possible contact
+        // boundary is dt (positions at t = 0 are never scanned), and every
+        // boundary is a multiple of dt except the duration clamp.
+        let m = RandomWaypoint::default_config(12);
+        let t = m.simulate(150.0, 21);
+        assert!(!t.events().is_empty());
+        for e in t.events() {
+            assert!(e.start >= m.dt - 1e-12, "start {} predates first step", e.start);
+            let steps = e.start / m.dt;
+            assert!((steps - steps.round()).abs() < 1e-9, "start {} off the grid", e.start);
+        }
+    }
+
+    #[test]
+    fn grid_matches_naive_bitwise() {
+        for seed in 0..4 {
+            let m = RandomWaypoint::default_config(25);
+            let naive = m.simulate_with(150.0, seed, ContactDetection::Naive);
+            let grid = m.simulate_with(150.0, seed, ContactDetection::Grid);
+            assert_eq!(naive, grid, "seed {seed}: grid diverged from all-pairs scan");
+            let naive_u = m.simulate_unbounded_with(150.0, 0.1, 0.4, seed, ContactDetection::Naive);
+            let grid_u = m.simulate_unbounded_with(150.0, 0.1, 0.4, seed, ContactDetection::Grid);
+            assert_eq!(naive_u, grid_u, "seed {seed}: sparse grid diverged (unbounded)");
         }
     }
 

@@ -12,7 +12,7 @@
 //! exactly what the substitution needs to preserve; `beta` sweeps probe how
 //! strongly the structure depends on it.
 
-use crate::trace::{ContactEvent, ContactTrace};
+use crate::trace::ContactTrace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -157,34 +157,18 @@ impl SocialContactModel {
     /// Generates a contact trace for `population` over `duration` seconds:
     /// each pair's contact starts are Poisson(`rate(distance)`), durations
     /// exponential(`mean_duration`) truncated at the horizon.
+    ///
+    /// Thin wrapper over [`crate::stream::SocialStream`] (byte-identical
+    /// trace); use the stream directly to avoid materializing large traces
+    /// or to add per-node activity weights.
     pub fn simulate(&self, population: &Population, duration: f64, seed: u64) -> ContactTrace {
-        let n = population.len();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut events = Vec::new();
-        for u in 0..n {
-            for v in (u + 1)..n {
-                let rate = self.rate(population.distance(u, v));
-                if rate <= 0.0 {
-                    continue;
-                }
-                let mut t = sample_exp(&mut rng, rate);
-                while t < duration {
-                    let d = sample_exp(&mut rng, 1.0 / self.mean_duration);
-                    let end = (t + d).min(duration);
-                    if end > t {
-                        events.push(ContactEvent { u, v, start: t, end });
-                    }
-                    // Next contact begins after this one ends.
-                    t = end + sample_exp(&mut rng, rate);
-                }
-            }
-        }
-        ContactTrace::new(n, duration, events)
+        use crate::stream::ContactStream;
+        crate::stream::SocialStream::new(*self, population, duration, seed).collect_trace()
     }
 }
 
 /// Exponential sample with the given rate via inverse CDF.
-fn sample_exp(rng: &mut StdRng, rate: f64) -> f64 {
+pub(crate) fn sample_exp(rng: &mut StdRng, rate: f64) -> f64 {
     let u: f64 = rng.gen::<f64>();
     -(1.0 - u).ln() / rate
 }

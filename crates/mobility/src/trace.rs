@@ -33,7 +33,14 @@ pub struct ContactTrace {
 }
 
 impl ContactTrace {
-    /// Creates a trace; events are sorted by start time and validated.
+    /// Creates a trace; events are sorted by `(start, u, v)` and validated.
+    ///
+    /// The endpoint tie-break makes the stored order *canonical*: two
+    /// generators that produce the same event set in different discovery
+    /// orders (e.g. the grid-indexed and the all-pairs contact scans, or a
+    /// `HashMap` drain whose iteration order varies across processes)
+    /// construct byte-identical traces. A start-only stable sort would
+    /// instead preserve the caller's order among equal-start events.
     ///
     /// # Panics
     ///
@@ -45,7 +52,12 @@ impl ContactTrace {
             assert_ne!(e.u, e.v, "self-contact");
             assert!(e.end > e.start, "empty or inverted contact");
         }
-        events.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        events.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .expect("finite times")
+                .then_with(|| (a.u, a.v).cmp(&(b.u, b.v)))
+        });
         ContactTrace { n, duration, events }
     }
 
@@ -91,6 +103,43 @@ impl ContactTrace {
             }
         }
         eg
+    }
+
+    /// Whether the trace satisfies every generator contract: each event
+    /// lies inside `[0, duration]`, events of one pair never overlap, and
+    /// the stored order is the canonical `(start, u, v)` sort. The mobility
+    /// proptest suite and the `--scenario` perf gates assert this for every
+    /// generated trace.
+    pub fn is_well_formed(&self) -> bool {
+        use std::collections::HashMap;
+        for e in &self.events {
+            if !(e.start >= 0.0 && e.end > e.start && e.end <= self.duration) {
+                return false;
+            }
+            if e.u >= self.n || e.v >= self.n || e.u == e.v {
+                return false;
+            }
+        }
+        let sorted = self
+            .events
+            .windows(2)
+            .all(|w| (w[0].start, w[0].u, w[0].v) <= (w[1].start, w[1].u, w[1].v));
+        if !sorted {
+            return false;
+        }
+        // Per-pair non-overlap: the events of a pair, in start order, must
+        // each end no later than the next begins.
+        let mut last_end: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+        for e in &self.events {
+            let key = (e.u.min(e.v), e.u.max(e.v));
+            if let Some(&prev) = last_end.get(&key) {
+                if e.start < prev {
+                    return false;
+                }
+            }
+            last_end.insert(key, e.end);
+        }
+        true
     }
 
     /// Contact durations of every event.

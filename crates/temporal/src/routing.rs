@@ -15,7 +15,17 @@
 //!   single-copy holders deliver only directly. Interpolates between the
 //!   two extremes.
 
-use crate::graph::{TimeEvolvingGraph, TimeUnit};
+//!
+//! Each strategy has two entry points: the `TimeEvolvingGraph` form and a
+//! `*_over` form taking a pre-sorted flat contact slice. The slice forms
+//! exist for city-scale traces (ISSUE 10): a million-contact trace costs
+//! hundreds of MB as a `TimeEvolvingGraph` (one label vector per pair) but
+//! only 24 bytes per contact as a flat `Vec<Contact>`, and the slice is
+//! sorted once instead of re-sorted by every `eg.contacts()` call. The EG
+//! forms are thin wrappers, so the two stay identical by construction (and
+//! are gated equal at small n by the `--scenario` perf gates).
+
+use crate::graph::{Contact, TimeEvolvingGraph, TimeUnit};
 use csn_graph::NodeId;
 
 /// Outcome of routing one message.
@@ -42,6 +52,22 @@ pub fn direct_delivery(
     DtnOutcome { delivered_at, copies: 1, hops: usize::from(delivered_at.is_some()) }
 }
 
+/// [`direct_delivery`] over a flat contact slice sorted by `(t, u, v)`.
+pub fn direct_delivery_over(
+    contacts: &[Contact],
+    source: NodeId,
+    dest: NodeId,
+    start: TimeUnit,
+) -> DtnOutcome {
+    let delivered_at = contacts
+        .iter()
+        .find(|c| {
+            c.t >= start && ((c.u == source && c.v == dest) || (c.u == dest && c.v == source))
+        })
+        .map(|c| c.t);
+    DtnOutcome { delivered_at, copies: 1, hops: usize::from(delivered_at.is_some()) }
+}
+
 /// Epidemic routing: flood every contact; delivery time equals the
 /// earliest arrival, copy count equals the infected set size at delivery
 /// (or at the horizon when undelivered).
@@ -51,10 +77,21 @@ pub fn epidemic(
     dest: NodeId,
     start: TimeUnit,
 ) -> DtnOutcome {
-    let mut infected = vec![false; eg.node_count()];
-    let mut hops = vec![0usize; eg.node_count()];
+    epidemic_over(eg.node_count(), &eg.contacts(), source, dest, start)
+}
+
+/// [`epidemic`] over a flat contact slice sorted by `(t, u, v)` among `n`
+/// nodes — the city-scale entry point (no per-query `contacts()` rebuild).
+pub fn epidemic_over(
+    n: usize,
+    contacts: &[Contact],
+    source: NodeId,
+    dest: NodeId,
+    start: TimeUnit,
+) -> DtnOutcome {
+    let mut infected = vec![false; n];
+    let mut hops = vec![0usize; n];
     infected[source] = true;
-    let contacts = eg.contacts();
     // Process contacts in time order; within one time unit keep sweeping
     // until no new infection (instantaneous multi-hop, matching journeys).
     let mut i = 0;
@@ -108,12 +145,28 @@ pub fn spray_and_wait(
     start: TimeUnit,
     l_copies: usize,
 ) -> DtnOutcome {
+    spray_and_wait_over(eg.node_count(), &eg.contacts(), source, dest, start, l_copies)
+}
+
+/// [`spray_and_wait`] over a flat contact slice sorted by `(t, u, v)`
+/// among `n` nodes.
+///
+/// # Panics
+///
+/// Panics if `l_copies == 0`.
+pub fn spray_and_wait_over(
+    n: usize,
+    contacts: &[Contact],
+    source: NodeId,
+    dest: NodeId,
+    start: TimeUnit,
+    l_copies: usize,
+) -> DtnOutcome {
     assert!(l_copies >= 1, "need at least one copy");
-    let n = eg.node_count();
     let mut budget = vec![0usize; n];
     let mut hops = vec![0usize; n];
     budget[source] = l_copies;
-    for c in eg.contacts() {
+    for c in contacts {
         if c.t < start {
             continue;
         }
@@ -234,6 +287,22 @@ mod tests {
             }
         }
         assert!(checked > 20, "the comparison must actually exercise pairs");
+    }
+
+    #[test]
+    fn slice_forms_match_eg_forms() {
+        for seed in 0..6 {
+            let eg = random_eg(14, 30, 300 + seed);
+            let contacts = eg.contacts();
+            for d in 1..14 {
+                assert_eq!(direct_delivery_over(&contacts, 0, d, 2), direct_delivery(&eg, 0, d, 2),);
+                assert_eq!(epidemic_over(14, &contacts, 0, d, 2), epidemic(&eg, 0, d, 2));
+                assert_eq!(
+                    spray_and_wait_over(14, &contacts, 0, d, 2, 4),
+                    spray_and_wait(&eg, 0, d, 2, 4),
+                );
+            }
+        }
     }
 
     #[test]

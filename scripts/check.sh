@@ -60,6 +60,15 @@ if [ "$want" != "$have" ]; then
   exit 1
 fi
 
+echo "==> BENCH_scenario.json schema freshness"
+want=$(grep -oE 'structura-bench-scenario-v[0-9]+' crates/bench/src/scenario_bench.rs | head -n1)
+have=$(grep -oE 'structura-bench-scenario-v[0-9]+' BENCH_scenario.json | head -n1 || true)
+if [ "$want" != "$have" ]; then
+  echo "FAIL: BENCH_scenario.json is stale (has '${have:-missing}', scenario_bench writes '$want')" >&2
+  echo "      regenerate with: cargo run -p csn-bench --release --bin perf_smoke -- --scenario" >&2
+  exit 1
+fi
+
 echo "==> perf smoke (scratch/parallel/cursor kernels bit-identical; incremental maintainers equal scratch with strictly fewer counted touches; timings to BENCH_csr.json + BENCH_kernels.json)"
 cargo run -p csn-bench --release --offline --quiet --bin perf_smoke
 
@@ -75,4 +84,9 @@ echo "==> distsim smoke (small-n: parallel rounds bitwise == serial for flood/BF
 cargo run -p csn-bench --release --offline --quiet --bin perf_smoke -- \
   --distsim --distsim-nodes 2000 --distsim-out target/BENCH_distsim_check.json
 
-echo "OK: fmt, clippy, doc, test, perf smoke, scale smoke, serve smoke, distsim smoke all clean"
+echo "==> scenario smoke (small-n: grid==naive contact detection, trace well-formedness, slice DTN == EG DTN, pub-sub + hypercube under faults; committed BENCH_scenario.json untouched)"
+cargo run -p csn-bench --release --offline --quiet --bin perf_smoke -- \
+  --scenario --scenario-nodes 220 --scenario-pubsub-nodes 3000 \
+  --scenario-out target/BENCH_scenario_check.json
+
+echo "OK: fmt, clippy, doc, test, perf smoke, scale smoke, serve smoke, distsim smoke, scenario smoke all clean"
